@@ -1,0 +1,47 @@
+//! E3 — the controller ablation: utility-equalizing vs
+//! transactional-first FCFS vs static partition, each on the identical
+//! scaled paper workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slaq_core::scenario::PaperParams;
+use slaq_core::{
+    StaticPartitionController, TransactionalFirstController, UtilityController,
+};
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    let params = PaperParams::small();
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    group.bench_function("utility_equalizing", |b| {
+        b.iter(|| {
+            let r = params
+                .scenario()
+                .run(&mut UtilityController::default())
+                .unwrap();
+            black_box(r.job_stats.completed)
+        })
+    });
+    group.bench_function("transactional_first_fcfs", |b| {
+        b.iter(|| {
+            let r = params
+                .scenario()
+                .run(&mut TransactionalFirstController::default())
+                .unwrap();
+            black_box(r.job_stats.completed)
+        })
+    });
+    group.bench_function("static_partition", |b| {
+        b.iter(|| {
+            let r = params
+                .scenario()
+                .run(&mut StaticPartitionController::new(0.36))
+                .unwrap();
+            black_box(r.job_stats.completed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E5 — equalizer ablation: exact bisection vs the paper's iterative
+//! steal-from-the-most-satisfied loop, across pool sizes. Both solve the
+//! same max–min problem; the bench quantifies the cost of following the
+//! paper's prose literally.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slaq_types::{CpuMhz, EntityId, JobId};
+use slaq_utility::{
+    equalize_bisection, equalize_steal, CappedLinearUtility, EqEntity, EqualizeOptions,
+};
+use std::hint::black_box;
+
+fn pool(n: usize) -> Vec<CappedLinearUtility> {
+    (0..n)
+        .map(|i| {
+            let u0 = (i % 5) as f64 * 0.05;
+            let cap = 500.0 + 2500.0 * ((i * 7919) % 100) as f64 / 100.0;
+            CappedLinearUtility::new(u0, 0.9 + (i % 3) as f64 * 0.05, CpuMhz::new(cap)).unwrap()
+        })
+        .collect()
+}
+
+fn bench_equalization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equalization");
+    for &n in &[10usize, 100, 400, 1000] {
+        let curves = pool(n);
+        let ids: Vec<EntityId> = (0..n).map(|i| EntityId::Job(JobId::new(i as u32))).collect();
+        let total = CpuMhz::new(curves.iter().map(|c| c.cap.as_f64()).sum::<f64>() * 0.6);
+        let opts = EqualizeOptions {
+            max_iters: 20_000,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("bisection", n), &n, |b, _| {
+            b.iter(|| {
+                let entities: Vec<EqEntity> = curves
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| EqEntity::new(ids[i], c))
+                    .collect();
+                black_box(equalize_bisection(&entities, total, &opts).common_utility)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("steal", n), &n, |b, _| {
+            b.iter(|| {
+                let entities: Vec<EqEntity> = curves
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| EqEntity::new(ids[i], c))
+                    .collect();
+                black_box(equalize_steal(&entities, total, &opts).common_utility)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_equalization);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E1 — regenerate the Figure 1 series (utility of both workloads over
+//! time) on the scaled-down paper scenario, end to end: workload
+//! generation, simulation under the utility controller, series extraction.
+//!
+//! The full-size experiment is exercised by
+//! `cargo run --release -p slaq-experiments --bin fig1`; benching the
+//! scaled variant keeps `cargo bench` minutes-scale while covering the
+//! identical code path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slaq_core::scenario::PaperParams;
+use slaq_experiments::{fig1_csv, run_paper_experiment};
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    group.bench_function("paper_small_end_to_end", |b| {
+        b.iter(|| {
+            let report = run_paper_experiment(black_box(&PaperParams::small())).unwrap();
+            let csv = fig1_csv(&report);
+            black_box(csv.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

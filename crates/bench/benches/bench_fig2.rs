@@ -1,0 +1,30 @@
+//! E2 — regenerate the Figure 2 series (per-workload allocations and
+//! max-utility demands over time). Same run as Figure 1 plus the
+//! allocation/demand series extraction; benched separately so a
+//! regression in either extraction path is attributable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slaq_core::scenario::PaperParams;
+use slaq_experiments::{fig2_csv, run_paper_experiment};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("paper_small_end_to_end", |b| {
+        b.iter(|| {
+            let report = run_paper_experiment(black_box(&PaperParams::small())).unwrap();
+            let csv = fig2_csv(&report);
+            black_box(csv.len())
+        })
+    });
+    // Extraction alone (series → CSV) on a pre-computed report.
+    let report = run_paper_experiment(&PaperParams::small()).unwrap();
+    group.bench_function("series_extraction", |b| {
+        b.iter(|| black_box(fig2_csv(black_box(&report)).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

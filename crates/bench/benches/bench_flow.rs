@@ -1,0 +1,57 @@
+//! E7 — flow-kernel microbench: Dinic max-flow and min-cost flow on
+//! bipartite transportation networks shaped exactly like the allocation
+//! subproblem (entities × nodes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slaq_flow::FlowNetwork;
+use std::hint::black_box;
+
+/// Build `entities × nodes` transportation network; each entity is
+/// connected to ~4 pseudo-random nodes.
+fn build(entities: usize, nodes: usize, costs: bool) -> (FlowNetwork, usize, usize) {
+    let s = 0usize;
+    let t = 1 + entities + nodes;
+    let mut g = FlowNetwork::new(t + 1);
+    for e in 0..entities {
+        let demand = 600 + ((e * 7919) % 2400) as i64;
+        g.add_edge_with_cost(s, 1 + e, demand, i64::from(costs && e % 3 == 0));
+        for k in 0..4usize {
+            let n = (e * 31 + k * 17) % nodes;
+            g.add_edge(1 + e, 1 + entities + n, demand);
+        }
+    }
+    for n in 0..nodes {
+        g.add_edge(1 + entities + n, t, 12_000);
+    }
+    (g, s, t)
+}
+
+fn bench_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow");
+    for &(entities, nodes) in &[(50usize, 25usize), (200, 50), (800, 100)] {
+        group.bench_with_input(
+            BenchmarkId::new("dinic_max_flow", format!("{entities}e_{nodes}n")),
+            &(entities, nodes),
+            |b, &(e, n)| {
+                b.iter(|| {
+                    let (mut g, s, t) = build(e, n, false);
+                    black_box(g.max_flow(s, t))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("min_cost_flow", format!("{entities}e_{nodes}n")),
+            &(entities, nodes),
+            |b, &(e, n)| {
+                b.iter(|| {
+                    let (mut g, s, t) = build(e, n, true);
+                    black_box(g.min_cost_flow(s, t, i64::MAX / 8).cost)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow);
+criterion_main!(benches);

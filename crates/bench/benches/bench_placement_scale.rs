@@ -1,0 +1,36 @@
+//! E4 — placement-solver scalability: one `solve` call on synthetic
+//! problems shaped like the paper's (12 000 MHz nodes, ≤3000 MHz jobs,
+//! three jobs per node by memory), cold placement and warm re-solve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slaq_experiments::sweeps::synthetic_problem;
+use slaq_placement::{solve, Placement};
+use std::hint::black_box;
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement_scale");
+    for &(nodes, jobs) in &[(10u32, 30u32), (25, 120), (50, 300), (100, 600)] {
+        let problem = synthetic_problem(nodes, jobs, 1);
+        group.bench_with_input(
+            BenchmarkId::new("cold", format!("{nodes}n_{jobs}j")),
+            &problem,
+            |b, p| b.iter(|| black_box(solve(black_box(p), &Placement::empty()).changes.len())),
+        );
+        // Warm re-solve: previous placement = the cold solution with jobs
+        // marked running (the steady-state cycle cost).
+        let cold = solve(&problem, &Placement::empty());
+        let mut warm_problem = problem.clone();
+        for j in &mut warm_problem.jobs {
+            j.running_on = cold.placement.job_node(j.id);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("warm", format!("{nodes}n_{jobs}j")),
+            &(warm_problem, cold.placement),
+            |b, (p, prev)| b.iter(|| black_box(solve(black_box(p), prev).changes.len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

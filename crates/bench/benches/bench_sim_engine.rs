@@ -1,0 +1,54 @@
+//! E6 — simulator engine throughput: events processed per second on the
+//! paper's event mix (arrivals, control cycles, completions, unblocks),
+//! with a null controller isolating the engine from solver cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slaq_core::scenario::PaperParams;
+use slaq_placement::Placement;
+use slaq_sim::{ControlInputs, Controller, MetricsSink};
+use std::hint::black_box;
+
+/// Places every pending job greedily; cheap enough that the engine
+/// dominates the measurement.
+struct GreedyController;
+
+impl Controller for GreedyController {
+    fn control(&mut self, inputs: &ControlInputs<'_>, _m: &mut MetricsSink) -> Placement {
+        let mut next = inputs.current.clone();
+        for job in inputs.jobs.jobs() {
+            if !job.is_active() || next.jobs.contains_key(&job.id) {
+                continue;
+            }
+            for node in inputs.nodes {
+                let mem_used: u64 = inputs
+                    .jobs
+                    .jobs()
+                    .iter()
+                    .filter(|j| next.job_node(j.id) == Some(node.id))
+                    .map(|j| j.spec.mem.as_u64())
+                    .sum();
+                if mem_used + job.spec.mem.as_u64() <= node.mem.as_u64() {
+                    next.jobs.insert(job.id, (node.id, job.spec.max_speed));
+                    break;
+                }
+            }
+        }
+        next
+    }
+}
+
+fn bench_sim_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(10);
+    group.bench_function("paper_small_null_solver", |b| {
+        b.iter(|| {
+            let scenario = PaperParams::small().scenario();
+            let report = scenario.run(&mut GreedyController).unwrap();
+            black_box((report.cycles, report.job_stats.completed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_engine);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benches for the slaq workspace (see benches/).

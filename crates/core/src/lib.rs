@@ -1,0 +1,37 @@
+//! # slaq-core — the heterogeneous workload manager
+//!
+//! The paper's contribution, assembled from the substrate crates: a
+//! controller that manages *transactional applications* (response-time
+//! SLAs) and *long-running jobs* (completion-time SLAs) on the same
+//! virtualized cluster by trading CPU between them through utility
+//! functions.
+//!
+//! Each control cycle, [`UtilityController`]:
+//!
+//! 1. builds a monotone utility-of-CPU curve for every entity — each
+//!    application from the queueing model (`slaq-perfmodel`), each active
+//!    job from its projected completion time (`slaq-jobs`);
+//! 2. **equalizes utility** across all entities over the cluster's total
+//!    CPU power (`slaq-utility`) — stealing from the more satisfied to
+//!    give to the less satisfied, exactly the paper's §2;
+//! 3. realizes the resulting CPU targets as a concrete placement under
+//!    memory/CPU constraints with bounded churn (`slaq-placement`),
+//!    enacted via instance start/stop and job start/suspend/resume/migrate.
+//!
+//! The `baselines` module provides the two comparison controllers used by
+//! experiment E3 (DESIGN.md): a transactional-first FCFS scheduler
+//! without utility awareness, and a static cluster partitioning in the
+//! spirit of the paper's reference [6]. The `scenario` module packages
+//! cluster + workload configurations — including the paper's Figure 1/2
+//! experiment — into runnable simulations.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod baselines;
+pub mod controller;
+pub mod scenario;
+
+pub use baselines::{StaticPartitionController, TransactionalFirstController};
+pub use controller::{ControllerConfig, UtilityController};
+pub use scenario::{Scenario, ScenarioApp};

@@ -1,0 +1,290 @@
+//! Runnable scenario definitions, including the paper's evaluation setup.
+//!
+//! [`PaperParams::default`] encodes the HPDC'08 experiment: a 25-node
+//! cluster of four-processor machines, a constant transactional workload,
+//! and up to 800 identical long-running jobs arriving with exponential
+//! inter-arrival times (mean 260 s) whose rate drops near the end of the
+//! ~72 000 s horizon; application placement is recomputed every 600 s and
+//! memory admits three jobs per node.
+
+use slaq_jobs::JobSpec;
+use slaq_perfmodel::TransactionalSpec;
+use slaq_sim::{Controller, SimConfig, SimReport, Simulator, TransactionalRuntime};
+use slaq_types::{AppId, ClusterSpec, CpuMhz, MemMb, Result, SimDuration, SimTime, Work};
+use slaq_utility::ResponseTimeGoal;
+use slaq_workloads::{generate_job_stream, IntensityTrace, JobTemplate, RateSchedule};
+
+/// One transactional application in a scenario.
+pub struct ScenarioApp {
+    /// Static spec.
+    pub spec: TransactionalSpec,
+    /// Ground-truth intensity trace.
+    pub trace: IntensityTrace,
+    /// EWMA smoothing for the demand estimator.
+    pub estimator_alpha: f64,
+}
+
+/// A complete simulation scenario: cluster + timing + workloads.
+pub struct Scenario {
+    /// Label used in reports.
+    pub name: String,
+    /// The cluster.
+    pub cluster: ClusterSpec,
+    /// Simulator timing and overheads.
+    pub sim: SimConfig,
+    /// Transactional applications.
+    pub apps: Vec<ScenarioApp>,
+    /// Job arrival stream.
+    pub jobs: Vec<(SimTime, JobSpec)>,
+}
+
+impl Scenario {
+    /// Materialize a simulator for this scenario.
+    pub fn build(&self) -> Simulator {
+        let mut sim = Simulator::new(&self.cluster, self.sim);
+        for (i, app) in self.apps.iter().enumerate() {
+            let trace = app.trace.clone();
+            let runtime = TransactionalRuntime::new(
+                AppId::new(i as u32),
+                app.spec.clone(),
+                Box::new(move |t| trace.lambda(t)),
+                app.estimator_alpha,
+            )
+            .expect("scenario app spec validated");
+            sim.add_app(runtime);
+        }
+        sim.add_arrivals(self.jobs.clone());
+        sim
+    }
+
+    /// Build and run under `controller`.
+    pub fn run(&self, controller: &mut dyn Controller) -> Result<SimReport> {
+        self.build().run(controller)
+    }
+}
+
+/// Parameters of the paper's experiment, exposed for sweeps and the
+/// scaled-down variants used in tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaperParams {
+    /// Number of nodes (paper: 25).
+    pub nodes: u32,
+    /// Processors per node (paper: 4).
+    pub cpus_per_node: u32,
+    /// Power of one processor.
+    pub core_mhz: f64,
+    /// Node memory. 4096 MB with 1280 MB jobs gives the paper's
+    /// three-jobs-per-node constraint.
+    pub node_mem_mb: u64,
+    /// Transactional arrival rate (req/s), constant through the run.
+    pub lambda: f64,
+    /// CPU work per request (MHz·s).
+    pub service_mhz_s: f64,
+    /// Response-time goal τ (seconds).
+    pub rt_goal_secs: f64,
+    /// Modeled maximum-utility level for demand purposes.
+    pub u_cap: f64,
+    /// Instance memory footprint.
+    pub app_mem_mb: u64,
+    /// Job runtime at full speed (seconds); work = core_mhz × this.
+    pub job_work_secs: f64,
+    /// Job VM memory footprint.
+    pub job_mem_mb: u64,
+    /// Completion goal at this multiple of the fastest runtime.
+    pub goal_factor: f64,
+    /// Utility floor at this multiple of the fastest runtime.
+    pub exhausted_factor: f64,
+    /// Maximum jobs submitted (paper: 800; the horizon truncates).
+    pub total_jobs: usize,
+    /// Mean inter-arrival time (paper: 260 s).
+    pub mean_interarrival_secs: f64,
+    /// Instant at which the submission rate drops ("at the end of the
+    /// experiment the job submission rate is slightly decreased").
+    pub tail_start_secs: f64,
+    /// Mean inter-arrival time after the drop.
+    pub tail_interarrival_secs: f64,
+    /// Experiment horizon.
+    pub horizon_secs: f64,
+    /// Control cycle (paper: 600 s).
+    pub control_period_secs: f64,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PaperParams {
+    fn default() -> Self {
+        PaperParams {
+            nodes: 25,
+            cpus_per_node: 4,
+            core_mhz: 3000.0,
+            node_mem_mb: 4096,
+            // λ·c = 78 000 MHz of raw offered load plus 60 000 MHz of
+            // response-time headroom at u_cap: a max-utility demand of
+            // ~138 000 MHz (46 % of the cluster), most of it squeezable —
+            // the proportion Figure 2's transactional curves exhibit.
+            lambda: 26.0,
+            service_mhz_s: 3000.0,
+            rt_goal_secs: 0.5,
+            u_cap: 0.9,
+            app_mem_mb: 1024,
+            job_work_secs: 16_200.0, // 4.5 h at one processor
+            job_mem_mb: 1280,
+            goal_factor: 1.25,
+            exhausted_factor: 3.0,
+            total_jobs: 800,
+            mean_interarrival_secs: 260.0,
+            tail_start_secs: 50_000.0,
+            tail_interarrival_secs: 520.0,
+            horizon_secs: 72_000.0,
+            control_period_secs: 600.0,
+            seed: 42,
+        }
+    }
+}
+
+impl PaperParams {
+    /// A ~4× smaller variant (nodes, traffic, job length, horizon) that
+    /// preserves the experiment's *proportions* — job work-arrival rate ≈
+    /// 62 % of cluster power and transactional max-utility demand ≈ 47 %,
+    /// i.e. the same ~109 % aggregate pressure as the full setup — so the
+    /// crossover→equalization→recovery shape survives the scaling. Used
+    /// by tests and smoke benches where the full run would be wasteful.
+    pub fn small() -> Self {
+        PaperParams {
+            nodes: 6,
+            lambda: 27.0,
+            service_mhz_s: 720.0,
+            job_work_secs: 4000.0,
+            total_jobs: 200,
+            mean_interarrival_secs: 240.0,
+            tail_start_secs: 11_000.0,
+            tail_interarrival_secs: 800.0,
+            horizon_secs: 22_000.0,
+            ..Default::default()
+        }
+    }
+
+    /// Total cluster CPU power.
+    pub fn total_cpu(&self) -> CpuMhz {
+        CpuMhz::new(self.nodes as f64 * self.cpus_per_node as f64 * self.core_mhz)
+    }
+
+    /// The transactional application spec.
+    pub fn app_spec(&self) -> TransactionalSpec {
+        TransactionalSpec {
+            name: "transactional".into(),
+            service_per_request: Work::new(self.service_mhz_s),
+            rt_goal: ResponseTimeGoal::new(SimDuration::from_secs(self.rt_goal_secs))
+                .expect("positive goal"),
+            mem_per_instance: MemMb::new(self.app_mem_mb),
+            max_instances: self.nodes,
+            min_instances: 1,
+            u_cap: self.u_cap,
+        }
+    }
+
+    /// The job template.
+    pub fn job_template(&self) -> JobTemplate {
+        JobTemplate {
+            name_prefix: "batch".into(),
+            work: Work::from_power_secs(CpuMhz::new(self.core_mhz), self.job_work_secs),
+            max_speed: CpuMhz::new(self.core_mhz),
+            mem: MemMb::new(self.job_mem_mb),
+            goal_factor: self.goal_factor,
+            exhausted_factor: self.exhausted_factor,
+        }
+    }
+
+    /// Assemble the full scenario.
+    pub fn scenario(&self) -> Scenario {
+        let cluster = ClusterSpec::homogeneous(
+            self.nodes,
+            self.cpus_per_node,
+            CpuMhz::new(self.core_mhz),
+            MemMb::new(self.node_mem_mb),
+        );
+        let schedule = RateSchedule::new(vec![
+            (SimTime::ZERO, self.mean_interarrival_secs),
+            (
+                SimTime::from_secs(self.tail_start_secs),
+                self.tail_interarrival_secs,
+            ),
+        ])
+        .expect("valid schedule");
+        let jobs = generate_job_stream(
+            &self.job_template(),
+            schedule,
+            self.total_jobs,
+            SimTime::from_secs(self.horizon_secs),
+            self.seed,
+        );
+        Scenario {
+            name: "paper-fig1-fig2".into(),
+            cluster,
+            sim: SimConfig {
+                control_period: SimDuration::from_secs(self.control_period_secs),
+                horizon: SimTime::from_secs(self.horizon_secs),
+                overheads: Default::default(),
+                // The authors' middleware enforces the computed
+                // allocations; without limits, work-conserving spare
+                // masks the squeeze that Figure 1 shows.
+                cap_transactional: true,
+            },
+            apps: vec![ScenarioApp {
+                spec: self.app_spec(),
+                trace: IntensityTrace::constant(self.lambda),
+                estimator_alpha: 0.4,
+            }],
+            jobs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::UtilityController;
+
+    #[test]
+    fn paper_params_match_the_paper() {
+        let p = PaperParams::default();
+        assert_eq!(p.nodes, 25);
+        assert_eq!(p.cpus_per_node, 4);
+        assert_eq!(p.total_jobs, 800);
+        assert_eq!(p.mean_interarrival_secs, 260.0);
+        assert_eq!(p.control_period_secs, 600.0);
+        assert_eq!(p.total_cpu(), CpuMhz::new(300_000.0));
+        // Three jobs per node by memory.
+        assert_eq!(p.node_mem_mb / p.job_mem_mb, 3);
+    }
+
+    #[test]
+    fn scenario_assembles_consistently() {
+        let p = PaperParams::default();
+        let s = p.scenario();
+        assert_eq!(s.cluster.len(), 25);
+        assert_eq!(s.apps.len(), 1);
+        assert!(!s.jobs.is_empty());
+        // Arrival stream fits the horizon and arrives sorted.
+        assert!(s
+            .jobs
+            .iter()
+            .all(|(t, _)| t.as_secs() <= p.horizon_secs));
+        assert!(s.jobs.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Identical jobs.
+        let w0 = s.jobs[0].1.total_work;
+        assert!(s.jobs.iter().all(|(_, j)| j.total_work == w0));
+    }
+
+    #[test]
+    fn small_scenario_runs_end_to_end_with_the_paper_controller() {
+        let s = PaperParams::small().scenario();
+        let report = s.run(&mut UtilityController::default()).unwrap();
+        assert!(report.cycles >= 25, "cycles {}", report.cycles);
+        assert!(report.job_stats.completed > 0);
+        // The headline series all exist.
+        for name in ["trans_utility", "jobs_hypo_utility", "trans_alloc", "jobs_alloc"] {
+            assert!(!report.metrics.series(name).is_empty(), "{name} missing");
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Minimal terminal line plots — enough to eyeball Figure 1/2 shapes
+//! straight from `cargo run` without a plotting stack.
+
+use slaq_types::fcmp;
+
+/// Render one or more series as an ASCII chart of `width × height`
+/// characters (plus axes). Each series gets its own glyph, in order:
+/// `*`, `+`, `o`, `x`, `#`.
+pub fn plot(series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 5] = ['*', '+', 'o', 'x', '#'];
+    let width = width.max(16);
+    let height = height.max(4);
+
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .collect();
+    if all.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let x_min = all.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let x_max = all.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let y_min = all.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let y_max = all.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    let x_span = (x_max - x_min).max(1e-12);
+    let y_span = (y_max - y_min).max(1e-12);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in pts.iter() {
+            let col = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+            let row = (((y - y_min) / y_span) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            grid[row][col.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_max:>10.2} |")
+        } else if i == height - 1 {
+            format!("{y_min:>10.2} |")
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>10}  {:<w$.0}{:>.0}\n",
+        "",
+        x_min,
+        x_max,
+        w = width.saturating_sub(6)
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {}", GLYPHS[i % GLYPHS.len()], name))
+        .collect();
+    out.push_str(&format!("{:>12}{}\n", "", legend.join("   ")));
+    out
+}
+
+/// Convenience: downsample a series to at most `n` evenly spaced points
+/// (keeps plots readable for long runs).
+pub fn downsample(pts: &[(f64, f64)], n: usize) -> Vec<(f64, f64)> {
+    if pts.len() <= n || n == 0 {
+        return pts.to_vec();
+    }
+    let step = pts.len() as f64 / n as f64;
+    (0..n)
+        .map(|i| pts[((i as f64 * step) as usize).min(pts.len() - 1)])
+        .collect()
+}
+
+/// Min/max/mean summary line for a series.
+pub fn summary(name: &str, pts: &[(f64, f64)]) -> String {
+    if pts.is_empty() {
+        return format!("{name}: (empty)");
+    }
+    let min = pts.iter().map(|p| p.1).min_by(|a, b| fcmp(*a, *b)).unwrap();
+    let max = pts.iter().map(|p| p.1).max_by(|a, b| fcmp(*a, *b)).unwrap();
+    let mean = pts.iter().map(|p| p.1).sum::<f64>() / pts.len() as f64;
+    format!("{name}: min {min:.3}  mean {mean:.3}  max {max:.3}  ({} samples)", pts.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plot_renders_axes_and_glyphs() {
+        let a: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, (i as f64 / 10.0).sin())).collect();
+        let b: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, 0.5)).collect();
+        let out = plot(&[("sin", &a), ("flat", &b)], 60, 12);
+        assert!(out.contains('*'));
+        assert!(out.contains('+'));
+        assert!(out.contains("sin"));
+        assert!(out.contains("flat"));
+        assert!(out.lines().count() >= 14);
+    }
+
+    #[test]
+    fn empty_plot_is_graceful() {
+        assert_eq!(plot(&[("x", &[])], 40, 10), "(no data)\n");
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints_spacing() {
+        let pts: Vec<(f64, f64)> = (0..1000).map(|i| (i as f64, i as f64)).collect();
+        let d = downsample(&pts, 100);
+        assert_eq!(d.len(), 100);
+        assert_eq!(d[0], (0.0, 0.0));
+        let short = downsample(&pts[..5], 100);
+        assert_eq!(short.len(), 5);
+    }
+
+    #[test]
+    fn summary_formats() {
+        let s = summary("u", &[(0.0, 0.2), (1.0, 0.4)]);
+        assert!(s.contains("min 0.200"));
+        assert!(s.contains("mean 0.300"));
+        assert!(s.contains("max 0.400"));
+        assert!(summary("e", &[]).contains("empty"));
+    }
+}

@@ -1,0 +1,27 @@
+//! E3: compare the utility-equalizing controller against the
+//! transactional-first FCFS scheduler and a static cluster partition on
+//! the paper's workload.
+//!
+//! ```text
+//! cargo run --release -p slaq-experiments --bin baselines [-- --small]
+//! ```
+
+use slaq_core::scenario::PaperParams;
+use slaq_experiments::comparison::{compare_controllers, format_table};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let params = if small {
+        PaperParams::small()
+    } else {
+        PaperParams::default()
+    };
+    eprintln!("running 3 controllers on the paper workload…");
+    let rows = compare_controllers(&params).expect("runs must succeed");
+    println!("{}", format_table(&rows));
+
+    std::fs::create_dir_all("out").expect("create out/");
+    let json = serde_json::to_string_pretty(&rows).expect("serialize");
+    std::fs::write("out/baselines.json", json).expect("write out/baselines.json");
+    println!("wrote out/baselines.json");
+}

@@ -1,0 +1,54 @@
+//! E4: placement-solver scalability grid and workload-seed robustness.
+//!
+//! ```text
+//! cargo run --release -p slaq-experiments --bin sweep
+//! ```
+
+use slaq_core::scenario::PaperParams;
+use slaq_experiments::sweeps::{
+    format_scalability, placement_scalability, seed_sweep,
+};
+
+fn main() {
+    println!("placement solver scalability (cold placement, jobs-heavy mix):\n");
+    let grid: Vec<(u32, u32)> = vec![
+        (10, 30),
+        (25, 120),
+        (50, 300),
+        (100, 600),
+        (200, 1200),
+    ];
+    let cells = placement_scalability(&grid, 1);
+    println!("{}", format_scalability(&cells));
+
+    println!("shape robustness across workload seeds (small paper variant):\n");
+    let outcomes = seed_sweep(&PaperParams::small(), &[1, 2, 3, 4, 5, 6, 7, 8]);
+    println!("seed   crossover(s)   eq-gap    completed");
+    for o in &outcomes {
+        println!(
+            "{:<6} {:<14} {:<9} {}",
+            o.seed,
+            o.crossover_secs
+                .map(|x| format!("{x:.0}"))
+                .unwrap_or_else(|| "never".into()),
+            o.equalization_gap
+                .map(|g| format!("{g:.3}"))
+                .unwrap_or_else(|| "-".into()),
+            o.completed
+        );
+    }
+    let crossed = outcomes.iter().filter(|o| o.crossover_secs.is_some()).count();
+    println!(
+        "\n{}/{} seeds show the crossover→equalization shape",
+        crossed,
+        outcomes.len()
+    );
+
+    std::fs::create_dir_all("out").expect("create out/");
+    std::fs::write(
+        "out/sweep.json",
+        serde_json::to_string_pretty(&(cells, outcomes)).expect("serialize"),
+    )
+    .expect("write out/sweep.json");
+    println!("wrote out/sweep.json");
+}

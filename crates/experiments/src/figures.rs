@@ -1,0 +1,44 @@
+//! E1/E2: the paper's single experiment, producing Figures 1 and 2.
+
+use slaq_core::{Scenario, UtilityController};
+use slaq_core::scenario::PaperParams;
+use slaq_sim::SimReport;
+use slaq_types::Result;
+
+/// Run the paper's experiment (both figures come from the same run).
+pub fn run_paper_experiment(params: &PaperParams) -> Result<SimReport> {
+    let scenario: Scenario = params.scenario();
+    scenario.run(&mut UtilityController::default())
+}
+
+/// Figure 1 CSV: actual transactional utility and average hypothetical
+/// long-running utility vs time.
+pub fn fig1_csv(report: &SimReport) -> String {
+    report
+        .metrics
+        .to_csv(&["trans_utility", "jobs_hypo_utility"])
+}
+
+/// Figure 2 CSV: CPU power allocated to each workload and the demand each
+/// would need for maximum utility, vs time.
+pub fn fig2_csv(report: &SimReport) -> String {
+    report
+        .metrics
+        .to_csv(&["trans_alloc", "jobs_alloc", "trans_demand", "jobs_demand"])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_produces_both_figures() {
+        let report = run_paper_experiment(&PaperParams::small()).unwrap();
+        let f1 = fig1_csv(&report);
+        let f2 = fig2_csv(&report);
+        assert!(f1.lines().count() > 20, "fig1 rows: {}", f1.lines().count());
+        assert!(f2.lines().count() > 20);
+        assert!(f1.starts_with("time,trans_utility,jobs_hypo_utility"));
+        assert!(f2.starts_with("time,trans_alloc,jobs_alloc,trans_demand,jobs_demand"));
+    }
+}

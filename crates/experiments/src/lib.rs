@@ -1,0 +1,31 @@
+//! # slaq-experiments — regenerating the paper's evaluation
+//!
+//! One module per concern:
+//!
+//! * [`figures`] — run the paper's experiment (E1/E2) and extract the
+//!   Figure 1 and Figure 2 series as CSV;
+//! * [`shape`] — quantitative "shape" metrics of a run (crossover time,
+//!   equalization band, recovery) used both by the integration tests and
+//!   by EXPERIMENTS.md;
+//! * [`ascii`] — terminal line plots so `cargo run -p slaq-experiments
+//!   --bin fig1` shows the curves without any plotting stack;
+//! * [`comparison`] — E3: the utility controller vs the two baselines;
+//! * [`churn`] — E9: churn-budget sensitivity of the placement solver;
+//! * [`sweeps`] — E4: placement-solver scalability grids (rayon-parallel).
+//!
+//! Binaries: `fig1`, `fig2`, `baselines`, `sweep` (see DESIGN.md §4).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ascii;
+pub mod churn;
+pub mod comparison;
+pub mod figures;
+pub mod shape;
+pub mod sweeps;
+
+pub use churn::{churn_sweep, ChurnCell};
+pub use comparison::{compare_controllers, ComparisonRow};
+pub use figures::{fig1_csv, fig2_csv, run_paper_experiment};
+pub use shape::{shape_metrics, ShapeMetrics};

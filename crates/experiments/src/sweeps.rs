@@ -1,0 +1,171 @@
+//! E4: placement-solver scalability sweeps (rayon-parallel) and seed
+//! robustness sweeps of the paper experiment.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use slaq_core::scenario::PaperParams;
+use slaq_placement::problem::{
+    AppRequest, JobRequest, NodeCapacity, PlacementConfig, PlacementProblem,
+};
+use slaq_placement::{solve, Placement};
+use slaq_types::{AppId, CpuMhz, JobId, MemMb, NodeId};
+use std::time::Instant;
+
+/// One cell of the placement scalability grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Node count.
+    pub nodes: u32,
+    /// Job count.
+    pub jobs: u32,
+    /// Application count.
+    pub apps: u32,
+    /// Wall time of one `solve` call, microseconds.
+    pub solve_micros: u128,
+    /// Fraction of total job demand satisfied.
+    pub satisfaction: f64,
+}
+
+/// Build a synthetic placement problem of the given size, shaped like the
+/// paper's (3000 MHz jobs on 12 000 MHz nodes, 3 jobs per node by memory).
+pub fn synthetic_problem(nodes: u32, jobs: u32, apps: u32) -> PlacementProblem {
+    let node_caps: Vec<NodeCapacity> = (0..nodes)
+        .map(|i| NodeCapacity {
+            id: NodeId::new(i),
+            cpu: CpuMhz::new(12_000.0),
+            mem: MemMb::new(4096),
+        })
+        .collect();
+    let app_reqs: Vec<AppRequest> = (0..apps)
+        .map(|i| AppRequest {
+            id: AppId::new(i),
+            demand: CpuMhz::new(12_000.0 * nodes as f64 * 0.3 / apps.max(1) as f64),
+            mem_per_instance: MemMb::new(1024),
+            min_instances: 1,
+            max_instances: nodes,
+        })
+        .collect();
+    let job_reqs: Vec<JobRequest> = (0..jobs)
+        .map(|i| JobRequest {
+            id: JobId::new(i),
+            // Deterministic spread of demands, 600..3000 MHz.
+            demand: CpuMhz::new(600.0 + 2400.0 * ((i * 7919) % 100) as f64 / 100.0),
+            mem: MemMb::new(1280),
+            running_on: None,
+            affinity: None,
+            priority: ((i * 31) % 17) as f64,
+        })
+        .collect();
+    PlacementProblem {
+        nodes: node_caps,
+        apps: app_reqs,
+        jobs: job_reqs,
+        config: PlacementConfig::default(),
+    }
+}
+
+/// Time `solve` across a grid of `(nodes, jobs)` sizes, in parallel.
+pub fn placement_scalability(grid: &[(u32, u32)], apps: u32) -> Vec<SweepCell> {
+    grid.par_iter()
+        .map(|&(nodes, jobs)| {
+            let problem = synthetic_problem(nodes, jobs, apps);
+            let start = Instant::now();
+            let outcome = solve(&problem, &Placement::empty());
+            let solve_micros = start.elapsed().as_micros();
+            let demand: f64 = problem.jobs.iter().map(|j| j.demand.as_f64()).sum();
+            let got: f64 = outcome
+                .satisfied_jobs
+                .values()
+                .map(|c| c.as_f64())
+                .sum();
+            SweepCell {
+                nodes,
+                jobs,
+                apps,
+                solve_micros,
+                satisfaction: if demand > 0.0 { got / demand } else { 1.0 },
+            }
+        })
+        .collect()
+}
+
+/// Shape robustness across workload seeds: re-run the (small) paper
+/// experiment under different arrival streams and report the crossover
+/// time and equalization gap per seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeedOutcome {
+    /// Workload seed.
+    pub seed: u64,
+    /// Crossover instant, if any.
+    pub crossover_secs: Option<f64>,
+    /// Mean equalization gap under contention.
+    pub equalization_gap: Option<f64>,
+    /// Jobs completed.
+    pub completed: usize,
+}
+
+/// Run the seed sweep (parallel).
+pub fn seed_sweep(base: &PaperParams, seeds: &[u64]) -> Vec<SeedOutcome> {
+    seeds
+        .par_iter()
+        .map(|&seed| {
+            let mut p = base.clone();
+            p.seed = seed;
+            let report = crate::figures::run_paper_experiment(&p)
+                .expect("scenario must simulate");
+            let shape = crate::shape::shape_metrics(
+                &report,
+                slaq_types::SimTime::from_secs(p.tail_start_secs),
+                slaq_types::SimTime::from_secs(p.horizon_secs),
+            );
+            SeedOutcome {
+                seed,
+                crossover_secs: shape.crossover_secs,
+                equalization_gap: shape.equalization_gap,
+                completed: report.job_stats.completed,
+            }
+        })
+        .collect()
+}
+
+/// Text table for the scalability grid.
+pub fn format_scalability(cells: &[SweepCell]) -> String {
+    let mut out = String::from("nodes   jobs   apps   solve(us)   job-satisfaction\n");
+    for c in cells {
+        out.push_str(&format!(
+            "{:<7} {:<6} {:<6} {:<11} {:.3}\n",
+            c.nodes, c.jobs, c.apps, c.solve_micros, c.satisfaction
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_problem_is_well_formed() {
+        let p = synthetic_problem(10, 30, 2);
+        assert_eq!(p.nodes.len(), 10);
+        assert_eq!(p.jobs.len(), 30);
+        assert_eq!(p.apps.len(), 2);
+        assert!(p.jobs.iter().all(|j| j.demand.as_f64() >= 600.0));
+    }
+
+    #[test]
+    fn scalability_sweep_returns_cells_in_grid_order() {
+        let grid = [(5u32, 10u32), (10, 30)];
+        let cells = placement_scalability(&grid, 1);
+        assert_eq!(cells.len(), 2);
+        assert_eq!((cells[0].nodes, cells[0].jobs), (5, 10));
+        assert!(cells.iter().all(|c| c.satisfaction > 0.0));
+    }
+
+    #[test]
+    fn bigger_instances_satisfy_loads_that_fit() {
+        // 40 nodes × 12 000 = 480 000 MHz vs ~30 jobs × ≤3000: trivial fit.
+        let cells = placement_scalability(&[(40, 30)], 1);
+        assert!(cells[0].satisfaction > 0.99, "{}", cells[0].satisfaction);
+    }
+}

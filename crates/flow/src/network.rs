@@ -1,0 +1,494 @@
+//! Residual flow network with Dinic max-flow and successive-shortest-path
+//! min-cost flow.
+
+/// Identifier of a directed edge added with [`FlowNetwork::add_edge`].
+/// Stable across solver runs; use it to read back flow with
+/// [`FlowNetwork::flow_on`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeId(usize);
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    cap: i64,  // residual capacity
+    cost: i64, // per-unit cost (0 for pure max-flow uses)
+    orig_cap: i64,
+}
+
+/// A directed flow network over `n` numbered nodes.
+///
+/// Internally stores paired residual edges: edge `2k` is the forward edge,
+/// `2k+1` its reverse. [`EdgeId`] returned by `add_edge` indexes the
+/// forward edge.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    /// `graph[v]` lists indices into `edges` leaving `v`.
+    graph: Vec<Vec<usize>>,
+    edges: Vec<Edge>,
+}
+
+/// Result of a min-cost-flow run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinCostOutcome {
+    /// Units of flow actually routed (≤ the requested amount).
+    pub flow: i64,
+    /// Total cost of the routed flow.
+    pub cost: i64,
+}
+
+impl FlowNetwork {
+    /// Create a network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            graph: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// `true` if the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Append one more node, returning its index.
+    pub fn add_node(&mut self) -> usize {
+        self.graph.push(Vec::new());
+        self.graph.len() - 1
+    }
+
+    /// Add a directed edge `u → v` with capacity `cap ≥ 0` and unit cost
+    /// `cost`. Panics on out-of-range endpoints or negative capacity
+    /// (caller bugs, not data conditions).
+    pub fn add_edge_with_cost(&mut self, u: usize, v: usize, cap: i64, cost: i64) -> EdgeId {
+        assert!(u < self.graph.len() && v < self.graph.len(), "endpoint out of range");
+        assert!(cap >= 0, "negative capacity");
+        let id = self.edges.len();
+        self.edges.push(Edge {
+            to: v,
+            cap,
+            cost,
+            orig_cap: cap,
+        });
+        self.edges.push(Edge {
+            to: u,
+            cap: 0,
+            cost: -cost,
+            orig_cap: 0,
+        });
+        self.graph[u].push(id);
+        self.graph[v].push(id + 1);
+        EdgeId(id)
+    }
+
+    /// Add a zero-cost directed edge (the common case for feasibility
+    /// networks).
+    pub fn add_edge(&mut self, u: usize, v: usize, cap: i64) -> EdgeId {
+        self.add_edge_with_cost(u, v, cap, 0)
+    }
+
+    /// Flow currently routed through a forward edge.
+    pub fn flow_on(&self, e: EdgeId) -> i64 {
+        let fwd = &self.edges[e.0];
+        fwd.orig_cap - fwd.cap
+    }
+
+    /// Reset all flow (restore residual capacities), keeping the topology.
+    pub fn reset_flow(&mut self) {
+        for e in &mut self.edges {
+            e.cap = e.orig_cap;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dinic max-flow
+    // ------------------------------------------------------------------
+
+    /// Maximum flow from `s` to `t` (Dinic). The network retains the flow;
+    /// inspect per-edge values with [`FlowNetwork::flow_on`] or run
+    /// [`FlowNetwork::reset_flow`] to start over.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> i64 {
+        assert!(s < self.graph.len() && t < self.graph.len());
+        if s == t {
+            return 0;
+        }
+        let n = self.graph.len();
+        let mut total = 0i64;
+        let mut level = vec![-1i32; n];
+        let mut it = vec![0usize; n];
+        loop {
+            // BFS levels on the residual graph.
+            level.iter_mut().for_each(|l| *l = -1);
+            level[s] = 0;
+            let mut queue = std::collections::VecDeque::with_capacity(n);
+            queue.push_back(s);
+            while let Some(v) = queue.pop_front() {
+                for &eid in &self.graph[v] {
+                    let e = &self.edges[eid];
+                    if e.cap > 0 && level[e.to] < 0 {
+                        level[e.to] = level[v] + 1;
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+            if level[t] < 0 {
+                return total;
+            }
+            it.iter_mut().for_each(|i| *i = 0);
+            // Blocking flow via iterative DFS.
+            loop {
+                let pushed = self.dfs_push(s, t, i64::MAX, &level, &mut it);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+    }
+
+    fn dfs_push(&mut self, v: usize, t: usize, limit: i64, level: &[i32], it: &mut [usize]) -> i64 {
+        if v == t {
+            return limit;
+        }
+        while it[v] < self.graph[v].len() {
+            let eid = self.graph[v][it[v]];
+            let (to, cap) = {
+                let e = &self.edges[eid];
+                (e.to, e.cap)
+            };
+            if cap > 0 && level[to] == level[v] + 1 {
+                let pushed = self.dfs_push(to, t, limit.min(cap), level, it);
+                if pushed > 0 {
+                    self.edges[eid].cap -= pushed;
+                    self.edges[eid ^ 1].cap += pushed;
+                    return pushed;
+                }
+            }
+            it[v] += 1;
+        }
+        0
+    }
+
+    // ------------------------------------------------------------------
+    // Min-cost flow (successive shortest paths with potentials)
+    // ------------------------------------------------------------------
+
+    /// Route up to `want` units from `s` to `t` minimizing total cost.
+    ///
+    /// Handles negative edge costs (Bellman–Ford initialization of the
+    /// potentials) but not negative cycles — placement networks never
+    /// contain them. Returns the amount actually routed and its cost.
+    pub fn min_cost_flow(&mut self, s: usize, t: usize, want: i64) -> MinCostOutcome {
+        assert!(s < self.graph.len() && t < self.graph.len());
+        let n = self.graph.len();
+        let mut flow = 0i64;
+        let mut cost = 0i64;
+        if s == t || want <= 0 {
+            return MinCostOutcome { flow, cost };
+        }
+
+        // Potentials via Bellman–Ford (supports negative costs).
+        const INF: i64 = i64::MAX / 4;
+        let mut pot = vec![INF; n];
+        pot[s] = 0;
+        for _ in 0..n {
+            let mut changed = false;
+            for v in 0..n {
+                if pot[v] == INF {
+                    continue;
+                }
+                for &eid in &self.graph[v] {
+                    let e = &self.edges[eid];
+                    if e.cap > 0 && pot[v] + e.cost < pot[e.to] {
+                        pot[e.to] = pot[v] + e.cost;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        while flow < want {
+            // Dijkstra on reduced costs.
+            let mut dist = vec![INF; n];
+            let mut prev_edge = vec![usize::MAX; n];
+            dist[s] = 0;
+            let mut heap = std::collections::BinaryHeap::new();
+            heap.push(std::cmp::Reverse((0i64, s)));
+            while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
+                if d > dist[v] {
+                    continue;
+                }
+                for &eid in &self.graph[v] {
+                    let e = &self.edges[eid];
+                    if e.cap <= 0 || pot[e.to] == INF || pot[v] == INF {
+                        continue;
+                    }
+                    let nd = d + e.cost + pot[v] - pot[e.to];
+                    if nd < dist[e.to] {
+                        dist[e.to] = nd;
+                        prev_edge[e.to] = eid;
+                        heap.push(std::cmp::Reverse((nd, e.to)));
+                    }
+                }
+            }
+            if dist[t] == INF {
+                break; // t unreachable: done
+            }
+            for v in 0..n {
+                if dist[v] < INF && pot[v] < INF {
+                    pot[v] += dist[v];
+                }
+            }
+            // Bottleneck along the path.
+            let mut push = want - flow;
+            let mut v = t;
+            while v != s {
+                let eid = prev_edge[v];
+                push = push.min(self.edges[eid].cap);
+                v = self.edges[eid ^ 1].to;
+            }
+            // Apply.
+            let mut v = t;
+            while v != s {
+                let eid = prev_edge[v];
+                self.edges[eid].cap -= push;
+                self.edges[eid ^ 1].cap += push;
+                cost += push * self.edges[eid].cost;
+                v = self.edges[eid ^ 1].to;
+            }
+            flow += push;
+        }
+        MinCostOutcome { flow, cost }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn trivial_two_node_network() {
+        let mut g = FlowNetwork::new(2);
+        let e = g.add_edge(0, 1, 7);
+        assert_eq!(g.max_flow(0, 1), 7);
+        assert_eq!(g.flow_on(e), 7);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        // s=0, t=3; two disjoint paths of capacity 10 and 5, plus a cross
+        // edge enabling 15 total.
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 10);
+        g.add_edge(0, 2, 5);
+        g.add_edge(1, 3, 5);
+        g.add_edge(1, 2, 15);
+        g.add_edge(2, 3, 10);
+        assert_eq!(g.max_flow(0, 3), 15);
+    }
+
+    #[test]
+    fn flow_respects_bottleneck() {
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 100);
+        g.add_edge(1, 2, 3);
+        g.add_edge(2, 3, 100);
+        assert_eq!(g.max_flow(0, 3), 3);
+    }
+
+    #[test]
+    fn disconnected_target_gets_zero() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(0, 1, 5);
+        assert_eq!(g.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn same_source_and_sink() {
+        let mut g = FlowNetwork::new(2);
+        g.add_edge(0, 1, 5);
+        assert_eq!(g.max_flow(0, 0), 0);
+    }
+
+    #[test]
+    fn reset_flow_restores_capacity() {
+        let mut g = FlowNetwork::new(2);
+        let e = g.add_edge(0, 1, 4);
+        assert_eq!(g.max_flow(0, 1), 4);
+        g.reset_flow();
+        assert_eq!(g.flow_on(e), 0);
+        assert_eq!(g.max_flow(0, 1), 4);
+    }
+
+    #[test]
+    fn bipartite_transportation_shape() {
+        // 2 apps (demand 8, 6) × 3 nodes (capacity 5 each), app0 placed on
+        // nodes {0,1}, app1 on {1,2}: max satisfiable = 5+5+... app0 ≤ 10,
+        // app1 ≤ 10, per-node ≤ 5, total ≤ 14 demand, but node1 shared:
+        // best = app0:8 (5 on n0, 3 on n1), app1:6 (2 on n1 + ... n1 has 2
+        // left, n2 gives 5) = 7? app1 gets min(6, 2+5)=6. Total 14? n1
+        // carries 3+2=5 ✓. So full 14.
+        let mut g = FlowNetwork::new(7); // 0=s, 1-2 apps, 3-5 nodes, 6=t
+        g.add_edge(0, 1, 8);
+        g.add_edge(0, 2, 6);
+        g.add_edge(1, 3, i64::MAX / 8);
+        g.add_edge(1, 4, i64::MAX / 8);
+        g.add_edge(2, 4, i64::MAX / 8);
+        g.add_edge(2, 5, i64::MAX / 8);
+        g.add_edge(3, 6, 5);
+        g.add_edge(4, 6, 5);
+        g.add_edge(5, 6, 5);
+        assert_eq!(g.max_flow(0, 6), 14);
+    }
+
+    #[test]
+    fn add_node_grows_network() {
+        let mut g = FlowNetwork::new(1);
+        let v = g.add_node();
+        assert_eq!(v, 1);
+        assert_eq!(g.len(), 2);
+        g.add_edge(0, v, 3);
+        assert_eq!(g.max_flow(0, v), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoint out of range")]
+    fn add_edge_checks_endpoints() {
+        let mut g = FlowNetwork::new(2);
+        g.add_edge(0, 5, 1);
+    }
+
+    #[test]
+    fn min_cost_prefers_cheap_path() {
+        // Two parallel 0→1 edges: cost 1 cap 5, cost 3 cap 5.
+        let mut g = FlowNetwork::new(2);
+        let cheap = g.add_edge_with_cost(0, 1, 5, 1);
+        let dear = g.add_edge_with_cost(0, 1, 5, 3);
+        let out = g.min_cost_flow(0, 1, 7);
+        assert_eq!(out, MinCostOutcome { flow: 7, cost: 5 + 6 });
+        assert_eq!(g.flow_on(cheap), 5);
+        assert_eq!(g.flow_on(dear), 2);
+    }
+
+    #[test]
+    fn min_cost_partial_when_capacity_short() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge_with_cost(0, 1, 4, 2);
+        g.add_edge_with_cost(1, 2, 3, 1);
+        let out = g.min_cost_flow(0, 2, 100);
+        assert_eq!(out, MinCostOutcome { flow: 3, cost: 9 });
+    }
+
+    #[test]
+    fn min_cost_handles_negative_edges() {
+        // Path 0→1→2 costs 2−1 = 1/unit; direct 0→2 costs 2/unit.
+        let mut g = FlowNetwork::new(3);
+        g.add_edge_with_cost(0, 1, 2, 2);
+        g.add_edge_with_cost(1, 2, 2, -1);
+        g.add_edge_with_cost(0, 2, 2, 2);
+        let out = g.min_cost_flow(0, 2, 4);
+        assert_eq!(out, MinCostOutcome { flow: 4, cost: 2 * 1 + 2 * 2 });
+    }
+
+    #[test]
+    fn min_cost_zero_request() {
+        let mut g = FlowNetwork::new(2);
+        g.add_edge_with_cost(0, 1, 5, 1);
+        assert_eq!(g.min_cost_flow(0, 1, 0), MinCostOutcome { flow: 0, cost: 0 });
+    }
+
+    /// Brute-force min-cut over all vertex subsets (for tiny graphs).
+    fn brute_min_cut(n: usize, edges: &[(usize, usize, i64)], s: usize, t: usize) -> i64 {
+        let mut best = i64::MAX;
+        for mask in 0u32..(1 << n) {
+            if mask & (1 << s) == 0 || mask & (1 << t) != 0 {
+                continue;
+            }
+            let cut: i64 = edges
+                .iter()
+                .filter(|&&(u, v, _)| mask & (1 << u) != 0 && mask & (1 << v) == 0)
+                .map(|&(_, _, c)| c)
+                .sum();
+            best = best.min(cut);
+        }
+        best
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn prop_max_flow_equals_min_cut(
+            n in 2usize..6,
+            raw_edges in proptest::collection::vec((0usize..6, 0usize..6, 0i64..20), 0..14),
+        ) {
+            let edges: Vec<(usize, usize, i64)> = raw_edges
+                .into_iter()
+                .filter(|&(u, v, _)| u < n && v < n && u != v)
+                .collect();
+            let mut g = FlowNetwork::new(n);
+            for &(u, v, c) in &edges {
+                g.add_edge(u, v, c);
+            }
+            let f = g.max_flow(0, n - 1);
+            let cut = brute_min_cut(n, &edges, 0, n - 1);
+            prop_assert_eq!(f, cut);
+        }
+
+        #[test]
+        fn prop_flow_conservation_and_capacity(
+            n in 3usize..7,
+            raw_edges in proptest::collection::vec((0usize..7, 0usize..7, 0i64..50), 1..20),
+        ) {
+            let edges: Vec<(usize, usize, i64)> = raw_edges
+                .into_iter()
+                .filter(|&(u, v, _)| u < n && v < n && u != v)
+                .collect();
+            let mut g = FlowNetwork::new(n);
+            let ids: Vec<EdgeId> = edges.iter().map(|&(u, v, c)| g.add_edge(u, v, c)).collect();
+            let f = g.max_flow(0, n - 1);
+            // Capacity constraints.
+            let mut net = vec![0i64; n];
+            for (&(u, v, c), &id) in edges.iter().zip(&ids) {
+                let fl = g.flow_on(id);
+                prop_assert!((0..=c).contains(&fl));
+                net[u] -= fl;
+                net[v] += fl;
+            }
+            // Conservation at internal vertices; source/sink balance = f.
+            prop_assert_eq!(net[0], -f);
+            prop_assert_eq!(net[n - 1], f);
+            for v in 1..n - 1 {
+                prop_assert_eq!(net[v], 0, "imbalance at {}", v);
+            }
+        }
+
+        #[test]
+        fn prop_min_cost_flow_value_matches_max_flow(
+            n in 2usize..6,
+            raw_edges in proptest::collection::vec((0usize..6, 0usize..6, 1i64..20, 0i64..10), 1..12),
+        ) {
+            let edges: Vec<(usize, usize, i64, i64)> = raw_edges
+                .into_iter()
+                .filter(|&(u, v, _, _)| u < n && v < n && u != v)
+                .collect();
+            let mut g1 = FlowNetwork::new(n);
+            let mut g2 = FlowNetwork::new(n);
+            for &(u, v, c, w) in &edges {
+                g1.add_edge(u, v, c);
+                g2.add_edge_with_cost(u, v, c, w);
+            }
+            let f = g1.max_flow(0, n - 1);
+            let out = g2.min_cost_flow(0, n - 1, i64::MAX / 8);
+            prop_assert_eq!(out.flow, f, "min-cost flow should saturate to max flow");
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Request routing across application instances — the flow-controller
+//! fragment of the authors' middleware.
+//!
+//! A clustered transactional application runs instances on several nodes,
+//! each with its own CPU allocation. The router splits incoming traffic
+//! proportionally to the per-instance allocations, which equalizes
+//! per-instance utilization and hence (under processor sharing) makes
+//! every instance exhibit the same response time — the cluster behaves
+//! like one pooled server of the aggregate capacity.
+
+use slaq_types::{CpuMhz, SimDuration, Work};
+
+/// Traffic weights proportional to per-instance allocations.
+///
+/// Returns an empty vector when no instance has positive allocation
+/// (nothing can serve traffic).
+pub fn split_load(allocs: &[CpuMhz]) -> Vec<f64> {
+    let total: f64 = allocs.iter().map(|a| a.as_f64().max(0.0)).sum();
+    if total <= 0.0 {
+        return Vec::new();
+    }
+    allocs
+        .iter()
+        .map(|a| a.as_f64().max(0.0) / total)
+        .collect()
+}
+
+/// Mean response time of a clustered application under proportional
+/// routing: arrival rate `lambda` split across instances with allocations
+/// `allocs`, with per-request demand `service`.
+///
+/// We adopt the **app-level pooled-capacity abstraction** the authors'
+/// flow controller uses: proportional splitting keeps per-instance
+/// utilization equal, request concurrency spans the whole cluster, and the
+/// controller reasons about the application's *aggregate* allocation — so
+/// the cluster is modelled as one PS server of capacity `Σ allocs`. (A
+/// strictly per-instance PS mixture would add an instance-count factor to
+/// the latency term; the controller's demand estimates and the simulator's
+/// measurements must simply agree on one model, and the pooled form is the
+/// one the paper's demand figures correspond to.)
+pub fn aggregate_response_time(lambda: f64, service: Work, allocs: &[CpuMhz]) -> SimDuration {
+    let total: CpuMhz = allocs.iter().map(|a| a.max_zero()).sum();
+    if total.is_zero() {
+        return if lambda > 0.0 {
+            SimDuration::INFINITE
+        } else {
+            SimDuration::ZERO
+        };
+    }
+    if lambda <= 0.0 {
+        // No traffic: a lone request runs on the pooled capacity.
+        return SimDuration::from_secs(service.secs_at(total));
+    }
+    let offered = CpuMhz::new(lambda * service.as_f64());
+    let headroom = total - offered;
+    if headroom.as_f64() <= 0.0 {
+        return SimDuration::INFINITE;
+    }
+    SimDuration::from_secs(service.secs_at(headroom))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queueing::PsQueue;
+    use proptest::prelude::*;
+
+    #[test]
+    fn split_is_proportional_and_normalized() {
+        let w = split_load(&[CpuMhz::new(100.0), CpuMhz::new(300.0)]);
+        assert_eq!(w, vec![0.25, 0.75]);
+        let w = split_load(&[CpuMhz::ZERO, CpuMhz::ZERO]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn split_ignores_negative_noise() {
+        let w = split_load(&[CpuMhz::new(-1e-9), CpuMhz::new(100.0)]);
+        assert_eq!(w[0], 0.0);
+        assert_eq!(w[1], 1.0);
+    }
+
+    #[test]
+    fn cluster_equals_pooled_server_under_proportional_routing() {
+        let lambda = 50.0;
+        let service = Work::new(2000.0);
+        let allocs = [
+            CpuMhz::new(40_000.0),
+            CpuMhz::new(60_000.0),
+            CpuMhz::new(20_000.0),
+        ];
+        let total: CpuMhz = allocs.iter().sum();
+        let pooled = PsQueue::new(lambda, service)
+            .unwrap()
+            .response_time(total);
+        let clustered = aggregate_response_time(lambda, service, &allocs);
+        assert!(
+            (clustered.as_secs() - pooled.as_secs()).abs() < 1e-9,
+            "clustered {clustered} vs pooled {pooled}"
+        );
+    }
+
+    #[test]
+    fn saturated_cluster_reports_infinite_rt() {
+        // Offered load 100 000 > total capacity 90 000.
+        let rt = aggregate_response_time(
+            50.0,
+            Work::new(2000.0),
+            &[CpuMhz::new(45_000.0), CpuMhz::new(45_000.0)],
+        );
+        assert!(rt.is_infinite());
+    }
+
+    #[test]
+    fn no_instances_with_traffic_is_infinite() {
+        assert!(aggregate_response_time(10.0, Work::new(1.0), &[]).is_infinite());
+        assert_eq!(
+            aggregate_response_time(0.0, Work::new(1.0), &[]),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn idle_cluster_reports_pooled_latency() {
+        let rt = aggregate_response_time(
+            0.0,
+            Work::new(3000.0),
+            &[CpuMhz::new(1000.0), CpuMhz::new(2000.0)],
+        );
+        assert!((rt.as_secs() - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_weights_sum_to_one(
+            allocs in proptest::collection::vec(0.0..1e5f64, 1..10),
+        ) {
+            let cpus: Vec<CpuMhz> = allocs.iter().map(|&a| CpuMhz::new(a)).collect();
+            let w = split_load(&cpus);
+            if !w.is_empty() {
+                let sum: f64 = w.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-9);
+                prop_assert!(w.iter().all(|&x| (0.0..=1.0).contains(&x)));
+            }
+        }
+
+        #[test]
+        fn prop_proportional_matches_pooled(
+            lambda in 0.1..100.0f64,
+            service in 10.0..5000.0f64,
+            allocs in proptest::collection::vec(1.0..1e5f64, 1..8),
+        ) {
+            let cpus: Vec<CpuMhz> = allocs.iter().map(|&a| CpuMhz::new(a)).collect();
+            let total: CpuMhz = cpus.iter().sum();
+            let q = PsQueue::new(lambda, Work::new(service)).unwrap();
+            let pooled = q.response_time(total);
+            let clustered = aggregate_response_time(lambda, Work::new(service), &cpus);
+            if pooled.is_infinite() {
+                prop_assert!(clustered.is_infinite());
+            } else {
+                prop_assert!((clustered.as_secs() - pooled.as_secs()).abs()
+                    < 1e-6 * pooled.as_secs().max(1.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # slaq-placement — the Application Placement Controller
+//!
+//! The optimizer at the heart of the paper's system (the "APC" of the
+//! authors' middleware, algorithmically the NOMS'08 placement heuristic
+//! extended with long-running jobs). Every control cycle it receives:
+//!
+//! * per-entity **CPU targets** from the utility equalizer — how much CPU
+//!   each transactional application and each job *should* get;
+//! * node capacities (CPU MHz, memory MB) and the **previous placement**.
+//!
+//! and produces a placement that realizes those targets as closely as the
+//! discrete constraints allow:
+//!
+//! * transactional applications are **fluid but clustered** — they may
+//!   have at most one instance per node, each instance carries a memory
+//!   footprint, and the cluster-wide allocation is the sum of per-node
+//!   slices;
+//! * jobs are **indivisible** — exactly one node, a memory footprint
+//!   (three jobs per node in the paper's testbed), and an allocation
+//!   capped by the job's maximum speed;
+//! * **churn is bounded** — placements are sticky, and the number of
+//!   disruptive actions per cycle (job starts/resumes/migrations/
+//!   suspensions, instance starts/stops) can be capped.
+//!
+//! The allocation subproblem for a *fixed* placement is solved exactly as
+//! a max-flow (`allocation` module, on top of `slaq-flow`); the discrete
+//! placement search is the greedy-with-improvement heuristic in `solver`.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod allocation;
+pub mod placement;
+pub mod problem;
+pub mod solver;
+
+pub use allocation::allocate;
+pub use placement::{Placement, PlacementChange};
+pub use problem::{AppRequest, JobRequest, NodeCapacity, PlacementConfig, PlacementProblem};
+pub use solver::{solve, PlacementOutcome};

@@ -1,0 +1,412 @@
+//! The placement data structure: which instances and jobs sit on which
+//! nodes with what CPU allocation, plus change derivation and validation.
+
+use crate::problem::{AppRequest, JobRequest, NodeCapacity};
+use serde::{Deserialize, Serialize};
+use slaq_types::{AppId, CpuMhz, JobId, MemMb, NodeId, SlaqError};
+use std::collections::BTreeMap;
+
+/// A complete placement: transactional instances with per-node CPU slices
+/// and job assignments with allocations.
+///
+/// `BTreeMap`s keep iteration deterministic, which makes the solver
+/// reproducible run-to-run (important for the experiments).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Placement {
+    /// `apps[a][n]` = CPU slice of application `a` on node `n`. Presence
+    /// of the key means an instance exists there (possibly with a zero
+    /// slice, e.g. a warm min-instance).
+    pub apps: BTreeMap<AppId, BTreeMap<NodeId, CpuMhz>>,
+    /// `jobs[j]` = node and allocation of a *running* job. Jobs absent
+    /// from the map are pending or suspended.
+    pub jobs: BTreeMap<JobId, (NodeId, CpuMhz)>,
+}
+
+/// One disruptive action needed to move from one placement to the next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementChange {
+    /// Start an application instance on a node.
+    StartInstance {
+        /// Application.
+        app: AppId,
+        /// Target node.
+        node: NodeId,
+    },
+    /// Stop an application instance.
+    StopInstance {
+        /// Application.
+        app: AppId,
+        /// Node losing the instance.
+        node: NodeId,
+    },
+    /// Start (or resume) a job on a node.
+    StartJob {
+        /// Job.
+        job: JobId,
+        /// Target node.
+        node: NodeId,
+    },
+    /// Suspend a running job.
+    SuspendJob {
+        /// Job.
+        job: JobId,
+        /// Node it was running on.
+        node: NodeId,
+    },
+    /// Move a running job between nodes.
+    MigrateJob {
+        /// Job.
+        job: JobId,
+        /// Source node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+    },
+}
+
+impl Placement {
+    /// Empty placement (cold cluster).
+    pub fn empty() -> Self {
+        Placement::default()
+    }
+
+    /// Cluster-wide CPU granted to an application.
+    pub fn app_alloc(&self, app: AppId) -> CpuMhz {
+        self.apps
+            .get(&app)
+            .map(|m| m.values().copied().sum())
+            .unwrap_or(CpuMhz::ZERO)
+    }
+
+    /// Number of instances an application currently has.
+    pub fn app_instances(&self, app: AppId) -> usize {
+        self.apps.get(&app).map_or(0, BTreeMap::len)
+    }
+
+    /// CPU granted to a job (zero when not running).
+    pub fn job_alloc(&self, job: JobId) -> CpuMhz {
+        self.jobs.get(&job).map(|&(_, c)| c).unwrap_or(CpuMhz::ZERO)
+    }
+
+    /// Node a job runs on, if placed.
+    pub fn job_node(&self, job: JobId) -> Option<NodeId> {
+        self.jobs.get(&job).map(|&(n, _)| n)
+    }
+
+    /// Total CPU handed to jobs.
+    pub fn total_job_alloc(&self) -> CpuMhz {
+        self.jobs.values().map(|&(_, c)| c).sum()
+    }
+
+    /// Total CPU handed to transactional applications.
+    pub fn total_app_alloc(&self) -> CpuMhz {
+        self.apps
+            .values()
+            .flat_map(|m| m.values())
+            .copied()
+            .sum()
+    }
+
+    /// CPU committed on one node (instances + jobs).
+    pub fn node_cpu_used(&self, node: NodeId) -> CpuMhz {
+        let apps: CpuMhz = self
+            .apps
+            .values()
+            .filter_map(|m| m.get(&node))
+            .copied()
+            .sum();
+        let jobs: CpuMhz = self
+            .jobs
+            .values()
+            .filter(|&&(n, _)| n == node)
+            .map(|&(_, c)| c)
+            .sum();
+        apps + jobs
+    }
+
+    /// Jobs running on one node.
+    pub fn jobs_on(&self, node: NodeId) -> Vec<JobId> {
+        self.jobs
+            .iter()
+            .filter(|&(_, &(n, _))| n == node)
+            .map(|(&j, _)| j)
+            .collect()
+    }
+
+    /// Check every capacity and structural constraint against the
+    /// problem's nodes and footprints. Used by tests and by the simulator
+    /// before enacting a plan.
+    pub fn validate(
+        &self,
+        nodes: &[NodeCapacity],
+        apps: &[AppRequest],
+        jobs: &[JobRequest],
+    ) -> Result<(), SlaqError> {
+        let node_of = |id: NodeId| -> Result<&NodeCapacity, SlaqError> {
+            nodes
+                .iter()
+                .find(|n| n.id == id)
+                .ok_or(SlaqError::UnknownNode(id))
+        };
+        let app_req = |id: AppId| apps.iter().find(|a| a.id == id);
+        let job_req = |id: JobId| jobs.iter().find(|j| j.id == id);
+
+        // Per-node accumulation.
+        let mut cpu_used: BTreeMap<NodeId, CpuMhz> = BTreeMap::new();
+        let mut mem_used: BTreeMap<NodeId, MemMb> = BTreeMap::new();
+
+        for (&app, slices) in &self.apps {
+            let req = app_req(app).ok_or(SlaqError::UnknownApp(app))?;
+            if slices.len() > req.max_instances as usize {
+                return Err(SlaqError::InvalidSpec(format!(
+                    "{app} has {} instances, max {}",
+                    slices.len(),
+                    req.max_instances
+                )));
+            }
+            for (&node, &cpu) in slices {
+                node_of(node)?;
+                if cpu.as_f64() < -1e-9 {
+                    return Err(SlaqError::InvalidSpec(format!(
+                        "negative slice for {app} on {node}"
+                    )));
+                }
+                *cpu_used.entry(node).or_insert(CpuMhz::ZERO) += cpu;
+                *mem_used.entry(node).or_insert(MemMb::ZERO) += req.mem_per_instance;
+            }
+        }
+        for (&job, &(node, cpu)) in &self.jobs {
+            let req = job_req(job).ok_or(SlaqError::UnknownJob(job))?;
+            node_of(node)?;
+            if cpu.as_f64() < -1e-9 {
+                return Err(SlaqError::InvalidSpec(format!("negative alloc for {job}")));
+            }
+            *cpu_used.entry(node).or_insert(CpuMhz::ZERO) += cpu;
+            *mem_used.entry(node).or_insert(MemMb::ZERO) += req.mem;
+        }
+
+        for node in nodes {
+            if let Some(&cpu) = cpu_used.get(&node.id) {
+                if cpu.as_f64() > node.cpu.as_f64() + 1e-6 {
+                    return Err(SlaqError::CapacityViolation {
+                        node: node.id,
+                        detail: format!("cpu {cpu} > {}", node.cpu),
+                    });
+                }
+            }
+            if let Some(&mem) = mem_used.get(&node.id) {
+                if !node.mem.fits(mem) {
+                    return Err(SlaqError::CapacityViolation {
+                        node: node.id,
+                        detail: format!("memory {mem} > {}", node.mem),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Derive the disruptive actions that transform `prev` into `self`.
+    ///
+    /// Allocation-only adjustments (same instance/node, different CPU) are
+    /// free — hypervisor share changes, not placement churn.
+    pub fn diff(&self, prev: &Placement) -> Vec<PlacementChange> {
+        let mut changes = Vec::new();
+        // Instances.
+        for (&app, slices) in &self.apps {
+            for &node in slices.keys() {
+                let existed = prev.apps.get(&app).is_some_and(|m| m.contains_key(&node));
+                if !existed {
+                    changes.push(PlacementChange::StartInstance { app, node });
+                }
+            }
+        }
+        for (&app, slices) in &prev.apps {
+            for &node in slices.keys() {
+                let kept = self.apps.get(&app).is_some_and(|m| m.contains_key(&node));
+                if !kept {
+                    changes.push(PlacementChange::StopInstance { app, node });
+                }
+            }
+        }
+        // Jobs.
+        for (&job, &(node, _)) in &self.jobs {
+            match prev.jobs.get(&job) {
+                None => changes.push(PlacementChange::StartJob { job, node }),
+                Some(&(old, _)) if old != node => {
+                    changes.push(PlacementChange::MigrateJob { job, from: old, to: node })
+                }
+                Some(_) => {}
+            }
+        }
+        for (&job, &(node, _)) in &prev.jobs {
+            if !self.jobs.contains_key(&job) {
+                changes.push(PlacementChange::SuspendJob { job, node });
+            }
+        }
+        changes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::PlacementConfig;
+
+    fn nodes(n: u32) -> Vec<NodeCapacity> {
+        (0..n)
+            .map(|i| NodeCapacity {
+                id: NodeId::new(i),
+                cpu: CpuMhz::new(12_000.0),
+                mem: MemMb::new(4096),
+            })
+            .collect()
+    }
+
+    fn app_req(id: u32, demand: f64) -> AppRequest {
+        AppRequest {
+            id: AppId::new(id),
+            demand: CpuMhz::new(demand),
+            mem_per_instance: MemMb::new(1024),
+            min_instances: 1,
+            max_instances: 10,
+        }
+    }
+
+    fn job_req(id: u32, demand: f64) -> JobRequest {
+        JobRequest {
+            id: JobId::new(id),
+            demand: CpuMhz::new(demand),
+            mem: MemMb::new(1280),
+            running_on: None,
+            affinity: None,
+            priority: demand,
+        }
+    }
+
+    fn place(app_slices: &[(u32, u32, f64)], job_slots: &[(u32, u32, f64)]) -> Placement {
+        let mut p = Placement::empty();
+        for &(a, n, c) in app_slices {
+            p.apps
+                .entry(AppId::new(a))
+                .or_default()
+                .insert(NodeId::new(n), CpuMhz::new(c));
+        }
+        for &(j, n, c) in job_slots {
+            p.jobs
+                .insert(JobId::new(j), (NodeId::new(n), CpuMhz::new(c)));
+        }
+        p
+    }
+
+    #[test]
+    fn accessors_aggregate_correctly() {
+        let p = place(
+            &[(0, 0, 4000.0), (0, 1, 2000.0), (1, 1, 1000.0)],
+            &[(0, 0, 3000.0), (1, 1, 3000.0)],
+        );
+        assert_eq!(p.app_alloc(AppId::new(0)), CpuMhz::new(6000.0));
+        assert_eq!(p.app_instances(AppId::new(0)), 2);
+        assert_eq!(p.app_alloc(AppId::new(9)), CpuMhz::ZERO);
+        assert_eq!(p.job_alloc(JobId::new(1)), CpuMhz::new(3000.0));
+        assert_eq!(p.job_node(JobId::new(0)), Some(NodeId::new(0)));
+        assert_eq!(p.job_node(JobId::new(7)), None);
+        assert_eq!(p.total_job_alloc(), CpuMhz::new(6000.0));
+        assert_eq!(p.total_app_alloc(), CpuMhz::new(7000.0));
+        assert_eq!(p.node_cpu_used(NodeId::new(1)), CpuMhz::new(6000.0));
+        assert_eq!(p.jobs_on(NodeId::new(0)), vec![JobId::new(0)]);
+    }
+
+    #[test]
+    fn validate_accepts_a_legal_placement() {
+        let p = place(&[(0, 0, 4000.0)], &[(0, 0, 3000.0), (1, 0, 3000.0)]);
+        let apps = vec![app_req(0, 4000.0)];
+        let jobs = vec![job_req(0, 3000.0), job_req(1, 3000.0)];
+        p.validate(&nodes(1), &apps, &jobs).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_cpu_overcommit() {
+        let p = place(&[(0, 0, 10_000.0)], &[(0, 0, 3000.0)]);
+        let err = p
+            .validate(&nodes(1), &[app_req(0, 10_000.0)], &[job_req(0, 3000.0)])
+            .unwrap_err();
+        assert!(matches!(err, SlaqError::CapacityViolation { .. }), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_memory_overcommit() {
+        // 3 jobs fit (3840 MB), a 4th (5120 MB) does not.
+        let p = place(
+            &[],
+            &[(0, 0, 100.0), (1, 0, 100.0), (2, 0, 100.0), (3, 0, 100.0)],
+        );
+        let jobs: Vec<JobRequest> = (0..4).map(|i| job_req(i, 100.0)).collect();
+        let err = p.validate(&nodes(1), &[], &jobs).unwrap_err();
+        assert!(matches!(err, SlaqError::CapacityViolation { .. }));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_entities() {
+        let p = place(&[(0, 0, 1.0)], &[]);
+        assert!(matches!(
+            p.validate(&nodes(1), &[], &[]),
+            Err(SlaqError::UnknownApp(_))
+        ));
+        let p = place(&[], &[(0, 5, 1.0)]);
+        assert!(matches!(
+            p.validate(&nodes(1), &[], &[job_req(0, 1.0)]),
+            Err(SlaqError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_instance_count_above_max() {
+        let mut req = app_req(0, 100.0);
+        req.max_instances = 1;
+        let p = place(&[(0, 0, 50.0), (0, 1, 50.0)], &[]);
+        assert!(p.validate(&nodes(2), &[req], &[]).is_err());
+    }
+
+    #[test]
+    fn diff_detects_all_change_kinds() {
+        let prev = place(
+            &[(0, 0, 1000.0), (0, 1, 1000.0)],
+            &[(0, 0, 3000.0), (1, 1, 3000.0), (2, 2, 3000.0)],
+        );
+        let next = place(
+            &[(0, 0, 2000.0), (0, 2, 500.0)], // node1 stopped, node2 started, node0 resized (free)
+            &[(0, 0, 2000.0), (1, 2, 3000.0), (3, 1, 1000.0)], // job1 migrated, job2 suspended, job3 started
+        );
+        let changes = next.diff(&prev);
+        assert!(changes.contains(&PlacementChange::StartInstance {
+            app: AppId::new(0),
+            node: NodeId::new(2)
+        }));
+        assert!(changes.contains(&PlacementChange::StopInstance {
+            app: AppId::new(0),
+            node: NodeId::new(1)
+        }));
+        assert!(changes.contains(&PlacementChange::MigrateJob {
+            job: JobId::new(1),
+            from: NodeId::new(1),
+            to: NodeId::new(2)
+        }));
+        assert!(changes.contains(&PlacementChange::SuspendJob {
+            job: JobId::new(2),
+            node: NodeId::new(2)
+        }));
+        assert!(changes.contains(&PlacementChange::StartJob {
+            job: JobId::new(3),
+            node: NodeId::new(1)
+        }));
+        assert_eq!(changes.len(), 5, "allocation resize must be free: {changes:?}");
+    }
+
+    #[test]
+    fn diff_of_identical_placements_is_empty() {
+        let p = place(&[(0, 0, 1000.0)], &[(0, 1, 500.0)]);
+        assert!(p.diff(&p.clone()).is_empty());
+        let _ = PlacementConfig::default(); // silence unused-import lint path
+    }
+}

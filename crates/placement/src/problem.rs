@@ -1,0 +1,151 @@
+//! Problem statement types consumed by the placement solver.
+
+use serde::{Deserialize, Serialize};
+use slaq_types::{AppId, ClusterSpec, CpuMhz, JobId, MemMb, NodeId};
+
+/// Capacity of one node as the solver sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeCapacity {
+    /// Node identity.
+    pub id: NodeId,
+    /// Total CPU power.
+    pub cpu: CpuMhz,
+    /// Memory available to workload VMs.
+    pub mem: MemMb,
+}
+
+impl NodeCapacity {
+    /// Derive solver capacities from a cluster spec.
+    pub fn from_cluster(cluster: &ClusterSpec) -> Vec<NodeCapacity> {
+        cluster
+            .nodes()
+            .iter()
+            .map(|n| NodeCapacity {
+                id: n.id,
+                cpu: n.cpu_capacity(),
+                mem: n.mem,
+            })
+            .collect()
+    }
+}
+
+/// One transactional application's placement request for this cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppRequest {
+    /// Application identity.
+    pub id: AppId,
+    /// Cluster-wide CPU target from the equalizer.
+    pub demand: CpuMhz,
+    /// Memory footprint of each instance.
+    pub mem_per_instance: MemMb,
+    /// Lower bound on instance count (kept warm even when idle).
+    pub min_instances: u32,
+    /// Upper bound on instance count.
+    pub max_instances: u32,
+}
+
+/// One long-running job's placement request for this cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRequest {
+    /// Job identity.
+    pub id: JobId,
+    /// CPU target from the equalizer (≤ the job's maximum speed; zero for
+    /// jobs whose SLA no longer benefits from CPU).
+    pub demand: CpuMhz,
+    /// Memory footprint of the job's VM while running.
+    pub mem: MemMb,
+    /// Node where the job currently runs, if it is running — placement is
+    /// sticky, and moving away from this node counts as a migration.
+    pub running_on: Option<NodeId>,
+    /// Affinity hint for suspended jobs: the node whose disk holds the
+    /// image (resuming elsewhere is allowed and counts one change either
+    /// way).
+    pub affinity: Option<NodeId>,
+    /// Placement priority (higher places first). The manager passes a
+    /// utility-urgency score; ties break by id for determinism.
+    pub priority: f64,
+}
+
+/// Solver tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacementConfig {
+    /// Cap on disruptive actions per cycle (job starts/resumes/migrations/
+    /// suspensions and instance starts/stops). `None` = unbounded. Keeping
+    /// an entity where it already is costs nothing.
+    pub max_changes: Option<usize>,
+    /// A placed job may be evicted (suspended) in favour of an unplaced
+    /// one only when the victim job's priority is lower by at least this
+    /// gap — hysteresis against churn. (Evictions still consume change
+    /// budget.)
+    pub evict_priority_gap: f64,
+    /// MHz granularity used when scaling fluid demands to integer flow
+    /// capacities. 1.0 (default) loses nothing at cluster scale.
+    pub mhz_unit: f64,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        PlacementConfig {
+            max_changes: None,
+            evict_priority_gap: 0.0,
+            mhz_unit: 1.0,
+        }
+    }
+}
+
+/// A full placement problem instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementProblem {
+    /// Node capacities.
+    pub nodes: Vec<NodeCapacity>,
+    /// Transactional requests.
+    pub apps: Vec<AppRequest>,
+    /// Job requests.
+    pub jobs: Vec<JobRequest>,
+    /// Solver configuration.
+    pub config: PlacementConfig,
+}
+
+impl PlacementProblem {
+    /// Total CPU across nodes.
+    pub fn total_cpu(&self) -> CpuMhz {
+        self.nodes.iter().map(|n| n.cpu).sum()
+    }
+
+    /// Index of a node id within `nodes` (ids are expected dense but the
+    /// solver does not require it).
+    pub fn node_index(&self, id: NodeId) -> Option<usize> {
+        self.nodes.iter().position(|n| n.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_capacity_from_cluster() {
+        let cluster = ClusterSpec::homogeneous(3, 4, CpuMhz::new(3000.0), MemMb::new(4096));
+        let caps = NodeCapacity::from_cluster(&cluster);
+        assert_eq!(caps.len(), 3);
+        assert_eq!(caps[1].cpu, CpuMhz::new(12_000.0));
+        assert_eq!(caps[2].mem, MemMb::new(4096));
+        assert_eq!(caps[0].id, NodeId::new(0));
+    }
+
+    #[test]
+    fn node_index_handles_sparse_ids() {
+        let p = PlacementProblem {
+            nodes: vec![
+                NodeCapacity { id: NodeId::new(5), cpu: CpuMhz::new(1.0), mem: MemMb::new(1) },
+                NodeCapacity { id: NodeId::new(9), cpu: CpuMhz::new(2.0), mem: MemMb::new(2) },
+            ],
+            apps: vec![],
+            jobs: vec![],
+            config: PlacementConfig::default(),
+        };
+        assert_eq!(p.node_index(NodeId::new(9)), Some(1));
+        assert_eq!(p.node_index(NodeId::new(0)), None);
+        assert_eq!(p.total_cpu(), CpuMhz::new(3.0));
+    }
+}

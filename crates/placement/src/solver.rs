@@ -1,0 +1,810 @@
+//! The placement heuristic: sticky, priority-ordered, churn-bounded.
+//!
+//! Pipeline per control cycle (NOMS'08 heuristic extended with jobs):
+//!
+//! 1. **Keep** — running jobs stay put and previous application instances
+//!    survive (free: no churn). Their memory is reserved first.
+//! 2. **Grow/shrink apps** — applications claim residual capacity
+//!    *before* any new job is placed (kept jobs stay senior): they gain
+//!    instances until their cluster-wide targets are covered and shed
+//!    instances beyond `max_instances` or, when idle, down to
+//!    `min_instances`.
+//! 3. **Place** — unplaced jobs with positive CPU targets are placed in
+//!    priority order, each on the node offering it the most residual CPU
+//!    among those with memory room (affinity-first for suspended images).
+//! 4. **Rebalance** — running jobs shortchanged on oversubscribed nodes
+//!    migrate to nodes with room (live migration).
+//! 5. **Evict** — still-unplaced jobs may displace strictly
+//!    lower-priority running jobs (suspend + start, two changes), guarded
+//!    by a priority-gap hysteresis.
+//! 6. **Reclaim** — jobs still memory-blocked may retire zero-load
+//!    application instances (above `min_instances`) and take their slot.
+//! 7. **Allocate** — exact CPU division for the final placement via
+//!    min-cost max-flow ([`crate::allocation::allocate`]).
+//!
+//! Every step consumes from a shared *change budget*
+//! ([`crate::problem::PlacementConfig::max_changes`]); keeping an entity
+//! where it is costs nothing, which is what makes placements sticky.
+
+use crate::allocation::allocate;
+use crate::placement::{Placement, PlacementChange};
+use crate::problem::{AppRequest, JobRequest, PlacementProblem};
+use serde::{Deserialize, Serialize};
+use slaq_types::{fcmp, AppId, CpuMhz, JobId, MemMb, NodeId};
+use std::collections::BTreeMap;
+
+/// Result of one placement run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementOutcome {
+    /// The new placement with exact allocations.
+    pub placement: Placement,
+    /// Disruptive actions relative to the previous placement.
+    pub changes: Vec<PlacementChange>,
+    /// Per-application satisfied CPU.
+    pub satisfied_apps: BTreeMap<AppId, CpuMhz>,
+    /// Per-job satisfied CPU (running jobs only).
+    pub satisfied_jobs: BTreeMap<JobId, CpuMhz>,
+    /// Jobs with positive targets that could not be placed this cycle
+    /// (they stay pending/suspended).
+    pub unplaced_jobs: Vec<JobId>,
+}
+
+impl PlacementOutcome {
+    /// Σ satisfied transactional CPU.
+    pub fn total_app_satisfied(&self) -> CpuMhz {
+        self.satisfied_apps.values().copied().sum()
+    }
+
+    /// Σ satisfied job CPU.
+    pub fn total_job_satisfied(&self) -> CpuMhz {
+        self.satisfied_jobs.values().copied().sum()
+    }
+}
+
+/// Mutable per-node trackers used while making discrete decisions.
+struct NodeState {
+    id: NodeId,
+    mem_free: MemMb,
+    /// Residual CPU available for *committing* new demand. An
+    /// approximation used only to steer discrete choices; the exact
+    /// division is recomputed by the flow at the end.
+    cpu_free: f64,
+}
+
+/// Solve one cycle. `prev` is the placement currently in force.
+pub fn solve(problem: &PlacementProblem, prev: &Placement) -> PlacementOutcome {
+    let cfg = &problem.config;
+    let mut budget = cfg.max_changes.unwrap_or(usize::MAX);
+
+    let mut nodes: Vec<NodeState> = problem
+        .nodes
+        .iter()
+        .map(|n| NodeState {
+            id: n.id,
+            mem_free: n.mem,
+            cpu_free: n.cpu.as_f64(),
+        })
+        .collect();
+    let idx_of = |ns: &[NodeState], id: NodeId| ns.iter().position(|n| n.id == id);
+
+    // ------------------------------------------------------------------
+    // Step 0/1: keep previous app instances and running jobs; reserve
+    // memory and commit CPU.
+    // ------------------------------------------------------------------
+    let mut app_hosts: BTreeMap<AppId, Vec<NodeId>> = BTreeMap::new();
+    for app in &problem.apps {
+        let mut hosts: Vec<NodeId> = prev
+            .apps
+            .get(&app.id)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default();
+        hosts.retain(|h| idx_of(&nodes, *h).is_some());
+        for h in &hosts {
+            let i = idx_of(&nodes, *h).expect("retained");
+            nodes[i].mem_free = nodes[i].mem_free.saturating_sub(app.mem_per_instance);
+        }
+        app_hosts.insert(app.id, hosts);
+    }
+
+    let mut ordered_jobs: Vec<&JobRequest> = problem.jobs.iter().collect();
+    ordered_jobs.sort_by(|a, b| fcmp(b.priority, a.priority).then(a.id.cmp(&b.id)));
+
+    let mut job_nodes: BTreeMap<JobId, NodeId> = BTreeMap::new();
+    // Committed CPU per kept job (for the shortchange rebalance pass).
+    let mut committed: BTreeMap<JobId, f64> = BTreeMap::new();
+    for job in &ordered_jobs {
+        if let Some(node) = job.running_on {
+            if let Some(i) = idx_of(&nodes, node) {
+                if nodes[i].mem_free.fits(job.mem) || prev.jobs.contains_key(&job.id) {
+                    // A running job's memory is already resident; keeping
+                    // it is always feasible (prev placement was valid).
+                    nodes[i].mem_free = nodes[i].mem_free.saturating_sub(job.mem);
+                    let got = job.demand.as_f64().min(nodes[i].cpu_free).max(0.0);
+                    nodes[i].cpu_free -= got;
+                    committed.insert(job.id, got);
+                    job_nodes.insert(job.id, node);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Step 2: grow/shrink application instance sets. Applications claim
+    // nodes *before new jobs are placed* (kept jobs committed above stay
+    // senior): the transactional tier is fluid cluster-wide only through
+    // its instances, so it gets first pick of residual capacity; jobs are
+    // indivisible and fill in around it.
+    // ------------------------------------------------------------------
+    // Per-host CPU actually claimed by an app (for the reclaim pass: a
+    // zero-take instance is disposable when jobs are memory-blocked).
+    let mut app_take: BTreeMap<(AppId, NodeId), f64> = BTreeMap::new();
+    let mut ordered_apps: Vec<&AppRequest> = problem.apps.iter().collect();
+    ordered_apps.sort_by(|a, b| b.demand.total_cmp(a.demand).then(a.id.cmp(&b.id)));
+    for app in &ordered_apps {
+        let hosts = app_hosts.entry(app.id).or_default();
+        // Shrink above max_instances (stop the emptiest nodes first — the
+        // flow would starve them anyway). Also shed down to min_instances
+        // when the app is idle, releasing memory for future cycles.
+        let shrink_to = if app.demand.is_zero() {
+            app.min_instances.max(1) as usize
+        } else {
+            app.max_instances as usize
+        };
+        while hosts.len() > shrink_to && budget > 0 {
+            let (pos, &host) = hosts
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    let ca = idx_of(&nodes, **a).map_or(0.0, |i| nodes[i].cpu_free);
+                    let cb = idx_of(&nodes, **b).map_or(0.0, |i| nodes[i].cpu_free);
+                    fcmp(ca, cb).then(a.cmp(b))
+                })
+                .expect("hosts nonempty");
+            if let Some(i) = idx_of(&nodes, host) {
+                nodes[i].mem_free += app.mem_per_instance;
+            }
+            hosts.remove(pos);
+            budget -= 1;
+        }
+        // Grow the host set until the reachable capacity covers the
+        // target (or instances run out).
+        loop {
+            let reachable: f64 = hosts
+                .iter()
+                .filter_map(|h| idx_of(&nodes, *h))
+                .map(|i| nodes[i].cpu_free)
+                .sum();
+            if reachable + 1e-6 >= app.demand.as_f64()
+                || hosts.len() >= app.max_instances as usize
+                || budget == 0
+            {
+                break;
+            }
+            let cand = nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| {
+                    n.mem_free.fits(app.mem_per_instance)
+                        && n.cpu_free > 1e-9
+                        && !hosts.contains(&n.id)
+                })
+                .max_by(|(_, a), (_, b)| fcmp(a.cpu_free, b.cpu_free).then(b.id.cmp(&a.id)))
+                .map(|(i, _)| i);
+            let Some(i) = cand else { break };
+            nodes[i].mem_free -= app.mem_per_instance;
+            hosts.push(nodes[i].id);
+            budget -= 1;
+        }
+        // Spread the target evenly across the hosts (water-fill): a
+        // load-balanced cluster divides its traffic, and packing nodes
+        // solid would starve their memory slots of job CPU — the
+        // Figure 2 ratio depends on this spreading.
+        let mut remaining = app.demand.as_f64();
+        for _ in 0..hosts.len().max(1) {
+            if remaining <= 1e-6 {
+                break;
+            }
+            let open: Vec<usize> = hosts
+                .iter()
+                .filter_map(|h| idx_of(&nodes, *h))
+                .filter(|&i| nodes[i].cpu_free > 1e-9)
+                .collect();
+            if open.is_empty() {
+                break;
+            }
+            let share = remaining / open.len() as f64;
+            for i in open {
+                let host = nodes[i].id;
+                let take = share.min(nodes[i].cpu_free).min(remaining);
+                nodes[i].cpu_free -= take;
+                remaining -= take;
+                *app_take.entry((app.id, host)).or_insert(0.0) += take;
+            }
+        }
+        // Honour min_instances even when idle.
+        while hosts.len() < app.min_instances as usize && budget > 0 {
+            let cand = nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.mem_free.fits(app.mem_per_instance) && !hosts.contains(&n.id))
+                .max_by(|(_, a), (_, b)| fcmp(a.cpu_free, b.cpu_free).then(b.id.cmp(&a.id)))
+                .map(|(i, _)| i);
+            let Some(i) = cand else { break };
+            nodes[i].mem_free -= app.mem_per_instance;
+            hosts.push(nodes[i].id);
+            budget -= 1;
+        }
+        hosts.sort();
+    }
+
+    // ------------------------------------------------------------------
+    // Step 3: place unplaced jobs with positive targets, priority order.
+    // ------------------------------------------------------------------
+    let place_job = |job: &JobRequest, nodes: &mut [NodeState], budget: &mut usize| -> Option<NodeId> {
+        if *budget == 0 || job.demand.is_zero() {
+            return None;
+        }
+        // Affinity first if it can feed the job meaningfully.
+        if let Some(aff) = job.affinity {
+            if let Some(i) = idx_of(nodes, aff) {
+                if nodes[i].mem_free.fits(job.mem)
+                    && nodes[i].cpu_free >= job.demand.as_f64() * 0.5
+                {
+                    nodes[i].mem_free -= job.mem;
+                    let got = job.demand.as_f64().min(nodes[i].cpu_free);
+                    nodes[i].cpu_free -= got;
+                    *budget -= 1;
+                    return Some(aff);
+                }
+            }
+        }
+        // Otherwise, the node offering the most CPU (ties: more free
+        // memory, then lower id).
+        let best = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.mem_free.fits(job.mem) && n.cpu_free > 1e-9)
+            .max_by(|(_, a), (_, b)| {
+                fcmp(
+                    a.cpu_free.min(job.demand.as_f64()),
+                    b.cpu_free.min(job.demand.as_f64()),
+                )
+                .then(a.mem_free.cmp(&b.mem_free))
+                .then(b.id.cmp(&a.id))
+            })
+            .map(|(i, _)| i)?;
+        nodes[best].mem_free -= job.mem;
+        let got = job.demand.as_f64().min(nodes[best].cpu_free);
+        nodes[best].cpu_free -= got;
+        *budget -= 1;
+        Some(nodes[best].id)
+    };
+
+    for job in &ordered_jobs {
+        if job_nodes.contains_key(&job.id) {
+            continue;
+        }
+        if let Some(node) = place_job(job, &mut nodes, &mut budget) {
+            job_nodes.insert(job.id, node);
+            committed.insert(job.id, job.demand.as_f64().min(f64::MAX));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Step 4: rebalance — migrate shortchanged running jobs to nodes
+    // with room.
+    // ------------------------------------------------------------------
+    for job in &ordered_jobs {
+        if budget == 0 {
+            break;
+        }
+        let Some(&cur) = job_nodes.get(&job.id) else {
+            continue;
+        };
+        if job.running_on != Some(cur) {
+            continue; // only running jobs can live-migrate
+        }
+        let got = committed.get(&job.id).copied().unwrap_or(0.0);
+        let deficit = job.demand.as_f64() - got;
+        if deficit <= job.demand.as_f64() * 0.25 {
+            continue; // close enough; not worth a migration
+        }
+        let target = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.id != cur && n.mem_free.fits(job.mem) && n.cpu_free > got + deficit * 0.5)
+            .max_by(|(_, a), (_, b)| fcmp(a.cpu_free, b.cpu_free).then(b.id.cmp(&a.id)))
+            .map(|(i, _)| i);
+        if let Some(t) = target {
+            let ci = idx_of(&nodes, cur).expect("current node exists");
+            nodes[ci].mem_free += job.mem;
+            nodes[ci].cpu_free += got;
+            nodes[t].mem_free -= job.mem;
+            let newgot = job.demand.as_f64().min(nodes[t].cpu_free);
+            nodes[t].cpu_free -= newgot;
+            committed.insert(job.id, newgot);
+            job_nodes.insert(job.id, nodes[t].id);
+            budget -= 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Step 5: eviction — unplaced high-priority jobs displace strictly
+    // lower-priority running jobs (suspend + start = two changes).
+    // ------------------------------------------------------------------
+    for job in &ordered_jobs {
+        if budget < 2 {
+            break;
+        }
+        if job_nodes.contains_key(&job.id) || job.demand.is_zero() {
+            continue;
+        }
+        // Cheapest victim: the lowest-priority placed job whose removal
+        // makes room, strictly below this job's priority minus the gap.
+        let victim = ordered_jobs
+            .iter()
+            .rev() // ascending priority
+            .filter(|v| {
+                job_nodes.contains_key(&v.id)
+                    && v.priority + problem.config.evict_priority_gap < job.priority
+            })
+            .find(|v| {
+                let node = job_nodes[&v.id];
+                let i = idx_of(&nodes, node).expect("placed on known node");
+                (nodes[i].mem_free + v.mem).fits(job.mem)
+            })
+            .map(|v| v.id);
+        if let Some(vid) = victim {
+            let vreq = problem.jobs.iter().find(|j| j.id == vid).expect("victim exists");
+            let node = job_nodes.remove(&vid).expect("victim placed");
+            let i = idx_of(&nodes, node).expect("known node");
+            nodes[i].mem_free += vreq.mem;
+            nodes[i].cpu_free += committed.remove(&vid).unwrap_or(0.0);
+            budget -= 1; // the suspension
+            nodes[i].mem_free -= job.mem;
+            let got = job.demand.as_f64().min(nodes[i].cpu_free);
+            nodes[i].cpu_free -= got;
+            committed.insert(job.id, got);
+            job_nodes.insert(job.id, node);
+            budget -= 1; // the start
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Step 6: reclaim — when jobs with positive targets are still
+    // memory-blocked, disposable (zero-CPU-take, above min_instances)
+    // application instances give their memory back to the job tier. This
+    // is the "drop least-useful instances when memory-blocked" move of
+    // the NOMS'08 heuristic.
+    // ------------------------------------------------------------------
+    for job in &ordered_jobs {
+        if budget < 2 {
+            break;
+        }
+        if job_nodes.contains_key(&job.id) || job.demand.is_zero() {
+            continue;
+        }
+        let mut placed_at: Option<NodeId> = None;
+        'apps: for app in &ordered_apps {
+            let hosts = app_hosts.get_mut(&app.id).expect("initialized above");
+            if hosts.len() <= app.min_instances.max(1) as usize {
+                continue;
+            }
+            for (pos, &host) in hosts.iter().enumerate() {
+                let take = app_take.get(&(app.id, host)).copied().unwrap_or(0.0);
+                if take > 1e-6 {
+                    continue; // instance is carrying real load
+                }
+                let i = idx_of(&nodes, host).expect("host known");
+                if (nodes[i].mem_free + app.mem_per_instance).fits(job.mem)
+                    && nodes[i].cpu_free > 1e-9
+                {
+                    nodes[i].mem_free += app.mem_per_instance;
+                    hosts.remove(pos);
+                    budget -= 1; // the instance stop
+                    nodes[i].mem_free -= job.mem;
+                    let got = job.demand.as_f64().min(nodes[i].cpu_free);
+                    nodes[i].cpu_free -= got;
+                    committed.insert(job.id, got);
+                    job_nodes.insert(job.id, host);
+                    budget -= 1; // the job start
+                    placed_at = Some(host);
+                    break 'apps;
+                }
+            }
+        }
+        if placed_at.is_none() {
+            continue;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Step 7: exact allocation + bookkeeping.
+    // ------------------------------------------------------------------
+    let placement = allocate(
+        &problem.nodes,
+        &problem.apps,
+        &app_hosts,
+        &problem.jobs,
+        &job_nodes,
+        problem.config.mhz_unit,
+    );
+    let changes = placement.diff(prev);
+
+    let satisfied_apps: BTreeMap<AppId, CpuMhz> = problem
+        .apps
+        .iter()
+        .map(|a| (a.id, placement.app_alloc(a.id)))
+        .collect();
+    let satisfied_jobs: BTreeMap<JobId, CpuMhz> = placement
+        .jobs
+        .iter()
+        .map(|(&j, &(_, c))| (j, c))
+        .collect();
+    let unplaced_jobs: Vec<JobId> = problem
+        .jobs
+        .iter()
+        .filter(|j| !j.demand.is_zero() && !placement.jobs.contains_key(&j.id))
+        .map(|j| j.id)
+        .collect();
+
+    PlacementOutcome {
+        placement,
+        changes,
+        satisfied_apps,
+        satisfied_jobs,
+        unplaced_jobs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{NodeCapacity, PlacementConfig};
+    use proptest::prelude::*;
+
+    fn nodes(n: u32, cpu: f64, mem: u64) -> Vec<NodeCapacity> {
+        (0..n)
+            .map(|i| NodeCapacity {
+                id: NodeId::new(i),
+                cpu: CpuMhz::new(cpu),
+                mem: MemMb::new(mem),
+            })
+            .collect()
+    }
+
+    fn jobr(id: u32, demand: f64) -> JobRequest {
+        JobRequest {
+            id: JobId::new(id),
+            demand: CpuMhz::new(demand),
+            mem: MemMb::new(1280),
+            running_on: None,
+            affinity: None,
+            priority: demand,
+        }
+    }
+
+    fn appr(id: u32, demand: f64) -> AppRequest {
+        AppRequest {
+            id: AppId::new(id),
+            demand: CpuMhz::new(demand),
+            mem_per_instance: MemMb::new(1024),
+            min_instances: 1,
+            max_instances: 32,
+        }
+    }
+
+    fn problem(
+        nodes: Vec<NodeCapacity>,
+        apps: Vec<AppRequest>,
+        jobs: Vec<JobRequest>,
+    ) -> PlacementProblem {
+        PlacementProblem {
+            nodes,
+            apps,
+            jobs,
+            config: PlacementConfig::default(),
+        }
+    }
+
+    #[test]
+    fn empty_problem_yields_empty_outcome() {
+        let p = problem(nodes(2, 12_000.0, 4096), vec![], vec![]);
+        let out = solve(&p, &Placement::empty());
+        assert!(out.placement.jobs.is_empty());
+        assert!(out.changes.is_empty());
+        assert!(out.unplaced_jobs.is_empty());
+    }
+
+    #[test]
+    fn memory_limits_jobs_per_node() {
+        // The paper's constraint: 4 cores but only 3 jobs fit in memory.
+        let p = problem(
+            nodes(1, 12_000.0, 4096),
+            vec![],
+            (0..4).map(|i| jobr(i, 3000.0)).collect(),
+        );
+        let out = solve(&p, &Placement::empty());
+        assert_eq!(out.placement.jobs.len(), 3);
+        assert_eq!(out.unplaced_jobs.len(), 1);
+        assert_eq!(out.total_job_satisfied(), CpuMhz::new(9000.0));
+        out.placement.validate(&p.nodes, &p.apps, &p.jobs).unwrap();
+    }
+
+    #[test]
+    fn placement_is_sticky_across_cycles() {
+        let p = problem(
+            nodes(3, 12_000.0, 4096),
+            vec![appr(0, 9000.0)],
+            (0..4).map(|i| jobr(i, 3000.0)).collect(),
+        );
+        let first = solve(&p, &Placement::empty());
+        // Second cycle: mark jobs as running where they landed.
+        let mut p2 = p.clone();
+        for j in &mut p2.jobs {
+            j.running_on = first.placement.job_node(j.id);
+        }
+        let second = solve(&p2, &first.placement);
+        assert!(
+            second.changes.is_empty(),
+            "unchanged problem must not churn: {:?}",
+            second.changes
+        );
+        assert_eq!(second.placement.jobs, first.placement.jobs);
+    }
+
+    #[test]
+    fn change_budget_caps_disruptions() {
+        let mut p = problem(
+            nodes(2, 12_000.0, 8192),
+            vec![],
+            (0..6).map(|i| jobr(i, 3000.0)).collect(),
+        );
+        p.config.max_changes = Some(2);
+        let out = solve(&p, &Placement::empty());
+        assert_eq!(out.changes.len(), 2, "{:?}", out.changes);
+        assert_eq!(out.placement.jobs.len(), 2);
+        assert_eq!(out.unplaced_jobs.len(), 4);
+    }
+
+    #[test]
+    fn high_priority_pending_evicts_low_priority_running() {
+        // Node full with three running low-priority jobs; a high-priority
+        // job arrives.
+        let mut jobs: Vec<JobRequest> = (0..3)
+            .map(|i| {
+                let mut j = jobr(i, 500.0);
+                j.running_on = Some(NodeId::new(0));
+                j.priority = 1.0;
+                j
+            })
+            .collect();
+        let mut hot = jobr(3, 3000.0);
+        hot.priority = 100.0;
+        jobs.push(hot);
+        let mut prev = Placement::empty();
+        for i in 0..3 {
+            prev.jobs
+                .insert(JobId::new(i), (NodeId::new(0), CpuMhz::new(500.0)));
+        }
+        let mut p = problem(nodes(1, 12_000.0, 4096), vec![], jobs);
+        p.config.evict_priority_gap = 10.0;
+        let out = solve(&p, &prev);
+        assert!(out.placement.jobs.contains_key(&JobId::new(3)));
+        assert_eq!(out.placement.jobs.len(), 3);
+        let suspended = out
+            .changes
+            .iter()
+            .filter(|c| matches!(c, PlacementChange::SuspendJob { .. }))
+            .count();
+        assert_eq!(suspended, 1);
+        out.placement.validate(&p.nodes, &p.apps, &p.jobs).unwrap();
+    }
+
+    #[test]
+    fn eviction_respects_priority_gap() {
+        let mut running = jobr(0, 2900.0);
+        running.running_on = Some(NodeId::new(0));
+        running.priority = 95.0;
+        let mut pending = jobr(1, 3000.0);
+        pending.priority = 100.0;
+        // Memory only fits one job.
+        let mut prev = Placement::empty();
+        prev.jobs
+            .insert(JobId::new(0), (NodeId::new(0), CpuMhz::new(2900.0)));
+        let mut p = problem(nodes(1, 12_000.0, 1500), vec![], vec![running, pending]);
+        p.config.evict_priority_gap = 10.0; // gap of 5 < 10: no eviction
+        let out = solve(&p, &prev);
+        assert!(out.placement.jobs.contains_key(&JobId::new(0)));
+        assert!(!out.placement.jobs.contains_key(&JobId::new(1)));
+    }
+
+    #[test]
+    fn shortchanged_running_job_migrates_to_free_node() {
+        // Two jobs run on node0 (cpu 3000): together they demand 6000.
+        // Node1 is idle: the solver should migrate one over.
+        let mut j0 = jobr(0, 3000.0);
+        j0.running_on = Some(NodeId::new(0));
+        let mut j1 = jobr(1, 3000.0);
+        j1.running_on = Some(NodeId::new(0));
+        let mut prev = Placement::empty();
+        prev.jobs
+            .insert(JobId::new(0), (NodeId::new(0), CpuMhz::new(1500.0)));
+        prev.jobs
+            .insert(JobId::new(1), (NodeId::new(0), CpuMhz::new(1500.0)));
+        let p = problem(nodes(2, 3000.0, 4096), vec![], vec![j0, j1]);
+        let out = solve(&p, &prev);
+        let migrations = out
+            .changes
+            .iter()
+            .filter(|c| matches!(c, PlacementChange::MigrateJob { .. }))
+            .count();
+        assert_eq!(migrations, 1, "{:?}", out.changes);
+        assert_eq!(out.total_job_satisfied(), CpuMhz::new(6000.0));
+    }
+
+    #[test]
+    fn app_grows_instances_to_cover_demand() {
+        let p = problem(nodes(4, 12_000.0, 4096), vec![appr(0, 30_000.0)], vec![]);
+        let out = solve(&p, &Placement::empty());
+        assert!(out.placement.app_instances(AppId::new(0)) >= 3);
+        assert!(out
+            .total_app_satisfied()
+            .approx_eq(CpuMhz::new(30_000.0), 1.0));
+        out.placement.validate(&p.nodes, &p.apps, &p.jobs).unwrap();
+    }
+
+    #[test]
+    fn idle_app_keeps_min_instances() {
+        let mut app = appr(0, 0.0);
+        app.min_instances = 2;
+        let p = problem(nodes(3, 12_000.0, 4096), vec![app], vec![]);
+        let out = solve(&p, &Placement::empty());
+        assert_eq!(out.placement.app_instances(AppId::new(0)), 2);
+        assert_eq!(out.total_app_satisfied(), CpuMhz::ZERO);
+    }
+
+    #[test]
+    fn idle_app_sheds_extra_instances() {
+        // Previously spread over 3 nodes; demand collapses to zero.
+        let mut prev = Placement::empty();
+        for n in 0..3 {
+            prev.apps
+                .entry(AppId::new(0))
+                .or_default()
+                .insert(NodeId::new(n), CpuMhz::new(1000.0));
+        }
+        let mut app = appr(0, 0.0);
+        app.min_instances = 1;
+        let p = problem(nodes(3, 12_000.0, 4096), vec![app], vec![]);
+        let out = solve(&p, &prev);
+        assert_eq!(out.placement.app_instances(AppId::new(0)), 1);
+        let stops = out
+            .changes
+            .iter()
+            .filter(|c| matches!(c, PlacementChange::StopInstance { .. }))
+            .count();
+        assert_eq!(stops, 2);
+    }
+
+    #[test]
+    fn max_instances_caps_app_growth() {
+        let mut app = appr(0, 48_000.0);
+        app.max_instances = 2;
+        let p = problem(nodes(4, 12_000.0, 4096), vec![app], vec![]);
+        let out = solve(&p, &Placement::empty());
+        assert_eq!(out.placement.app_instances(AppId::new(0)), 2);
+        assert!(out
+            .total_app_satisfied()
+            .approx_eq(CpuMhz::new(24_000.0), 1.0));
+    }
+
+    #[test]
+    fn mixed_workload_shares_one_node() {
+        let p = problem(
+            nodes(1, 12_000.0, 4096),
+            vec![appr(0, 6000.0)],
+            vec![jobr(0, 3000.0), jobr(1, 3000.0)],
+        );
+        let out = solve(&p, &Placement::empty());
+        // 2 jobs (2×1280) + 1 instance (1024) = 3584 ≤ 4096 ✓; CPU exactly full.
+        assert_eq!(out.placement.jobs.len(), 2);
+        assert_eq!(out.total_job_satisfied(), CpuMhz::new(6000.0));
+        assert!(out.total_app_satisfied().approx_eq(CpuMhz::new(6000.0), 1.0));
+        out.placement.validate(&p.nodes, &p.apps, &p.jobs).unwrap();
+    }
+
+    #[test]
+    fn zero_demand_jobs_are_not_newly_placed_but_kept_if_running() {
+        let mut running = jobr(0, 0.0);
+        running.running_on = Some(NodeId::new(0));
+        running.priority = 0.0;
+        let pending = jobr(1, 0.0);
+        let mut prev = Placement::empty();
+        prev.jobs
+            .insert(JobId::new(0), (NodeId::new(0), CpuMhz::ZERO));
+        let p = problem(nodes(2, 12_000.0, 4096), vec![], vec![running, pending]);
+        let out = solve(&p, &prev);
+        assert!(out.placement.jobs.contains_key(&JobId::new(0)), "kept running");
+        assert!(!out.placement.jobs.contains_key(&JobId::new(1)), "not started");
+        assert!(out.unplaced_jobs.is_empty(), "zero-demand pending is not 'unplaced'");
+    }
+
+    #[test]
+    fn suspended_job_prefers_affinity_node() {
+        let mut j = jobr(0, 3000.0);
+        j.affinity = Some(NodeId::new(1));
+        let p = problem(nodes(3, 12_000.0, 4096), vec![], vec![j]);
+        let out = solve(&p, &Placement::empty());
+        assert_eq!(out.placement.job_node(JobId::new(0)), Some(NodeId::new(1)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_outcome_always_valid_and_within_budget(
+            n_nodes in 1u32..6,
+            node_cpu in 3000.0..16_000.0f64,
+            node_mem in 1024u64..8192,
+            app_demands in proptest::collection::vec(0.0..40_000.0f64, 0..3),
+            job_demands in proptest::collection::vec(0.0..3000.0f64, 0..12),
+            budget in proptest::option::of(0usize..8),
+        ) {
+            let apps: Vec<AppRequest> = app_demands
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| {
+                    let mut a = appr(i as u32, d);
+                    a.min_instances = 0;
+                    a
+                })
+                .collect();
+            let jobs: Vec<JobRequest> = job_demands
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| jobr(i as u32, d))
+                .collect();
+            let mut p = problem(nodes(n_nodes, node_cpu, node_mem), apps, jobs);
+            p.config.max_changes = budget;
+            let out = solve(&p, &Placement::empty());
+            // 1. Structural validity (capacity constraints, counts).
+            out.placement.validate(&p.nodes, &p.apps, &p.jobs).unwrap();
+            // 2. Budget respected.
+            if let Some(b) = budget {
+                prop_assert!(out.changes.len() <= b, "{} > {b}", out.changes.len());
+            }
+            // 3. Nobody exceeds their demand.
+            for a in &p.apps {
+                prop_assert!(
+                    out.satisfied_apps[&a.id].as_f64() <= a.demand.as_f64() + 1.0
+                );
+            }
+            for j in &p.jobs {
+                if let Some(&got) = out.satisfied_jobs.get(&j.id) {
+                    prop_assert!(got.as_f64() <= j.demand.as_f64() + 1.0);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_resolving_same_problem_is_stable(
+            n_nodes in 1u32..5,
+            job_demands in proptest::collection::vec(100.0..3000.0f64, 1..10),
+        ) {
+            let jobs: Vec<JobRequest> = job_demands
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| jobr(i as u32, d))
+                .collect();
+            let p = problem(nodes(n_nodes, 12_000.0, 4096), vec![], jobs);
+            let first = solve(&p, &Placement::empty());
+            let mut p2 = p.clone();
+            for j in &mut p2.jobs {
+                j.running_on = first.placement.job_node(j.id);
+            }
+            let second = solve(&p2, &first.placement);
+            prop_assert!(second.changes.is_empty(), "churn: {:?}", second.changes);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # slaq-sim — the virtualized data-center simulator
+//!
+//! The substitution for the authors' physical testbed (DESIGN.md §2, S8):
+//! a fluid discrete-event simulator of a cluster of nodes running two
+//! workload classes under controller-issued placements.
+//!
+//! What it preserves of the real system (the behaviours the paper's
+//! algorithms actually exercise):
+//!
+//! * **Contended CPU** — each node's power is divided among the VMs the
+//!   controller placed there; guarantees are enforced and spare capacity
+//!   is redistributed work-conservingly (jobs first, capped at their
+//!   maximum speed, then transactional instances) — `cluster` module;
+//! * **Memory capacity** — placements that overcommit memory are rejected
+//!   (the paper's 3-jobs-per-node constraint);
+//! * **Placement-change costs** — job start/resume/migration each blocks
+//!   the affected job for a configurable latency;
+//! * **Workload dynamics** — Poisson job arrivals, measured transactional
+//!   response times from the same processor-sharing law the performance
+//!   model predicts with, online demand estimation with observation
+//!   noise living in the estimator path.
+//!
+//! The control interface is the [`Controller`] trait: every control cycle
+//! the simulator hands the controller its observations and applies the
+//! returned [`Placement`] — `slaq-core` provides the paper's controller,
+//! and the baselines live alongside it.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod apps;
+pub mod cluster;
+pub mod metrics;
+pub mod simulator;
+
+pub use apps::{AppObservation, TransactionalRuntime};
+pub use cluster::effective_speeds;
+pub use metrics::MetricsSink;
+pub use simulator::{
+    NodeOutage,
+    ControlInputs, Controller, OverheadConfig, SimConfig, SimReport, Simulator,
+};

@@ -1,0 +1,171 @@
+//! Time-series metrics collection and CSV export.
+
+use serde::{Deserialize, Serialize};
+use slaq_types::SimTime;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Named time series accumulated during a run.
+///
+/// Both the simulator (mechanical facts: allocations, response times,
+/// completions) and the controller (model-side quantities: hypothetical
+/// utility, demands, water level) write here; the experiment harness reads
+/// series out to regenerate the paper's figures.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSink {
+    series: BTreeMap<String, Vec<(f64, f64)>>,
+}
+
+impl MetricsSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append `(t, value)` to series `name` (created on first use).
+    pub fn record(&mut self, name: &str, t: SimTime, value: f64) {
+        self.series
+            .entry(name.to_string())
+            .or_default()
+            .push((t.as_secs(), value));
+    }
+
+    /// All points of one series.
+    pub fn series(&self, name: &str) -> &[(f64, f64)] {
+        self.series.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Names of all series.
+    pub fn names(&self) -> Vec<&str> {
+        self.series.keys().map(String::as_str).collect()
+    }
+
+    /// Last value of a series, if any.
+    pub fn last(&self, name: &str) -> Option<f64> {
+        self.series(name).last().map(|&(_, v)| v)
+    }
+
+    /// Mean of a series over `[from, to]` (`None` when empty there).
+    pub fn mean_over(&self, name: &str, from: SimTime, to: SimTime) -> Option<f64> {
+        let pts: Vec<f64> = self
+            .series(name)
+            .iter()
+            .filter(|&&(t, _)| t >= from.as_secs() && t <= to.as_secs())
+            .map(|&(_, v)| v)
+            .collect();
+        if pts.is_empty() {
+            None
+        } else {
+            Some(pts.iter().sum::<f64>() / pts.len() as f64)
+        }
+    }
+
+    /// Minimum of a series over its whole span.
+    pub fn min(&self, name: &str) -> Option<f64> {
+        self.series(name)
+            .iter()
+            .map(|&(_, v)| v)
+            .min_by(|a, b| slaq_types::fcmp(*a, *b))
+    }
+
+    /// Maximum of a series over its whole span.
+    pub fn max(&self, name: &str) -> Option<f64> {
+        self.series(name)
+            .iter()
+            .map(|&(_, v)| v)
+            .max_by(|a, b| slaq_types::fcmp(*a, *b))
+    }
+
+    /// Render the given series as CSV with a shared time column.
+    ///
+    /// Series are sampled at the union of their timestamps; a series
+    /// without a point at some instant carries its previous value forward
+    /// (step interpolation — these are control-cycle samples).
+    pub fn to_csv(&self, names: &[&str]) -> String {
+        let mut times: Vec<f64> = names
+            .iter()
+            .flat_map(|n| self.series(n).iter().map(|&(t, _)| t))
+            .collect();
+        times.sort_by(|a, b| slaq_types::fcmp(*a, *b));
+        times.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+        let mut out = String::new();
+        out.push_str("time");
+        for n in names {
+            let _ = write!(out, ",{n}");
+        }
+        out.push('\n');
+        let mut cursors = vec![0usize; names.len()];
+        let mut last = vec![f64::NAN; names.len()];
+        for &t in &times {
+            let _ = write!(out, "{t}");
+            for (i, n) in names.iter().enumerate() {
+                let pts = self.series(n);
+                while cursors[i] < pts.len() && pts[cursors[i]].0 <= t + 1e-9 {
+                    last[i] = pts[cursors[i]].1;
+                    cursors[i] += 1;
+                }
+                if last[i].is_nan() {
+                    out.push(',');
+                } else {
+                    let _ = write!(out, ",{}", last[i]);
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn record_and_read_back() {
+        let mut m = MetricsSink::new();
+        m.record("u", t(0.0), 0.5);
+        m.record("u", t(600.0), 0.7);
+        assert_eq!(m.series("u"), &[(0.0, 0.5), (600.0, 0.7)]);
+        assert_eq!(m.last("u"), Some(0.7));
+        assert_eq!(m.series("missing"), &[] as &[(f64, f64)]);
+        assert_eq!(m.names(), vec!["u"]);
+    }
+
+    #[test]
+    fn aggregations() {
+        let mut m = MetricsSink::new();
+        for (i, v) in [1.0, 3.0, 5.0, 7.0].iter().enumerate() {
+            m.record("x", t(i as f64 * 100.0), *v);
+        }
+        assert_eq!(m.mean_over("x", t(0.0), t(300.0)), Some(4.0));
+        assert_eq!(m.mean_over("x", t(100.0), t(200.0)), Some(4.0));
+        assert_eq!(m.mean_over("x", t(1000.0), t(2000.0)), None);
+        assert_eq!(m.min("x"), Some(1.0));
+        assert_eq!(m.max("x"), Some(7.0));
+    }
+
+    #[test]
+    fn csv_aligns_series_with_step_interpolation() {
+        let mut m = MetricsSink::new();
+        m.record("a", t(0.0), 1.0);
+        m.record("a", t(200.0), 2.0);
+        m.record("b", t(100.0), 10.0);
+        let csv = m.to_csv(&["a", "b"]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time,a,b");
+        assert_eq!(lines[1], "0,1,");
+        assert_eq!(lines[2], "100,1,10");
+        assert_eq!(lines[3], "200,2,10");
+    }
+
+    #[test]
+    fn csv_of_missing_series_is_header_only() {
+        let m = MetricsSink::new();
+        assert_eq!(m.to_csv(&["nope"]), "time,nope\n");
+    }
+}

@@ -1,0 +1,829 @@
+//! The simulation loop: events, placement enactment, measurement.
+//!
+//! A fluid discrete-event design: between events every running job
+//! progresses at its effective speed and every application observes its
+//! effective allocation. Events are job arrivals, control cycles, job
+//! completions, overhead-unblock instants and the horizon. Effective
+//! speeds are recomputed at every event, so the freed capacity of a
+//! completed job is redistributed immediately.
+
+use crate::apps::{AppObservation, TransactionalRuntime};
+use crate::cluster::effective_speeds;
+use crate::metrics::MetricsSink;
+use serde::{Deserialize, Serialize};
+use slaq_jobs::{JobManager, JobSpec, JobState, JobStats};
+use slaq_placement::problem::{AppRequest, JobRequest, NodeCapacity};
+use slaq_placement::{Placement, PlacementChange};
+use slaq_types::{
+    ClusterSpec, CpuMhz, JobId, Result, SimDuration, SimTime, SlaqError,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Latencies paid by jobs for placement actions (the *cost* that makes
+/// churn worth bounding).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadConfig {
+    /// Cold start of a pending job's VM.
+    pub start: SimDuration,
+    /// Resume of a suspended image (disk → memory).
+    pub resume: SimDuration,
+    /// Live migration of a running VM.
+    pub migrate: SimDuration,
+}
+
+impl Default for OverheadConfig {
+    fn default() -> Self {
+        OverheadConfig {
+            start: SimDuration::from_secs(30.0),
+            resume: SimDuration::from_secs(60.0),
+            migrate: SimDuration::from_secs(90.0),
+        }
+    }
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Controller invocation period (600 s in the paper).
+    pub control_period: SimDuration,
+    /// End of the experiment.
+    pub horizon: SimTime,
+    /// Placement action latencies.
+    pub overheads: OverheadConfig,
+    /// Enforce transactional allocations as hypervisor *limits* (the
+    /// paper's middleware applies the computed fine-grained allocations,
+    /// so the delivered power equals the controller's decision). When
+    /// `false` the hypervisor is fully work-conserving and spare CPU also
+    /// flows to transactional instances. Jobs always reuse spare up to
+    /// their speed caps.
+    pub cap_transactional: bool,
+}
+
+impl SimConfig {
+    /// The paper's timing: 600 s cycles over a 72 000 s horizon, with
+    /// transactional allocations enforced as limits.
+    pub fn paper() -> Self {
+        SimConfig {
+            control_period: SimDuration::from_secs(600.0),
+            horizon: SimTime::from_secs(72_000.0),
+            overheads: OverheadConfig::default(),
+            cap_transactional: true,
+        }
+    }
+}
+
+/// Everything a controller may observe at a control cycle.
+pub struct ControlInputs<'a> {
+    /// Current instant.
+    pub now: SimTime,
+    /// Node capacities.
+    pub nodes: &'a [NodeCapacity],
+    /// Placement currently in force.
+    pub current: &'a Placement,
+    /// The job manager (states, remaining work, SLAs).
+    pub jobs: &'a JobManager,
+    /// Per-application observations (spec + estimated intensity).
+    pub apps: &'a [AppObservation],
+}
+
+/// A placement controller under test.
+pub trait Controller {
+    /// Produce the placement to enact for the next cycle. Controllers may
+    /// record model-side series into `metrics`.
+    fn control(&mut self, inputs: &ControlInputs<'_>, metrics: &mut MetricsSink) -> Placement;
+}
+
+/// Final report of a run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// All recorded series.
+    pub metrics: MetricsSink,
+    /// Job statistics at the horizon.
+    pub job_stats: JobStats,
+    /// Control cycles executed.
+    pub cycles: usize,
+    /// Total placement changes enacted.
+    pub total_changes: usize,
+}
+
+/// A planned node outage (failure injection): the node contributes no
+/// CPU or memory during `[from, to)`; running jobs on it are suspended
+/// when it goes down and the controller sees a zero-capacity node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeOutage {
+    /// The failing node.
+    pub node: slaq_types::NodeId,
+    /// Failure instant.
+    pub from: SimTime,
+    /// Recovery instant.
+    pub to: SimTime,
+}
+
+/// The simulator.
+pub struct Simulator {
+    nodes: Vec<NodeCapacity>,
+    job_mgr: JobManager,
+    apps: Vec<TransactionalRuntime>,
+    /// Pending arrivals, sorted by time *descending* (pop from the back).
+    arrivals: Vec<(SimTime, JobSpec)>,
+    placement: Placement,
+    blocked_until: BTreeMap<JobId, SimTime>,
+    metrics: MetricsSink,
+    config: SimConfig,
+    outages: Vec<NodeOutage>,
+    now: SimTime,
+    next_control: SimTime,
+    cycles: usize,
+    total_changes: usize,
+}
+
+impl Simulator {
+    /// Create a simulator over `cluster`.
+    pub fn new(cluster: &ClusterSpec, config: SimConfig) -> Self {
+        Simulator {
+            nodes: NodeCapacity::from_cluster(cluster),
+            job_mgr: JobManager::new(),
+            apps: Vec::new(),
+            arrivals: Vec::new(),
+            placement: Placement::empty(),
+            blocked_until: BTreeMap::new(),
+            metrics: MetricsSink::new(),
+            config,
+            outages: Vec::new(),
+            now: SimTime::ZERO,
+            next_control: SimTime::ZERO,
+            cycles: 0,
+            total_changes: 0,
+        }
+    }
+
+    /// Schedule a node outage (failure injection). May be called multiple
+    /// times, also for the same node.
+    pub fn add_outage(&mut self, outage: NodeOutage) {
+        self.outages.push(outage);
+    }
+
+    /// Nodes with *effective* capacities at instant `t`: a node inside an
+    /// outage window contributes zero CPU and zero memory.
+    fn effective_nodes(&self, t: SimTime) -> Vec<NodeCapacity> {
+        self.nodes
+            .iter()
+            .map(|n| {
+                let down = self
+                    .outages
+                    .iter()
+                    .any(|o| o.node == n.id && o.from <= t && t < o.to);
+                if down {
+                    NodeCapacity {
+                        id: n.id,
+                        cpu: CpuMhz::ZERO,
+                        mem: slaq_types::MemMb::ZERO,
+                    }
+                } else {
+                    *n
+                }
+            })
+            .collect()
+    }
+
+    /// Earliest outage boundary (start or end) after `t`.
+    fn next_outage_event(&self, t: SimTime) -> SimTime {
+        let mut earliest = SimTime::NEVER;
+        for o in &self.outages {
+            if o.from > t {
+                earliest = earliest.min(o.from);
+            }
+            if o.to > t {
+                earliest = earliest.min(o.to);
+            }
+        }
+        earliest
+    }
+
+    /// Strip the placement of anything on nodes that are down at `now`:
+    /// running jobs are force-suspended (they lose their in-flight work's
+    /// node but keep their progress), instances vanish.
+    fn apply_outages(&mut self) -> Result<()> {
+        let down: Vec<slaq_types::NodeId> = self
+            .effective_nodes(self.now)
+            .iter()
+            .filter(|n| n.cpu.is_zero())
+            .map(|n| n.id)
+            .collect();
+        if down.is_empty() {
+            return Ok(());
+        }
+        let victims: Vec<JobId> = self
+            .placement
+            .jobs
+            .iter()
+            .filter(|&(_, &(n, _))| down.contains(&n))
+            .map(|(&j, _)| j)
+            .collect();
+        for job in victims {
+            self.job_mgr.job_mut(job)?.suspend()?;
+            self.placement.jobs.remove(&job);
+            self.blocked_until.remove(&job);
+        }
+        for slices in self.placement.apps.values_mut() {
+            slices.retain(|n, _| !down.contains(n));
+        }
+        Ok(())
+    }
+
+    /// Register a transactional application.
+    pub fn add_app(&mut self, app: TransactionalRuntime) {
+        self.apps.push(app);
+    }
+
+    /// Queue job arrivals (merged with any already queued).
+    pub fn add_arrivals(&mut self, mut stream: Vec<(SimTime, JobSpec)>) {
+        self.arrivals.append(&mut stream);
+        self.arrivals
+            .sort_by(|a, b| b.0.total_cmp(a.0).then(b.1.name.cmp(&a.1.name)));
+    }
+
+    /// Access the job manager (inspection in tests/experiments).
+    pub fn jobs(&self) -> &JobManager {
+        &self.job_mgr
+    }
+
+    /// The placement currently in force.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    fn blocked_set(&self) -> BTreeSet<JobId> {
+        self.blocked_until
+            .iter()
+            .filter(|&(_, &t)| t > self.now)
+            .map(|(&j, _)| j)
+            .collect()
+    }
+
+    fn job_caps(&self) -> BTreeMap<JobId, CpuMhz> {
+        self.job_mgr
+            .jobs()
+            .iter()
+            .filter(|j| j.is_running())
+            .map(|j| (j.id, j.spec.max_speed))
+            .collect()
+    }
+
+    /// Validation requests reflecting the *current* entity population.
+    fn validation_requests(&self, placement: &Placement) -> (Vec<AppRequest>, Vec<JobRequest>) {
+        let apps: Vec<AppRequest> = self
+            .apps
+            .iter()
+            .map(|a| AppRequest {
+                id: a.id,
+                demand: placement.app_alloc(a.id),
+                mem_per_instance: a.spec.mem_per_instance,
+                min_instances: 0,
+                max_instances: a.spec.max_instances,
+            })
+            .collect();
+        let jobs: Vec<JobRequest> = self
+            .job_mgr
+            .jobs()
+            .iter()
+            .map(|j| JobRequest {
+                id: j.id,
+                demand: placement.job_alloc(j.id),
+                mem: j.spec.mem,
+                running_on: match j.state {
+                    JobState::Running { node } => Some(node),
+                    _ => None,
+                },
+                affinity: j.state.node(),
+                priority: 0.0,
+            })
+            .collect();
+        (apps, jobs)
+    }
+
+    /// Enact a controller-issued placement: validate, then apply the diff
+    /// as job lifecycle transitions with their overheads.
+    fn enact(&mut self, next: Placement) -> Result<usize> {
+        // Structural checks against live entities.
+        for &job in next.jobs.keys() {
+            let j = self.job_mgr.job(job)?;
+            if !j.is_active() {
+                return Err(SlaqError::IllegalState(format!(
+                    "controller placed completed {job}"
+                )));
+            }
+        }
+        let (apps, jobs) = self.validation_requests(&next);
+        next.validate(&self.effective_nodes(self.now), &apps, &jobs)?;
+
+        let changes = next.diff(&self.placement);
+        for change in &changes {
+            match *change {
+                PlacementChange::StartJob { job, node } => {
+                    let j = self.job_mgr.job_mut(job)?;
+                    let overhead = match j.state {
+                        JobState::Pending => {
+                            j.start(node, self.now)?;
+                            self.config.overheads.start
+                        }
+                        JobState::Suspended { .. } => {
+                            j.resume(node)?;
+                            self.config.overheads.resume
+                        }
+                        _ => {
+                            return Err(SlaqError::IllegalState(format!(
+                                "{job} cannot start from {:?}",
+                                j.state
+                            )))
+                        }
+                    };
+                    if !overhead.is_zero() {
+                        self.blocked_until.insert(job, self.now + overhead);
+                    }
+                }
+                PlacementChange::SuspendJob { job, .. } => {
+                    self.job_mgr.job_mut(job)?.suspend()?;
+                    self.blocked_until.remove(&job);
+                }
+                PlacementChange::MigrateJob { job, to, .. } => {
+                    self.job_mgr.job_mut(job)?.migrate(to)?;
+                    let overhead = self.config.overheads.migrate;
+                    if !overhead.is_zero() {
+                        self.blocked_until.insert(job, self.now + overhead);
+                    }
+                }
+                // Instances are stateless in the simulator: the new
+                // placement map is the whole truth.
+                PlacementChange::StartInstance { .. } | PlacementChange::StopInstance { .. } => {}
+            }
+        }
+        self.placement = next;
+        Ok(changes.len())
+    }
+
+    /// Next completion instant under current speeds (`NEVER` if none).
+    fn next_completion(&self, speeds: &BTreeMap<JobId, CpuMhz>) -> SimTime {
+        let mut earliest = SimTime::NEVER;
+        for j in self.job_mgr.jobs() {
+            if !j.is_running() {
+                continue;
+            }
+            let speed = speeds.get(&j.id).copied().unwrap_or(CpuMhz::ZERO);
+            if speed.is_zero() {
+                continue;
+            }
+            let t = self.now + SimDuration::from_secs(j.remaining.secs_at(speed));
+            earliest = earliest.min(t);
+        }
+        earliest
+    }
+
+    /// Run to the horizon under `controller`.
+    pub fn run(&mut self, controller: &mut dyn Controller) -> Result<SimReport> {
+        loop {
+            let blocked = self.blocked_set();
+            let caps = self.job_caps();
+            let live_nodes = self.effective_nodes(self.now);
+            let (job_speeds, app_speeds) = effective_speeds(
+                &live_nodes,
+                &self.placement,
+                &caps,
+                &blocked,
+                self.config.cap_transactional,
+            );
+
+            // Next event.
+            let t_arrival = self
+                .arrivals
+                .last()
+                .map(|&(t, _)| t)
+                .unwrap_or(SimTime::NEVER);
+            let t_done = self.next_completion(&job_speeds);
+            let t_unblock = self
+                .blocked_until
+                .values()
+                .filter(|&&t| t > self.now)
+                .fold(SimTime::NEVER, |acc, &t| acc.min(t));
+            let t_next = self
+                .next_control
+                .min(t_arrival)
+                .min(t_done)
+                .min(t_unblock)
+                .min(self.next_outage_event(self.now))
+                .min(self.config.horizon);
+            if std::env::var_os("SLAQ_TRACE").is_some() {
+                eprintln!(
+                    "now={} next={} (ctrl={} arr={} done={} unblk={})",
+                    self.now, t_next, self.next_control, t_arrival, t_done, t_unblock
+                );
+            }
+
+            // Advance to t_next. Run the advance even for zero-length
+            // intervals: sub-nanosecond work remainders complete through
+            // the tolerance in `Job::advance` (otherwise the completion
+            // event would re-fire at the same instant forever).
+            let dt = t_next - self.now;
+            let done = self.job_mgr.advance_running(self.now, dt, |id| {
+                job_speeds.get(&id).copied().unwrap_or(CpuMhz::ZERO)
+            });
+            for (job, _) in done {
+                self.placement.jobs.remove(&job);
+                self.blocked_until.remove(&job);
+            }
+            if !dt.is_zero() {
+                for app in &mut self.apps {
+                    let alloc = app_speeds.get(&app.id).copied().unwrap_or(CpuMhz::ZERO);
+                    app.observe_interval(self.now, dt, alloc);
+                }
+            }
+            let prev_now = self.now;
+            self.now = t_next;
+            self.apply_outages()?;
+
+            if self.now >= self.config.horizon && prev_now >= self.config.horizon {
+                break;
+            }
+
+            // Arrivals at or before now.
+            while self
+                .arrivals
+                .last()
+                .is_some_and(|&(t, _)| t <= self.now)
+            {
+                let (t, spec) = self.arrivals.pop().expect("checked non-empty");
+                self.job_mgr.submit(spec, t)?;
+            }
+
+            // Control cycle.
+            if self.now >= self.next_control {
+                self.run_control(controller)?;
+                self.next_control = self.now + self.config.control_period;
+            }
+
+            // Drop stale unblock entries.
+            let now = self.now;
+            self.blocked_until.retain(|_, &mut t| t > now);
+
+            if self.now >= self.config.horizon {
+                break;
+            }
+        }
+
+        Ok(SimReport {
+            metrics: self.metrics.clone(),
+            job_stats: self.job_mgr.stats(),
+            cycles: self.cycles,
+            total_changes: self.total_changes,
+        })
+    }
+
+    fn run_control(&mut self, controller: &mut dyn Controller) -> Result<()> {
+        // Flush per-app cycle measurements (of the cycle that just ended).
+        for app in &mut self.apps {
+            if let Some((rt, u)) = app.flush_cycle() {
+                self.metrics
+                    .record(&format!("trans_rt_{}", app.id), self.now, rt.as_secs());
+                self.metrics
+                    .record(&format!("trans_utility_{}", app.id), self.now, u);
+                self.metrics.record("trans_utility", self.now, u);
+            }
+        }
+
+        let observations: Vec<AppObservation> = self
+            .apps
+            .iter()
+            .map(|a| a.observation(self.now))
+            .collect();
+        let live_nodes = self.effective_nodes(self.now);
+        let inputs = ControlInputs {
+            now: self.now,
+            nodes: &live_nodes,
+            current: &self.placement,
+            jobs: &self.job_mgr,
+            apps: &observations,
+        };
+        let next = controller.control(&inputs, &mut self.metrics);
+        let n_changes = self.enact(next)?;
+        self.cycles += 1;
+        self.total_changes += n_changes;
+
+        // Mechanical series.
+        let t = self.now;
+        // Controller-neutral job satisfaction: expected utility of every
+        // active job at its *current* effective speed (pending and
+        // suspended jobs project at zero speed, i.e. the SLA floor).
+        // Unlike the controller's hypothetical utility this makes no
+        // fluid-divisibility assumption, so it is recorded for baselines
+        // too and lets experiment E3 compare worst-off-workload
+        // protection across controllers.
+        {
+            // Blocking (start/resume/migration latency) is a transient of
+            // the sampling instant, not a statement about a job's future;
+            // project with an empty blocked set.
+            let caps = self.job_caps();
+            let live_nodes = self.effective_nodes(t);
+            let (job_speeds, _) = effective_speeds(
+                &live_nodes,
+                &self.placement,
+                &caps,
+                &BTreeSet::new(),
+                self.config.cap_transactional,
+            );
+            let mut sum = 0.0;
+            let mut min = f64::INFINITY;
+            let mut n = 0usize;
+            for job in self.job_mgr.jobs() {
+                if !job.is_active() {
+                    continue;
+                }
+                let speed = job_speeds.get(&job.id).copied().unwrap_or(CpuMhz::ZERO);
+                let u = slaq_jobs::JobUtility::of(job, t)
+                    .projected_completion(speed);
+                let u = job.spec.goal.utility_at(u);
+                sum += u;
+                min = min.min(u);
+                n += 1;
+            }
+            if n > 0 {
+                self.metrics.record("jobs_outlook", t, sum / n as f64);
+                self.metrics.record("jobs_outlook_min", t, min);
+            }
+        }
+        self.metrics
+            .record("trans_alloc", t, self.placement.total_app_alloc().as_f64());
+        self.metrics
+            .record("jobs_alloc", t, self.placement.total_job_alloc().as_f64());
+        self.metrics
+            .record("changes", t, n_changes as f64);
+        let stats = self.job_mgr.stats();
+        self.metrics.record("jobs_active", t, (stats.pending + stats.running + stats.suspended) as f64);
+        self.metrics.record("jobs_running", t, stats.running as f64);
+        self.metrics.record("jobs_pending", t, stats.pending as f64);
+        self.metrics.record("jobs_suspended", t, stats.suspended as f64);
+        self.metrics.record("jobs_completed", t, stats.completed as f64);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slaq_types::{AppId, MemMb, NodeId, Work};
+    use slaq_utility::{CompletionGoal, ResponseTimeGoal};
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::homogeneous(2, 4, CpuMhz::new(3000.0), MemMb::new(4096))
+    }
+
+    fn config(horizon: f64) -> SimConfig {
+        SimConfig {
+            control_period: SimDuration::from_secs(600.0),
+            horizon: SimTime::from_secs(horizon),
+            overheads: OverheadConfig {
+                start: SimDuration::ZERO,
+                resume: SimDuration::ZERO,
+                migrate: SimDuration::ZERO,
+            },
+            cap_transactional: false,
+        }
+    }
+
+    fn job_spec(work_secs: f64, submit: f64) -> JobSpec {
+        JobSpec {
+            name: format!("j@{submit}"),
+            total_work: Work::from_power_secs(CpuMhz::new(3000.0), work_secs),
+            max_speed: CpuMhz::new(3000.0),
+            mem: MemMb::new(1280),
+            goal: CompletionGoal::relative(
+                SimTime::from_secs(submit),
+                SimDuration::from_secs(work_secs),
+                1.25,
+                2.0,
+            )
+            .unwrap(),
+        }
+    }
+
+    /// Controller that keeps whatever runs and FCFS-places every pending
+    /// job on the first node with memory room, giving each its max speed
+    /// if CPU remains.
+    struct FcfsController;
+
+    impl Controller for FcfsController {
+        fn control(&mut self, inputs: &ControlInputs<'_>, _m: &mut MetricsSink) -> Placement {
+            let mut next = inputs.current.clone();
+            for job in inputs.jobs.jobs() {
+                if !job.is_active() || next.jobs.contains_key(&job.id) {
+                    continue;
+                }
+                // Find a node with memory and CPU room.
+                for node in inputs.nodes {
+                    let mem_used: u64 = inputs
+                        .jobs
+                        .jobs()
+                        .iter()
+                        .filter(|j| next.job_node(j.id) == Some(node.id))
+                        .map(|j| j.spec.mem.as_u64())
+                        .sum();
+                    let cpu_used = next.node_cpu_used(node.id);
+                    if mem_used + job.spec.mem.as_u64() <= node.mem.as_u64()
+                        && (node.cpu - cpu_used).as_f64() >= job.spec.max_speed.as_f64()
+                    {
+                        next.jobs.insert(job.id, (node.id, job.spec.max_speed));
+                        break;
+                    }
+                }
+            }
+            next
+        }
+    }
+
+    /// Controller that returns a fixed sequence of placements.
+    struct Scripted {
+        script: Vec<Placement>,
+        at: usize,
+    }
+
+    impl Controller for Scripted {
+        fn control(&mut self, inputs: &ControlInputs<'_>, _m: &mut MetricsSink) -> Placement {
+            let p = self
+                .script
+                .get(self.at)
+                .cloned()
+                .unwrap_or_else(|| inputs.current.clone());
+            self.at += 1;
+            p
+        }
+    }
+
+    #[test]
+    fn single_job_runs_to_completion_at_full_speed() {
+        let mut sim = Simulator::new(&cluster(), config(3000.0));
+        sim.add_arrivals(vec![(SimTime::ZERO, job_spec(1000.0, 0.0))]);
+        let report = sim.run(&mut FcfsController).unwrap();
+        assert_eq!(report.job_stats.completed, 1);
+        assert_eq!(report.job_stats.goals_met, 1);
+        assert!((report.job_stats.mean_achieved_utility - 1.0).abs() < 1e-9);
+        // Arrival at 0, first control at 0 places it, completes at 1000.
+        let done = sim.jobs().job(JobId::new(0)).unwrap();
+        assert!(matches!(done.state, JobState::Completed { at } if (at.as_secs() - 1000.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn start_overhead_delays_completion() {
+        let mut cfg = config(3000.0);
+        cfg.overheads.start = SimDuration::from_secs(100.0);
+        let mut sim = Simulator::new(&cluster(), cfg);
+        sim.add_arrivals(vec![(SimTime::ZERO, job_spec(1000.0, 0.0))]);
+        sim.run(&mut FcfsController).unwrap();
+        let done = sim.jobs().job(JobId::new(0)).unwrap();
+        assert!(
+            matches!(done.state, JobState::Completed { at } if (at.as_secs() - 1100.0).abs() < 1e-6),
+            "{:?}",
+            done.state
+        );
+    }
+
+    #[test]
+    fn arrival_mid_experiment_waits_for_next_cycle() {
+        let mut sim = Simulator::new(&cluster(), config(3000.0));
+        // Arrives at 650 s; cycles at 0/600/1200 ⇒ placed at 1200.
+        sim.add_arrivals(vec![(SimTime::from_secs(650.0), job_spec(500.0, 650.0))]);
+        sim.run(&mut FcfsController).unwrap();
+        let done = sim.jobs().job(JobId::new(0)).unwrap();
+        assert!(
+            matches!(done.state, JobState::Completed { at } if (at.as_secs() - 1700.0).abs() < 1e-6),
+            "{:?}",
+            done.state
+        );
+    }
+
+    #[test]
+    fn memory_constrains_concurrent_jobs_fcfs_queues_rest() {
+        // 2 nodes × 3 job slots = 6 concurrent; submit 8 equal jobs.
+        let mut sim = Simulator::new(&cluster(), config(4000.0));
+        let arrivals: Vec<(SimTime, JobSpec)> = (0..8)
+            .map(|i| (SimTime::ZERO, job_spec(1000.0, 0.0 + i as f64 * 0.0)))
+            .collect();
+        sim.add_arrivals(arrivals);
+        let report = sim.run(&mut FcfsController).unwrap();
+        // 6 finish at ~1000; the 2 queued start at the 1200 cycle, done 2200.
+        assert_eq!(report.job_stats.completed, 8);
+        let completed_at: Vec<f64> = sim
+            .jobs()
+            .jobs()
+            .iter()
+            .filter_map(|j| match j.state {
+                JobState::Completed { at } => Some(at.as_secs()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            completed_at.iter().filter(|&&t| t < 1100.0).count(),
+            6,
+            "{completed_at:?}"
+        );
+        assert_eq!(completed_at.iter().filter(|&&t| t > 2000.0).count(), 2);
+    }
+
+    #[test]
+    fn scripted_suspension_pauses_progress() {
+        let mut run_then_suspend = Vec::new();
+        let mut p0 = Placement::empty();
+        p0.jobs
+            .insert(JobId::new(0), (NodeId::new(0), CpuMhz::new(3000.0)));
+        run_then_suspend.push(p0.clone()); // t=0: run
+        run_then_suspend.push(Placement::empty()); // t=600: suspend
+        run_then_suspend.push(p0); // t=1200: resume
+        let mut sim = Simulator::new(&cluster(), config(3000.0));
+        sim.add_arrivals(vec![(SimTime::ZERO, job_spec(1000.0, 0.0))]);
+        let mut ctrl = Scripted {
+            script: run_then_suspend,
+            at: 0,
+        };
+        let report = sim.run(&mut ctrl).unwrap();
+        // 600 s done before suspend; 400 s left after resume at 1200 ⇒ 1600.
+        let done = sim.jobs().job(JobId::new(0)).unwrap();
+        assert!(
+            matches!(done.state, JobState::Completed { at } if (at.as_secs() - 1600.0).abs() < 1e-6),
+            "{:?}",
+            done.state
+        );
+        assert_eq!(report.job_stats.disruptions, 1);
+    }
+
+    #[test]
+    fn overcommitted_placement_is_rejected() {
+        // 4 jobs on one node: 4×1280 MB > 4096 MB.
+        let mut bad = Placement::empty();
+        for i in 0..4 {
+            bad.jobs
+                .insert(JobId::new(i), (NodeId::new(0), CpuMhz::new(1000.0)));
+        }
+        let mut sim = Simulator::new(&cluster(), config(2000.0));
+        sim.add_arrivals(
+            (0..4)
+                .map(|_| (SimTime::ZERO, job_spec(1000.0, 0.0)))
+                .collect(),
+        );
+        let mut ctrl = Scripted {
+            script: vec![bad],
+            at: 0,
+        };
+        let err = sim.run(&mut ctrl).unwrap_err();
+        assert!(matches!(err, SlaqError::CapacityViolation { .. }), "{err}");
+    }
+
+    #[test]
+    fn transactional_app_measures_rt_and_utility() {
+        struct AppOnly;
+        impl Controller for AppOnly {
+            fn control(&mut self, inputs: &ControlInputs<'_>, _m: &mut MetricsSink) -> Placement {
+                // One instance on each node, guarantee = half the node.
+                let mut p = Placement::empty();
+                for node in inputs.nodes {
+                    p.apps
+                        .entry(AppId::new(0))
+                        .or_default()
+                        .insert(node.id, node.cpu * 0.5);
+                }
+                p
+            }
+        }
+        let mut sim = Simulator::new(&cluster(), config(1800.0));
+        let spec = slaq_perfmodel::TransactionalSpec {
+            name: "shop".into(),
+            service_per_request: Work::new(2000.0),
+            rt_goal: ResponseTimeGoal::new(SimDuration::from_secs(0.5)).unwrap(),
+            mem_per_instance: MemMb::new(1024),
+            max_instances: 2,
+            min_instances: 1,
+            u_cap: 0.9,
+        };
+        sim.add_app(
+            TransactionalRuntime::new(AppId::new(0), spec, Box::new(|_| 5.0), 0.5).unwrap(),
+        );
+        let report = sim.run(&mut AppOnly).unwrap();
+        // Effective alloc = full cluster (work-conserving spare): 24 000.
+        // RT = 2000/(24 000 − 10 000) ≈ 0.1429 s ⇒ u ≈ 0.714.
+        let u = report.metrics.last("trans_utility").unwrap();
+        assert!((u - (1.0 - 0.14285714 / 0.5)).abs() < 1e-3, "{u}");
+        let rt = report.metrics.last("trans_rt_app0").unwrap();
+        assert!((rt - 0.14285714).abs() < 1e-3, "{rt}");
+    }
+
+    #[test]
+    fn metrics_track_job_population() {
+        let mut sim = Simulator::new(&cluster(), config(2500.0));
+        sim.add_arrivals(
+            (0..3)
+                .map(|i| (SimTime::from_secs(100.0 * i as f64), job_spec(5000.0, 100.0 * i as f64)))
+                .collect(),
+        );
+        let report = sim.run(&mut FcfsController).unwrap();
+        assert_eq!(report.metrics.last("jobs_running"), Some(3.0));
+        assert!(report.cycles >= 4);
+        assert!(report.total_changes >= 3);
+    }
+}

@@ -1,0 +1,98 @@
+//! Workspace-wide error type.
+
+use crate::ids::{AppId, JobId, NodeId};
+use std::fmt;
+
+/// Errors surfaced by the slaq workspace.
+///
+/// Kept as a single enum (rather than per-crate error types) because the
+/// control loop composes every subsystem and callers almost always handle
+/// these uniformly: log, skip the cycle, continue.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SlaqError {
+    /// An identifier referred to a node that does not exist.
+    UnknownNode(NodeId),
+    /// An identifier referred to an application that does not exist.
+    UnknownApp(AppId),
+    /// An identifier referred to a job that does not exist.
+    UnknownJob(JobId),
+    /// A specification was internally inconsistent (message explains).
+    InvalidSpec(String),
+    /// A solver failed to converge or was handed an infeasible instance.
+    Solver(String),
+    /// A placement plan violated a capacity constraint when applied.
+    CapacityViolation {
+        /// Node where the violation occurred.
+        node: NodeId,
+        /// Human-readable description of the violated constraint.
+        detail: String,
+    },
+    /// An operation was attempted in an illegal lifecycle state
+    /// (e.g. resuming a job that never started).
+    IllegalState(String),
+    /// I/O error while writing experiment artifacts.
+    Io(String),
+}
+
+impl fmt::Display for SlaqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlaqError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            SlaqError::UnknownApp(a) => write!(f, "unknown application {a}"),
+            SlaqError::UnknownJob(j) => write!(f, "unknown job {j}"),
+            SlaqError::InvalidSpec(msg) => write!(f, "invalid specification: {msg}"),
+            SlaqError::Solver(msg) => write!(f, "solver error: {msg}"),
+            SlaqError::CapacityViolation { node, detail } => {
+                write!(f, "capacity violation on {node}: {detail}")
+            }
+            SlaqError::IllegalState(msg) => write!(f, "illegal state: {msg}"),
+            SlaqError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SlaqError {}
+
+impl From<std::io::Error> for SlaqError {
+    fn from(e: std::io::Error) -> Self {
+        SlaqError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        assert_eq!(
+            SlaqError::UnknownNode(NodeId::new(3)).to_string(),
+            "unknown node node3"
+        );
+        assert_eq!(
+            SlaqError::CapacityViolation {
+                node: NodeId::new(1),
+                detail: "memory 5000 MB > 4096 MB".into()
+            }
+            .to_string(),
+            "capacity violation on node1: memory 5000 MB > 4096 MB"
+        );
+        assert!(SlaqError::Solver("no convergence".into())
+            .to_string()
+            .contains("no convergence"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: SlaqError = io.into();
+        assert!(matches!(e, SlaqError::Io(_)));
+        assert!(e.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SlaqError::IllegalState("x".into()));
+    }
+}

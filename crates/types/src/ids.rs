@@ -1,0 +1,200 @@
+//! Identifiers for nodes, transactional applications, long-running jobs,
+//! and the unified *entity* abstraction used by the utility equalizer.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a raw index.
+            #[inline]
+            pub fn new(raw: u32) -> Self {
+                $name(raw)
+            }
+
+            /// Raw index.
+            #[inline]
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Raw index widened for slice indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                $name(raw)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A physical node (machine) in the cluster.
+    NodeId,
+    "node"
+);
+id_newtype!(
+    /// A transactional (clustered web) application.
+    AppId,
+    "app"
+);
+id_newtype!(
+    /// A long-running job.
+    JobId,
+    "job"
+);
+
+/// An *entity* competing for CPU power in the utility equalizer.
+///
+/// The paper's algorithm "operates by continuously stealing resources from
+/// the more satisfied applications to later be given to the less satisfied
+/// applications", where "applications" spans both workload classes: each
+/// transactional application and each long-running job is one entity with a
+/// monotone utility-of-CPU curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EntityId {
+    /// A transactional application.
+    App(AppId),
+    /// A long-running job.
+    Job(JobId),
+}
+
+impl EntityId {
+    /// `true` if this entity is a transactional application.
+    #[inline]
+    pub fn is_app(self) -> bool {
+        matches!(self, EntityId::App(_))
+    }
+
+    /// `true` if this entity is a long-running job.
+    #[inline]
+    pub fn is_job(self) -> bool {
+        matches!(self, EntityId::Job(_))
+    }
+
+    /// The application id, if this entity is one.
+    #[inline]
+    pub fn as_app(self) -> Option<AppId> {
+        match self {
+            EntityId::App(a) => Some(a),
+            EntityId::Job(_) => None,
+        }
+    }
+
+    /// The job id, if this entity is one.
+    #[inline]
+    pub fn as_job(self) -> Option<JobId> {
+        match self {
+            EntityId::Job(j) => Some(j),
+            EntityId::App(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EntityId::App(a) => write!(f, "{a}"),
+            EntityId::Job(j) => write!(f, "{j}"),
+        }
+    }
+}
+
+impl From<AppId> for EntityId {
+    fn from(a: AppId) -> Self {
+        EntityId::App(a)
+    }
+}
+
+impl From<JobId> for EntityId {
+    fn from(j: JobId) -> Self {
+        EntityId::Job(j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_display_with_prefixes() {
+        assert_eq!(NodeId::new(3).to_string(), "node3");
+        assert_eq!(AppId::new(0).to_string(), "app0");
+        assert_eq!(JobId::new(17).to_string(), "job17");
+    }
+
+    #[test]
+    fn ids_index_widen() {
+        assert_eq!(NodeId::new(25).index(), 25usize);
+        assert_eq!(JobId::from(7u32).raw(), 7);
+    }
+
+    #[test]
+    fn entity_classification() {
+        let e: EntityId = AppId::new(1).into();
+        assert!(e.is_app());
+        assert!(!e.is_job());
+        assert_eq!(e.as_app(), Some(AppId::new(1)));
+        assert_eq!(e.as_job(), None);
+
+        let e: EntityId = JobId::new(2).into();
+        assert!(e.is_job());
+        assert_eq!(e.as_job(), Some(JobId::new(2)));
+        assert_eq!(e.to_string(), "job2");
+    }
+
+    #[test]
+    fn entities_hash_and_order() {
+        let mut set = HashSet::new();
+        set.insert(EntityId::App(AppId::new(1)));
+        set.insert(EntityId::Job(JobId::new(1)));
+        set.insert(EntityId::App(AppId::new(1)));
+        assert_eq!(set.len(), 2);
+
+        // Apps order before jobs (enum declaration order); same-kind by id.
+        let mut v = vec![
+            EntityId::Job(JobId::new(0)),
+            EntityId::App(AppId::new(5)),
+            EntityId::App(AppId::new(2)),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                EntityId::App(AppId::new(2)),
+                EntityId::App(AppId::new(5)),
+                EntityId::Job(JobId::new(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = EntityId::Job(JobId::new(9));
+        let s = serde_json::to_string(&e).unwrap();
+        let back: EntityId = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, e);
+        let n = NodeId::new(4);
+        assert_eq!(serde_json::to_string(&n).unwrap(), "4");
+    }
+}

@@ -1,0 +1,321 @@
+//! The [`UtilityOfCpu`] abstraction: monotone non-decreasing utility as a
+//! function of allocated CPU power, with inverse demand queries.
+//!
+//! The equalizer (see [`crate::equalize`]) sees every transactional
+//! application and every long-running job through this one interface; the
+//! adapters that *produce* these curves live where the domain knowledge
+//! lives (queueing model in `slaq-perfmodel`, completion-time projection in
+//! `slaq-jobs`).
+
+use crate::curve::{Monotonicity, PiecewiseLinear};
+use serde::{Deserialize, Serialize};
+use slaq_types::CpuMhz;
+
+/// A monotone non-decreasing mapping from allocated CPU power to utility.
+///
+/// Contract (checked by the property tests in this crate and relied upon by
+/// the equalization solvers):
+///
+/// * `utility` is non-decreasing in `cpu` and constant at
+///   `max_utility()` for `cpu ≥ max_useful_cpu()`;
+/// * `cpu_for_utility(u)` returns the *least* CPU reaching utility ≥ `u`
+///   (`None` iff `u > max_utility()`), so
+///   `utility(cpu_for_utility(u)) ≥ u − ε`.
+pub trait UtilityOfCpu {
+    /// Utility obtained from an allocation of `cpu`.
+    fn utility(&self, cpu: CpuMhz) -> f64;
+
+    /// Least CPU allocation achieving utility ≥ `u`, or `None` if `u`
+    /// exceeds [`UtilityOfCpu::max_utility`].
+    fn cpu_for_utility(&self, u: f64) -> Option<CpuMhz>;
+
+    /// The allocation beyond which utility stops improving — the entity's
+    /// *demand for maximum utility* (what Figure 2 plots per workload).
+    fn max_useful_cpu(&self) -> CpuMhz;
+
+    /// Utility at [`UtilityOfCpu::max_useful_cpu`] (the saturation level).
+    fn max_utility(&self) -> f64 {
+        self.utility(self.max_useful_cpu())
+    }
+
+    /// Utility at zero allocation.
+    fn utility_at_zero(&self) -> f64 {
+        self.utility(CpuMhz::ZERO)
+    }
+}
+
+/// A utility-of-CPU curve tabulated as a non-decreasing
+/// [`PiecewiseLinear`] over `cpu ≥ 0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TabulatedUtility {
+    curve: PiecewiseLinear,
+    max_useful: CpuMhz,
+}
+
+impl TabulatedUtility {
+    /// Wrap a non-decreasing curve defined on non-negative CPU. Returns
+    /// `None` if the curve decreases anywhere or starts at negative x.
+    pub fn new(curve: PiecewiseLinear) -> Option<Self> {
+        match curve.monotonicity() {
+            Monotonicity::NonDecreasing | Monotonicity::Constant => {}
+            Monotonicity::NonIncreasing => return None,
+        }
+        if curve.x_min() < 0.0 {
+            return None;
+        }
+        let max_useful = CpuMhz::new(
+            curve
+                .inverse_min_x(curve.y_max())
+                .unwrap_or_else(|| curve.x_max()),
+        );
+        Some(TabulatedUtility { curve, max_useful })
+    }
+
+    /// Tabulate a monotone non-decreasing function `f(cpu_mhz) → utility`
+    /// on `[0, cpu_max]` with `n ≥ 2` sample points. Floating-point noise
+    /// is monotonized with a running maximum so the result always satisfies
+    /// the [`UtilityOfCpu`] contract.
+    pub fn from_fn(f: impl Fn(f64) -> f64, cpu_max: CpuMhz, n: usize) -> Option<Self> {
+        if n < 2 || cpu_max.as_f64() <= 0.0 {
+            return None;
+        }
+        let mut pts = Vec::with_capacity(n);
+        let mut running = f64::NEG_INFINITY;
+        for i in 0..n {
+            let x = cpu_max.as_f64() * (i as f64) / ((n - 1) as f64);
+            let mut y = f(x);
+            if !y.is_finite() {
+                return None;
+            }
+            if y < running {
+                y = running; // monotonize fp noise
+            }
+            running = y;
+            pts.push((x, y));
+        }
+        Self::new(PiecewiseLinear::new(pts)?)
+    }
+
+    /// The underlying curve.
+    pub fn curve(&self) -> &PiecewiseLinear {
+        &self.curve
+    }
+}
+
+impl UtilityOfCpu for TabulatedUtility {
+    fn utility(&self, cpu: CpuMhz) -> f64 {
+        self.curve.eval(cpu.as_f64())
+    }
+
+    fn cpu_for_utility(&self, u: f64) -> Option<CpuMhz> {
+        match self.curve.inverse_min_x(u) {
+            Some(x) => Some(CpuMhz::new(x.max(0.0))),
+            None => {
+                // Constant curves: reachable iff u <= the constant.
+                if u <= self.curve.y_max() {
+                    Some(CpuMhz::ZERO)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn max_useful_cpu(&self) -> CpuMhz {
+        self.max_useful
+    }
+
+    fn max_utility(&self) -> f64 {
+        self.curve.y_max()
+    }
+
+    fn utility_at_zero(&self) -> f64 {
+        self.curve.eval(0.0)
+    }
+}
+
+/// Analytic utility that rises linearly from `u_zero` at zero allocation to
+/// `u_cap` at `cap`, then saturates. The simplest useful entity; heavily
+/// used in tests and as a fallback model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CappedLinearUtility {
+    /// Utility at zero allocation.
+    pub u_zero: f64,
+    /// Utility at (and beyond) `cap`.
+    pub u_cap: f64,
+    /// The saturating allocation (demand for maximum utility).
+    pub cap: CpuMhz,
+}
+
+impl CappedLinearUtility {
+    /// Create; requires `u_cap ≥ u_zero` and `cap ≥ 0`.
+    pub fn new(u_zero: f64, u_cap: f64, cap: CpuMhz) -> Option<Self> {
+        (u_cap >= u_zero && cap.as_f64() >= 0.0 && u_zero.is_finite() && u_cap.is_finite())
+            .then_some(CappedLinearUtility { u_zero, u_cap, cap })
+    }
+}
+
+impl UtilityOfCpu for CappedLinearUtility {
+    fn utility(&self, cpu: CpuMhz) -> f64 {
+        if self.cap.is_zero() {
+            return self.u_cap;
+        }
+        let t = (cpu.as_f64() / self.cap.as_f64()).clamp(0.0, 1.0);
+        self.u_zero + t * (self.u_cap - self.u_zero)
+    }
+
+    fn cpu_for_utility(&self, u: f64) -> Option<CpuMhz> {
+        if u > self.u_cap {
+            return None;
+        }
+        if u <= self.u_zero || self.cap.is_zero() {
+            return Some(CpuMhz::ZERO);
+        }
+        let t = (u - self.u_zero) / (self.u_cap - self.u_zero);
+        Some(CpuMhz::new(t * self.cap.as_f64()))
+    }
+
+    fn max_useful_cpu(&self) -> CpuMhz {
+        if (self.u_cap - self.u_zero).abs() < f64::EPSILON {
+            CpuMhz::ZERO // flat curve: no CPU is useful
+        } else {
+            self.cap
+        }
+    }
+
+    fn max_utility(&self) -> f64 {
+        self.u_cap
+    }
+
+    fn utility_at_zero(&self) -> f64 {
+        self.u_zero
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tab(points: Vec<(f64, f64)>) -> TabulatedUtility {
+        TabulatedUtility::new(PiecewiseLinear::new(points).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn tabulated_rejects_decreasing_or_negative_domain() {
+        assert!(TabulatedUtility::new(
+            PiecewiseLinear::new(vec![(0.0, 1.0), (10.0, 0.0)]).unwrap()
+        )
+        .is_none());
+        assert!(TabulatedUtility::new(
+            PiecewiseLinear::new(vec![(-5.0, 0.0), (10.0, 1.0)]).unwrap()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn tabulated_max_useful_cpu_is_first_saturation_point() {
+        // Utility saturates at 0.8 from cpu=600 onward.
+        let t = tab(vec![(0.0, 0.0), (600.0, 0.8), (1000.0, 0.8)]);
+        assert_eq!(t.max_useful_cpu(), CpuMhz::new(600.0));
+        assert_eq!(t.max_utility(), 0.8);
+        assert_eq!(t.utility(CpuMhz::new(2000.0)), 0.8);
+    }
+
+    #[test]
+    fn tabulated_inverse_queries() {
+        let t = tab(vec![(0.0, -0.5), (1000.0, 0.5)]);
+        assert_eq!(t.cpu_for_utility(0.0), Some(CpuMhz::new(500.0)));
+        assert_eq!(t.cpu_for_utility(-0.5), Some(CpuMhz::new(0.0)));
+        assert_eq!(t.cpu_for_utility(-2.0), Some(CpuMhz::new(0.0)));
+        assert_eq!(t.cpu_for_utility(0.5), Some(CpuMhz::new(1000.0)));
+        assert_eq!(t.cpu_for_utility(0.51), None);
+    }
+
+    #[test]
+    fn from_fn_samples_and_monotonizes() {
+        // sqrt-ish diminishing returns curve.
+        let t = TabulatedUtility::from_fn(|x| (x / 1000.0).sqrt().min(1.0), CpuMhz::new(2000.0), 64)
+            .unwrap();
+        assert!(t.utility(CpuMhz::ZERO).abs() < 1e-12);
+        assert!((t.utility(CpuMhz::new(1000.0)) - 1.0).abs() < 0.02);
+        assert_eq!(t.max_utility(), 1.0);
+        // Degenerate inputs rejected.
+        assert!(TabulatedUtility::from_fn(|_| 0.0, CpuMhz::ZERO, 8).is_none());
+        assert!(TabulatedUtility::from_fn(|_| 0.0, CpuMhz::new(10.0), 1).is_none());
+        assert!(TabulatedUtility::from_fn(|_| f64::NAN, CpuMhz::new(10.0), 4).is_none());
+    }
+
+    #[test]
+    fn constant_tabulated_curve_answers_conservatively() {
+        let t = TabulatedUtility::new(PiecewiseLinear::constant(0.7)).unwrap();
+        assert_eq!(t.max_utility(), 0.7);
+        assert_eq!(t.cpu_for_utility(0.7), Some(CpuMhz::ZERO));
+        assert_eq!(t.cpu_for_utility(0.71), None);
+        assert_eq!(t.max_useful_cpu(), CpuMhz::ZERO);
+    }
+
+    #[test]
+    fn capped_linear_basicss() {
+        let c = CappedLinearUtility::new(0.0, 1.0, CpuMhz::new(3000.0)).unwrap();
+        assert_eq!(c.utility(CpuMhz::new(1500.0)), 0.5);
+        assert_eq!(c.utility(CpuMhz::new(9000.0)), 1.0);
+        assert_eq!(c.cpu_for_utility(0.5), Some(CpuMhz::new(1500.0)));
+        assert_eq!(c.cpu_for_utility(1.1), None);
+        assert_eq!(c.max_useful_cpu(), CpuMhz::new(3000.0));
+    }
+
+    #[test]
+    fn capped_linear_flat_curve_has_zero_useful_cpu() {
+        let c = CappedLinearUtility::new(0.6, 0.6, CpuMhz::new(3000.0)).unwrap();
+        assert_eq!(c.max_useful_cpu(), CpuMhz::ZERO);
+        assert_eq!(c.utility(CpuMhz::ZERO), 0.6);
+        assert_eq!(c.cpu_for_utility(0.6), Some(CpuMhz::ZERO));
+    }
+
+    #[test]
+    fn capped_linear_rejects_decreasing() {
+        assert!(CappedLinearUtility::new(0.5, 0.1, CpuMhz::new(100.0)).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_capped_linear_inverse_roundtrip(
+            u_zero in -1.0..0.5f64,
+            gain in 0.01..1.0f64,
+            cap in 1.0..10_000.0f64,
+            q in 0.0..1.0f64,
+        ) {
+            let u_cap = (u_zero + gain).min(1.0);
+            let c = CappedLinearUtility::new(u_zero, u_cap, CpuMhz::new(cap)).unwrap();
+            let target = u_zero + q * (u_cap - u_zero);
+            let cpu = c.cpu_for_utility(target).unwrap();
+            prop_assert!(c.utility(cpu) >= target - 1e-9);
+            prop_assert!(cpu.as_f64() <= cap + 1e-9);
+        }
+
+        #[test]
+        fn prop_tabulated_contract(
+            cap in 100.0..5000.0f64,
+            q in -1.0..1.0f64,
+        ) {
+            let t = TabulatedUtility::from_fn(
+                |x| -0.2 + 1.2 * (x / cap).min(1.0),
+                CpuMhz::new(cap),
+                33,
+            ).unwrap();
+            if let Some(cpu) = t.cpu_for_utility(q) {
+                prop_assert!(t.utility(cpu) >= q - 1e-9);
+            } else {
+                prop_assert!(q > t.max_utility());
+            }
+            // Monotone non-decreasing along a grid.
+            let mut prev = f64::NEG_INFINITY;
+            for i in 0..20 {
+                let u = t.utility(CpuMhz::new(cap * i as f64 / 10.0));
+                prop_assert!(u >= prev - 1e-12);
+                prev = u;
+            }
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! SLA goal vocabulary: completion-time goals for long-running jobs and
+//! response-time goals for transactional applications.
+//!
+//! Both goal types compile to a monotone [`PiecewiseLinear`] utility curve,
+//! making the two workload classes' performance *comparable* — the paper's
+//! key trick for trading off resources between them.
+
+use crate::curve::PiecewiseLinear;
+use crate::{U_MAX, U_MIN};
+use serde::{Deserialize, Serialize};
+use slaq_types::{SimDuration, SimTime};
+
+/// Completion-time SLA for a long-running job.
+///
+/// Utility as a function of the (actual or projected) completion time `t`:
+///
+/// ```text
+/// u(t) = max_utility                     for t ≤ earliest
+///        linear: max_utility→goal_utility for earliest < t ≤ goal
+///        linear: goal_utility→min_utility for goal < t ≤ exhausted
+///        min_utility                     for t > exhausted
+/// ```
+///
+/// "The actual utility achieved by a job can only be calculated at
+/// completion time (as a function of actual completion time and the
+/// objective completion time)" — this struct is that function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompletionGoal {
+    /// Completion instant at (or before) which utility is maximal —
+    /// typically the job's fastest possible finish.
+    pub earliest: SimTime,
+    /// The SLA objective completion time.
+    pub goal: SimTime,
+    /// Instant past which utility bottoms out at `min_utility`.
+    pub exhausted: SimTime,
+    /// Utility for finishing at or before `earliest` (defaults to 1.0).
+    pub max_utility: f64,
+    /// Utility for finishing exactly at `goal` (defaults to 0.5).
+    pub goal_utility: f64,
+    /// Utility floor (defaults to 0.0).
+    pub min_utility: f64,
+}
+
+impl CompletionGoal {
+    /// Standard goal shape used throughout the experiments: utility 1.0 up
+    /// to the fastest finish, 0.5 at the goal, 0.0 at `exhausted`.
+    pub fn new(earliest: SimTime, goal: SimTime, exhausted: SimTime) -> Option<Self> {
+        let g = CompletionGoal {
+            earliest,
+            goal,
+            exhausted,
+            max_utility: U_MAX,
+            goal_utility: 0.5,
+            min_utility: 0.0,
+        };
+        g.validate().then_some(g)
+    }
+
+    /// Goal relative to a submission: fastest finish after `fastest` work
+    /// time, goal at `goal_factor × fastest`, exhausted at
+    /// `exhausted_factor × fastest` (factors ≥ 1, exhausted ≥ goal).
+    ///
+    /// This is how the evaluation derives per-job SLAs for the 800
+    /// identical jobs: identical *relative* goals anchored at each job's
+    /// submission time.
+    pub fn relative(
+        submit: SimTime,
+        fastest: SimDuration,
+        goal_factor: f64,
+        exhausted_factor: f64,
+    ) -> Option<Self> {
+        if !(goal_factor >= 1.0 && exhausted_factor >= goal_factor) {
+            return None;
+        }
+        Self::new(
+            submit + fastest,
+            submit + fastest * goal_factor,
+            submit + fastest * exhausted_factor,
+        )
+    }
+
+    fn validate(&self) -> bool {
+        self.earliest.as_secs().is_finite()
+            && self.goal.as_secs().is_finite()
+            && self.exhausted.as_secs().is_finite()
+            && self.earliest <= self.goal
+            && self.goal <= self.exhausted
+            && self.max_utility >= self.goal_utility
+            && self.goal_utility >= self.min_utility
+            && self.max_utility <= U_MAX
+            && self.min_utility >= U_MIN
+    }
+
+    /// Utility of completing at instant `t`.
+    pub fn utility_at(&self, t: SimTime) -> f64 {
+        if t.is_never() {
+            return self.min_utility;
+        }
+        self.curve().eval(t.as_secs())
+    }
+
+    /// The full (non-increasing) utility-of-completion-time curve.
+    pub fn curve(&self) -> PiecewiseLinear {
+        let mut pts: Vec<(f64, f64)> = Vec::with_capacity(3);
+        let mut push = |x: f64, y: f64| {
+            // Coincident breakpoints (e.g. earliest == goal) encode a step;
+            // nudge by a microsecond to keep the curve a function while
+            // preserving both utility levels.
+            let x = match pts.last() {
+                Some(&(px, _)) if x <= px => px + 1e-6,
+                _ => x,
+            };
+            pts.push((x, y));
+        };
+        push(self.earliest.as_secs(), self.max_utility);
+        push(self.goal.as_secs(), self.goal_utility);
+        push(self.exhausted.as_secs(), self.min_utility);
+        PiecewiseLinear::new(pts).expect("CompletionGoal invariants guarantee a monotone curve")
+    }
+
+    /// Latest completion instant that still yields utility ≥ `u`
+    /// ([`SimTime::NEVER`] if every completion does).
+    pub fn latest_for_utility(&self, u: f64) -> SimTime {
+        if u <= self.min_utility {
+            return SimTime::NEVER;
+        }
+        match self.curve().inverse_max_x(u) {
+            Some(x) => SimTime::from_secs(x),
+            None => self.earliest, // u above max: only "impossible" — report earliest
+        }
+    }
+}
+
+/// Response-time SLA for a transactional application.
+///
+/// Utility of observed (or predicted) mean response time `rt`:
+/// `u = (τ − rt) / τ`, clipped to `[U_MIN, U_MAX]` — the linear
+/// normalized-distance-to-goal form used by the authors' transactional
+/// framework (NOMS'08, reference [2]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResponseTimeGoal {
+    /// The response-time objective τ.
+    pub target: SimDuration,
+}
+
+impl ResponseTimeGoal {
+    /// Create a goal; `target` must be positive and finite.
+    pub fn new(target: SimDuration) -> Option<Self> {
+        (target.as_secs() > 0.0 && target.as_secs().is_finite())
+            .then_some(ResponseTimeGoal { target })
+    }
+
+    /// Utility of a response time.
+    pub fn utility_of_rt(&self, rt: SimDuration) -> f64 {
+        let tau = self.target.as_secs();
+        if rt.is_infinite() {
+            return U_MIN;
+        }
+        ((tau - rt.as_secs()) / tau).clamp(U_MIN, U_MAX)
+    }
+
+    /// The (non-increasing) utility-of-response-time curve, tabulated on
+    /// `[0, 2τ]` (utility is `U_MIN` beyond `2τ` by clipping).
+    pub fn curve(&self) -> PiecewiseLinear {
+        let tau = self.target.as_secs();
+        PiecewiseLinear::new(vec![(0.0, U_MAX), (2.0 * tau, U_MIN)])
+            .expect("two distinct x, decreasing y")
+    }
+
+    /// Largest response time with utility ≥ `u`.
+    pub fn rt_for_utility(&self, u: f64) -> SimDuration {
+        if u <= U_MIN {
+            return SimDuration::INFINITE;
+        }
+        let u = u.min(U_MAX);
+        SimDuration::from_secs(self.target.as_secs() * (1.0 - u))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn goal() -> CompletionGoal {
+        CompletionGoal::new(
+            SimTime::from_secs(1000.0),
+            SimTime::from_secs(2000.0),
+            SimTime::from_secs(4000.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn completion_goal_shape() {
+        let g = goal();
+        assert_eq!(g.utility_at(SimTime::from_secs(0.0)), 1.0);
+        assert_eq!(g.utility_at(SimTime::from_secs(1000.0)), 1.0);
+        assert_eq!(g.utility_at(SimTime::from_secs(1500.0)), 0.75);
+        assert_eq!(g.utility_at(SimTime::from_secs(2000.0)), 0.5);
+        assert_eq!(g.utility_at(SimTime::from_secs(3000.0)), 0.25);
+        assert_eq!(g.utility_at(SimTime::from_secs(4000.0)), 0.0);
+        assert_eq!(g.utility_at(SimTime::from_secs(9e9)), 0.0);
+        assert_eq!(g.utility_at(SimTime::NEVER), 0.0);
+    }
+
+    #[test]
+    fn completion_goal_rejects_disordered_times() {
+        assert!(CompletionGoal::new(
+            SimTime::from_secs(2000.0),
+            SimTime::from_secs(1000.0),
+            SimTime::from_secs(4000.0),
+        )
+        .is_none());
+        assert!(CompletionGoal::new(
+            SimTime::from_secs(1000.0),
+            SimTime::from_secs(2000.0),
+            SimTime::from_secs(1500.0),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn relative_goal_anchors_at_submission() {
+        let g = CompletionGoal::relative(
+            SimTime::from_secs(500.0),
+            SimDuration::from_secs(14_400.0),
+            1.25,
+            2.0,
+        )
+        .unwrap();
+        assert_eq!(g.earliest.as_secs(), 500.0 + 14_400.0);
+        assert_eq!(g.goal.as_secs(), 500.0 + 18_000.0);
+        assert_eq!(g.exhausted.as_secs(), 500.0 + 28_800.0);
+        assert!(CompletionGoal::relative(
+            SimTime::ZERO,
+            SimDuration::from_secs(100.0),
+            0.9, // goal before fastest finish: invalid
+            2.0
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn degenerate_goal_with_coincident_breakpoints() {
+        // earliest == goal: utility drops straight from max at the goal.
+        let g = CompletionGoal::new(
+            SimTime::from_secs(100.0),
+            SimTime::from_secs(100.0),
+            SimTime::from_secs(200.0),
+        )
+        .unwrap();
+        assert_eq!(g.utility_at(SimTime::from_secs(99.0)), 1.0);
+        assert!((g.utility_at(SimTime::from_secs(150.0)) - 0.25).abs() < 1e-6);
+        assert_eq!(g.utility_at(SimTime::from_secs(200.0)), 0.0);
+        // All three coincident: a step function collapses to a constant.
+        let g2 = CompletionGoal::new(
+            SimTime::from_secs(100.0),
+            SimTime::from_secs(100.0),
+            SimTime::from_secs(100.0),
+        )
+        .unwrap();
+        assert_eq!(g2.utility_at(SimTime::from_secs(50.0)), 1.0);
+    }
+
+    #[test]
+    fn latest_for_utility_inverts_the_curve() {
+        let g = goal();
+        assert_eq!(g.latest_for_utility(1.0).as_secs(), 1000.0);
+        assert_eq!(g.latest_for_utility(0.5).as_secs(), 2000.0);
+        assert_eq!(g.latest_for_utility(0.25).as_secs(), 3000.0);
+        assert!(g.latest_for_utility(0.0).is_never());
+        assert!(g.latest_for_utility(-0.5).is_never());
+    }
+
+    #[test]
+    fn response_time_goal_utility() {
+        let g = ResponseTimeGoal::new(SimDuration::from_secs(1.0)).unwrap();
+        assert_eq!(g.utility_of_rt(SimDuration::ZERO), 1.0);
+        assert_eq!(g.utility_of_rt(SimDuration::from_secs(0.5)), 0.5);
+        assert_eq!(g.utility_of_rt(SimDuration::from_secs(1.0)), 0.0);
+        assert_eq!(g.utility_of_rt(SimDuration::from_secs(2.0)), -1.0);
+        assert_eq!(g.utility_of_rt(SimDuration::from_secs(50.0)), -1.0);
+        assert_eq!(g.utility_of_rt(SimDuration::INFINITE), -1.0);
+    }
+
+    #[test]
+    fn response_time_goal_rejects_nonpositive_target() {
+        assert!(ResponseTimeGoal::new(SimDuration::ZERO).is_none());
+        assert!(ResponseTimeGoal::new(SimDuration::from_secs(1.0)).is_some());
+    }
+
+    #[test]
+    fn rt_for_utility_inverts() {
+        let g = ResponseTimeGoal::new(SimDuration::from_secs(2.0)).unwrap();
+        assert_eq!(g.rt_for_utility(1.0).as_secs(), 0.0);
+        assert_eq!(g.rt_for_utility(0.0).as_secs(), 2.0);
+        assert_eq!(g.rt_for_utility(0.5).as_secs(), 1.0);
+        assert!(g.rt_for_utility(-1.0).is_infinite());
+    }
+
+    #[test]
+    fn rt_goal_curve_matches_closed_form() {
+        let g = ResponseTimeGoal::new(SimDuration::from_secs(1.5)).unwrap();
+        let c = g.curve();
+        for rt in [0.0, 0.3, 1.0, 1.5, 2.9, 3.0, 10.0] {
+            let direct = g.utility_of_rt(SimDuration::from_secs(rt));
+            assert!(
+                (c.eval(rt) - direct).abs() < 1e-12,
+                "rt={rt}: curve {} vs direct {direct}",
+                c.eval(rt)
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_completion_utility_monotone_noninc(
+            t1 in 0.0..1e6f64, t2 in 0.0..1e6f64,
+        ) {
+            let g = goal();
+            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            prop_assert!(
+                g.utility_at(SimTime::from_secs(lo)) >= g.utility_at(SimTime::from_secs(hi)) - 1e-12
+            );
+        }
+
+        #[test]
+        fn prop_latest_for_utility_roundtrip(u in 0.01..1.0f64) {
+            let g = goal();
+            let t = g.latest_for_utility(u);
+            prop_assert!(!t.is_never());
+            prop_assert!((g.utility_at(t) - u).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_rt_utility_bounded(rt in 0.0..1e4f64, tau in 0.001..1e3f64) {
+            let g = ResponseTimeGoal::new(SimDuration::from_secs(tau)).unwrap();
+            let u = g.utility_of_rt(SimDuration::from_secs(rt));
+            prop_assert!((-1.0..=1.0).contains(&u));
+        }
+    }
+}

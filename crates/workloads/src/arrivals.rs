@@ -1,0 +1,219 @@
+//! Poisson arrival streams with piecewise-constant rate schedules.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use slaq_types::SimTime;
+
+/// A piecewise-constant schedule of *mean inter-arrival times*.
+///
+/// Segment `i` applies from its start instant until the next segment's
+/// start. The paper's stream is `[(0, 260 s), (t_tail, 400 s)]`: a mean
+/// spacing of 260 s that is "slightly decreased" (in rate) near the end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateSchedule {
+    segments: Vec<(SimTime, f64)>,
+}
+
+impl RateSchedule {
+    /// A single constant mean inter-arrival time.
+    pub fn constant(mean_interarrival_secs: f64) -> Option<Self> {
+        Self::new(vec![(SimTime::ZERO, mean_interarrival_secs)])
+    }
+
+    /// Build from `(start, mean_interarrival)` pairs. Requirements: at
+    /// least one segment, strictly increasing starts beginning at or
+    /// after 0, positive finite means.
+    pub fn new(segments: Vec<(SimTime, f64)>) -> Option<Self> {
+        if segments.is_empty() {
+            return None;
+        }
+        if segments[0].0.as_secs() < 0.0 {
+            return None;
+        }
+        for w in segments.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return None;
+            }
+        }
+        if segments
+            .iter()
+            .any(|&(_, m)| !(m.is_finite() && m > 0.0))
+        {
+            return None;
+        }
+        Some(RateSchedule { segments })
+    }
+
+    /// Mean inter-arrival time in force at instant `t` (the first
+    /// segment's mean before its start).
+    pub fn mean_at(&self, t: SimTime) -> f64 {
+        let mut mean = self.segments[0].1;
+        for &(start, m) in &self.segments {
+            if t >= start {
+                mean = m;
+            } else {
+                break;
+            }
+        }
+        mean
+    }
+}
+
+/// Iterator of arrival instants: exponential inter-arrivals whose mean
+/// follows a [`RateSchedule`].
+///
+/// Each gap is drawn from the segment in force at the *previous* arrival —
+/// exact for constant segments and an accepted approximation at segment
+/// boundaries (the schedule changes slowly relative to the mean gap).
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    schedule: RateSchedule,
+    rng: ChaCha12Rng,
+    t: SimTime,
+    remaining: usize,
+}
+
+impl PoissonArrivals {
+    /// Stream of at most `count` arrivals starting at time zero.
+    pub fn new(schedule: RateSchedule, count: usize, seed: u64) -> Self {
+        PoissonArrivals {
+            schedule,
+            rng: ChaCha12Rng::seed_from_u64(seed),
+            t: SimTime::ZERO,
+            remaining: count,
+        }
+    }
+}
+
+impl Iterator for PoissonArrivals {
+    type Item = SimTime;
+
+    fn next(&mut self) -> Option<SimTime> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let mean = self.schedule.mean_at(self.t);
+        // Inverse-transform sampling of Exp(1/mean); guard the log(0) tail.
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let gap = -mean * u.ln();
+        self.t = self.t + slaq_types::SimDuration::from_secs(gap);
+        Some(self.t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn schedule_rejects_bad_inputs() {
+        assert!(RateSchedule::new(vec![]).is_none());
+        assert!(RateSchedule::new(vec![(SimTime::ZERO, 0.0)]).is_none());
+        assert!(RateSchedule::new(vec![(SimTime::ZERO, -5.0)]).is_none());
+        assert!(RateSchedule::new(vec![
+            (SimTime::from_secs(10.0), 1.0),
+            (SimTime::from_secs(10.0), 2.0)
+        ])
+        .is_none());
+        assert!(RateSchedule::constant(260.0).is_some());
+    }
+
+    #[test]
+    fn schedule_lookup_picks_segment_in_force() {
+        let s = RateSchedule::new(vec![
+            (SimTime::ZERO, 260.0),
+            (SimTime::from_secs(55_000.0), 400.0),
+        ])
+        .unwrap();
+        assert_eq!(s.mean_at(SimTime::ZERO), 260.0);
+        assert_eq!(s.mean_at(SimTime::from_secs(54_999.0)), 260.0);
+        assert_eq!(s.mean_at(SimTime::from_secs(55_000.0)), 400.0);
+        assert_eq!(s.mean_at(SimTime::from_secs(70_000.0)), 400.0);
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing_and_bounded_in_count() {
+        let s = RateSchedule::constant(260.0).unwrap();
+        let times: Vec<SimTime> = PoissonArrivals::new(s, 100, 42).collect();
+        assert_eq!(times.len(), 100);
+        for w in times.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_same_stream() {
+        let s = RateSchedule::constant(100.0).unwrap();
+        let a: Vec<SimTime> = PoissonArrivals::new(s.clone(), 50, 7).collect();
+        let b: Vec<SimTime> = PoissonArrivals::new(s, 50, 7).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s = RateSchedule::constant(100.0).unwrap();
+        let a: Vec<SimTime> = PoissonArrivals::new(s.clone(), 50, 7).collect();
+        let b: Vec<SimTime> = PoissonArrivals::new(s, 50, 8).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empirical_mean_matches_schedule() {
+        let s = RateSchedule::constant(260.0).unwrap();
+        let times: Vec<f64> = PoissonArrivals::new(s, 5000, 123)
+            .map(SimTime::as_secs)
+            .collect();
+        let mean_gap = times.last().unwrap() / times.len() as f64;
+        assert!(
+            (mean_gap - 260.0).abs() < 15.0,
+            "empirical mean gap {mean_gap} should be near 260"
+        );
+    }
+
+    #[test]
+    fn rate_slowdown_spreads_the_tail() {
+        let s = RateSchedule::new(vec![
+            (SimTime::ZERO, 10.0),
+            (SimTime::from_secs(1000.0), 1000.0),
+        ])
+        .unwrap();
+        let times: Vec<f64> = PoissonArrivals::new(s, 200, 9)
+            .map(SimTime::as_secs)
+            .collect();
+        let before = times.iter().filter(|&&t| t < 1000.0).count();
+        // ~100 arrivals in the fast phase, then a crawl.
+        assert!(before > 60, "fast phase arrivals: {before}");
+        let after: Vec<&f64> = times.iter().filter(|&&t| t >= 1000.0).collect();
+        if after.len() >= 2 {
+            let gaps: f64 = after
+                .windows(2)
+                .map(|w| *w[1] - *w[0])
+                .sum::<f64>()
+                / (after.len() - 1) as f64;
+            assert!(gaps > 100.0, "tail gaps should widen: {gaps}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_counts_and_monotonicity(
+            mean in 1.0..1000.0f64,
+            count in 0usize..200,
+            seed in 0u64..1000,
+        ) {
+            let s = RateSchedule::constant(mean).unwrap();
+            let times: Vec<SimTime> = PoissonArrivals::new(s, count, seed).collect();
+            prop_assert_eq!(times.len(), count);
+            for w in times.windows(2) {
+                prop_assert!(w[1] > w[0]);
+            }
+            if let Some(first) = times.first() {
+                prop_assert!(first.as_secs() > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Transactional request-intensity traces λ(t).
+//!
+//! The paper's experiment applies "a constant transactional workload …
+//! throughout"; the stepped and diurnal shapes support the extension
+//! experiments (E3/E4 in DESIGN.md).
+
+use serde::{Deserialize, Serialize};
+use slaq_types::SimTime;
+
+/// A deterministic request-rate trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum IntensityTrace {
+    /// λ(t) = `rate` for all t.
+    Constant {
+        /// Requests per second.
+        rate: f64,
+    },
+    /// Piecewise-constant steps: `(start, rate)` with increasing starts.
+    Steps {
+        /// Segments in force from their start instant onward.
+        steps: Vec<(SimTime, f64)>,
+    },
+    /// `base + amplitude · sin(2π (t − phase)/period)`, clamped at 0 —
+    /// the classic diurnal curve.
+    Diurnal {
+        /// Mean rate.
+        base: f64,
+        /// Peak deviation from the mean.
+        amplitude: f64,
+        /// Cycle length in seconds.
+        period_secs: f64,
+        /// Horizontal offset in seconds.
+        phase_secs: f64,
+    },
+}
+
+impl IntensityTrace {
+    /// Constant trace helper.
+    pub fn constant(rate: f64) -> Self {
+        IntensityTrace::Constant { rate }
+    }
+
+    /// Request rate at instant `t` (never negative).
+    pub fn lambda(&self, t: SimTime) -> f64 {
+        match self {
+            IntensityTrace::Constant { rate } => rate.max(0.0),
+            IntensityTrace::Steps { steps } => {
+                let mut rate = steps.first().map(|&(_, r)| r).unwrap_or(0.0);
+                for &(start, r) in steps {
+                    if t >= start {
+                        rate = r;
+                    } else {
+                        break;
+                    }
+                }
+                rate.max(0.0)
+            }
+            IntensityTrace::Diurnal {
+                base,
+                amplitude,
+                period_secs,
+                phase_secs,
+            } => {
+                let x = 2.0 * std::f64::consts::PI * (t.as_secs() - phase_secs)
+                    / period_secs.max(1e-9);
+                (base + amplitude * x.sin()).max(0.0)
+            }
+        }
+    }
+
+    /// Mean rate over `[from, to]` by midpoint sampling with `n` panels —
+    /// what the simulator uses to integrate served requests over a cycle.
+    pub fn mean_lambda(&self, from: SimTime, to: SimTime, n: usize) -> f64 {
+        if to <= from || n == 0 {
+            return self.lambda(from);
+        }
+        let span = (to - from).as_secs();
+        let dt = span / n as f64;
+        (0..n)
+            .map(|i| {
+                let mid = from.as_secs() + (i as f64 + 0.5) * dt;
+                self.lambda(SimTime::from_secs(mid))
+            })
+            .sum::<f64>()
+            / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let t = IntensityTrace::constant(50.0);
+        assert_eq!(t.lambda(SimTime::ZERO), 50.0);
+        assert_eq!(t.lambda(SimTime::from_secs(1e6)), 50.0);
+        assert_eq!(t.mean_lambda(SimTime::ZERO, SimTime::from_secs(600.0), 8), 50.0);
+    }
+
+    #[test]
+    fn steps_switch_at_boundaries() {
+        let t = IntensityTrace::Steps {
+            steps: vec![
+                (SimTime::ZERO, 10.0),
+                (SimTime::from_secs(100.0), 30.0),
+                (SimTime::from_secs(200.0), 5.0),
+            ],
+        };
+        assert_eq!(t.lambda(SimTime::from_secs(50.0)), 10.0);
+        assert_eq!(t.lambda(SimTime::from_secs(100.0)), 30.0);
+        assert_eq!(t.lambda(SimTime::from_secs(199.0)), 30.0);
+        assert_eq!(t.lambda(SimTime::from_secs(10_000.0)), 5.0);
+    }
+
+    #[test]
+    fn empty_steps_are_zero() {
+        let t = IntensityTrace::Steps { steps: vec![] };
+        assert_eq!(t.lambda(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn diurnal_oscillates_and_clamps() {
+        let t = IntensityTrace::Diurnal {
+            base: 10.0,
+            amplitude: 20.0, // dips below zero: clamped
+            period_secs: 86_400.0,
+            phase_secs: 0.0,
+        };
+        // Peak at quarter period.
+        assert!((t.lambda(SimTime::from_secs(21_600.0)) - 30.0).abs() < 1e-9);
+        // Trough clamped at zero.
+        assert_eq!(t.lambda(SimTime::from_secs(64_800.0)), 0.0);
+        assert_eq!(t.lambda(SimTime::ZERO), 10.0);
+    }
+
+    #[test]
+    fn mean_lambda_integrates_steps() {
+        let t = IntensityTrace::Steps {
+            steps: vec![(SimTime::ZERO, 0.0), (SimTime::from_secs(50.0), 100.0)],
+        };
+        let mean = t.mean_lambda(SimTime::ZERO, SimTime::from_secs(100.0), 1000);
+        assert!((mean - 50.0).abs() < 1.0, "{mean}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_lambda_never_negative(
+            base in -50.0..50.0f64,
+            amplitude in 0.0..100.0f64,
+            t in 0.0..1e6f64,
+        ) {
+            let trace = IntensityTrace::Diurnal {
+                base,
+                amplitude,
+                period_secs: 3600.0,
+                phase_secs: 0.0,
+            };
+            prop_assert!(trace.lambda(SimTime::from_secs(t)) >= 0.0);
+        }
+
+        #[test]
+        fn prop_mean_within_range(
+            rate in 0.0..100.0f64,
+            span in 1.0..10_000.0f64,
+        ) {
+            let trace = IntensityTrace::constant(rate);
+            let mean = trace.mean_lambda(SimTime::ZERO, SimTime::from_secs(span), 16);
+            prop_assert!((mean - rate).abs() < 1e-9);
+        }
+    }
+}

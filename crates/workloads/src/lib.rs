@@ -1,0 +1,28 @@
+//! # slaq-workloads — synthetic workload generation
+//!
+//! Stand-in for the authors' lab load drivers (DESIGN.md §2, S7): seeded,
+//! reproducible generators for both workload classes of the paper.
+//!
+//! * [`RateSchedule`] + [`PoissonArrivals`] — exponential inter-arrival
+//!   streams whose mean can change over time. The paper's evaluation
+//!   submits 800 identical jobs at a mean spacing of 260 s, with the rate
+//!   "slightly decreased" near the end of the experiment.
+//! * [`JobTemplate`] / [`generate_job_stream`] — turn an arrival stream
+//!   into concrete [`JobSpec`]s with SLAs anchored at each submission.
+//! * [`IntensityTrace`] — transactional request-intensity λ(t): constant,
+//!   stepped, or diurnal, mirroring the constant transactional load the
+//!   experiment applies throughout.
+//!
+//! Everything is driven by `ChaCha12Rng` with explicit seeds so that every
+//! figure regenerates bit-identically.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod arrivals;
+pub mod intensity;
+pub mod jobstream;
+
+pub use arrivals::{PoissonArrivals, RateSchedule};
+pub use intensity::IntensityTrace;
+pub use jobstream::{generate_job_stream, JobTemplate};

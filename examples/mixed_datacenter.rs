@@ -1,0 +1,60 @@
+//! The paper's scenario end to end: constant transactional workload plus
+//! a stream of identical long-running jobs on a shared cluster, with the
+//! Figure-1 curves rendered in the terminal.
+//!
+//! ```text
+//! cargo run --release --example mixed_datacenter          # full size
+//! cargo run --example mixed_datacenter -- --small         # scaled down
+//! ```
+
+use slaq::prelude::*;
+use slaq_experiments::ascii::{downsample, plot};
+use slaq_experiments::{run_paper_experiment, shape_metrics};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let params = if small {
+        PaperParams::small()
+    } else {
+        PaperParams::default()
+    };
+    println!(
+        "paper scenario: {} nodes × {} × {} MHz, λ={} req/s, jobs of {} s at 1 cpu, \
+         inter-arrival {} s (tail {} s), horizon {} s",
+        params.nodes,
+        params.cpus_per_node,
+        params.core_mhz,
+        params.lambda,
+        params.job_work_secs,
+        params.mean_interarrival_secs,
+        params.tail_interarrival_secs,
+        params.horizon_secs,
+    );
+
+    let report = run_paper_experiment(&params).unwrap();
+
+    let ut = downsample(report.metrics.series("trans_utility"), 100);
+    let uj = downsample(report.metrics.series("jobs_hypo_utility"), 100);
+    println!(
+        "\n{}",
+        plot(
+            &[("transactional (actual)", &ut), ("long-running (hypothetical)", &uj)],
+            100,
+            18,
+        )
+    );
+
+    let shape = shape_metrics(
+        &report,
+        SimTime::from_secs(params.tail_start_secs),
+        SimTime::from_secs(params.horizon_secs),
+    );
+    println!("{shape}");
+    println!(
+        "\njobs: {} submitted, {} completed, {} met goals, {} disruptions",
+        report.job_stats.submitted,
+        report.job_stats.completed,
+        report.job_stats.goals_met,
+        report.job_stats.disruptions,
+    );
+}

@@ -1,0 +1,111 @@
+//! Cross-crate invariants of the full control loop: capacity respect,
+//! target sanity, liveness under light load, determinism.
+
+use slaq::prelude::*;
+use slaq_experiments::run_paper_experiment;
+
+#[test]
+fn targets_never_exceed_cluster_capacity() {
+    let params = PaperParams::small();
+    let report = run_paper_experiment(&params).unwrap();
+    let total = params.nodes as f64 * params.cpus_per_node as f64 * params.core_mhz;
+    for name in ["trans_target", "jobs_target", "trans_alloc", "jobs_alloc"] {
+        for &(t, v) in report.metrics.series(name) {
+            assert!(v <= total + 1.0, "{name} at t={t}: {v} > {total}");
+            assert!(v >= -1e-6, "{name} at t={t}: negative {v}");
+        }
+    }
+    // Combined allocations also respect capacity.
+    let ta = report.metrics.series("trans_alloc");
+    let ja = report.metrics.series("jobs_alloc");
+    for (&(t, a), &(_, b)) in ta.iter().zip(ja) {
+        assert!(a + b <= total + 1.0, "t={t}: {a}+{b} > {total}");
+    }
+}
+
+#[test]
+fn utilities_stay_in_range() {
+    let report = run_paper_experiment(&PaperParams::small()).unwrap();
+    for name in ["trans_utility", "jobs_hypo_utility", "water_level"] {
+        for &(t, v) in report.metrics.series(name) {
+            assert!((-1.0..=1.0).contains(&v), "{name} at t={t}: {v}");
+        }
+    }
+}
+
+#[test]
+fn light_load_completes_everything_on_time() {
+    // Few long jobs, light transactional traffic: every SLA must hold.
+    let mut params = PaperParams::small();
+    params.total_jobs = 12;
+    params.mean_interarrival_secs = 800.0;
+    params.tail_start_secs = 10_000.0;
+    params.tail_interarrival_secs = 900.0;
+    params.lambda = 6.0;
+    let report = run_paper_experiment(&params).unwrap();
+    let s = report.job_stats;
+    assert_eq!(s.completed, s.submitted, "all jobs must finish: {s:?}");
+    assert!(
+        s.goals_met as f64 >= 0.9 * s.completed as f64,
+        "goals met {} of {}",
+        s.goals_met,
+        s.completed
+    );
+    assert!(
+        s.mean_achieved_utility > 0.8,
+        "mean achieved utility {}",
+        s.mean_achieved_utility
+    );
+}
+
+#[test]
+fn run_is_deterministic_for_a_seed() {
+    let params = PaperParams::small();
+    let a = run_paper_experiment(&params).unwrap();
+    let b = run_paper_experiment(&params).unwrap();
+    for name in ["trans_utility", "jobs_hypo_utility", "trans_alloc", "jobs_alloc"] {
+        assert_eq!(
+            a.metrics.series(name),
+            b.metrics.series(name),
+            "series {name} must be bit-identical"
+        );
+    }
+    assert_eq!(a.job_stats, b.job_stats);
+}
+
+#[test]
+fn different_seeds_differ_but_share_the_shape() {
+    let mut p1 = PaperParams::small();
+    let mut p2 = PaperParams::small();
+    p1.seed = 11;
+    p2.seed = 12;
+    let a = run_paper_experiment(&p1).unwrap();
+    let b = run_paper_experiment(&p2).unwrap();
+    assert_ne!(
+        a.metrics.series("jobs_alloc"),
+        b.metrics.series("jobs_alloc"),
+        "different workloads must differ"
+    );
+    // Both still complete a similar volume of work.
+    let ca = a.job_stats.completed as f64;
+    let cb = b.job_stats.completed as f64;
+    assert!(
+        (ca - cb).abs() / ca.max(cb) < 0.3,
+        "completions diverge wildly: {ca} vs {cb}"
+    );
+}
+
+#[test]
+fn churn_is_bounded_by_config() {
+    // Same scenario but with a hard change budget per cycle.
+    let params = PaperParams::small();
+    let scenario = params.scenario();
+    let mut controller = UtilityController::default();
+    controller.config.placement.max_changes = Some(5);
+    let report = scenario.run(&mut controller).unwrap();
+    for &(t, v) in report.metrics.series("changes") {
+        assert!(v <= 5.0, "cycle at t={t} enacted {v} changes");
+    }
+    // The system still makes progress.
+    assert!(report.job_stats.completed > 0);
+}
