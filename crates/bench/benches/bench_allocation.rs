@@ -1,0 +1,108 @@
+//! Allocation-subproblem benchmarks: the exact CPU division for a fixed
+//! placement (two-phase Dinic on the transportation network).
+//!
+//! Two series per shape:
+//! * `cold` — a fresh [`Allocator`] per call: full network construction
+//!   plus the flow solve;
+//! * `warm` — one long-lived [`Allocator`] re-solving the same topology
+//!   with changing demands: the capacity-rewrite path a steady-state
+//!   controller cycle takes (zero graph construction, zero allocation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slaq_experiments::sweeps::synthetic_problem;
+use slaq_placement::problem::PlacementProblem;
+use slaq_placement::{Allocator, Placement, Solver};
+use std::hint::black_box;
+
+/// Derive a realistic fixed placement (hosts + job nodes, dense indices)
+/// by running the real solver once.
+fn dense_placement(problem: &PlacementProblem) -> (Vec<Vec<usize>>, Vec<Option<usize>>) {
+    let outcome = Solver::new().solve(problem, &Placement::empty());
+    let node_ix = slaq_types::Interner::new(problem.nodes.iter().map(|n| n.id));
+    let node_dense = |id: slaq_types::NodeId| -> usize { node_ix.dense(id).expect("known node") };
+    let app_hosts: Vec<Vec<usize>> = problem
+        .apps
+        .iter()
+        .map(|a| {
+            outcome
+                .placement
+                .apps
+                .get(&a.id)
+                .map(|m| m.keys().map(|&n| node_dense(n)).collect())
+                .unwrap_or_default()
+        })
+        .collect();
+    let job_nodes: Vec<Option<usize>> = problem
+        .jobs
+        .iter()
+        .map(|j| outcome.placement.job_node(j.id).map(node_dense))
+        .collect();
+    (app_hosts, job_nodes)
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocation");
+    group.sample_size(30);
+    for &(nodes, jobs) in &[(25u32, 120u32), (100, 600), (250, 1500), (500, 3000)] {
+        let problem = synthetic_problem(nodes, jobs, 2);
+        let (app_hosts, job_nodes) = dense_placement(&problem);
+
+        group.bench_with_input(
+            BenchmarkId::new("cold", format!("{nodes}n_{jobs}j")),
+            &problem,
+            |b, p| {
+                b.iter(|| {
+                    let placement = Allocator::new().allocate_dense(
+                        &p.nodes,
+                        &p.apps,
+                        black_box(&app_hosts),
+                        &p.jobs,
+                        black_box(&job_nodes),
+                        p.config.mhz_unit,
+                    );
+                    black_box(placement.jobs.len())
+                })
+            },
+        );
+
+        // Warm: same topology, demands scaled per iteration so the solve
+        // is never trivially cached, through one persistent Allocator.
+        let mut warm = Allocator::new();
+        warm.allocate_dense(
+            &problem.nodes,
+            &problem.apps,
+            &app_hosts,
+            &problem.jobs,
+            &job_nodes,
+            problem.config.mhz_unit,
+        );
+        let mut scaled = problem.clone();
+        group.bench_with_input(
+            BenchmarkId::new("warm", format!("{nodes}n_{jobs}j")),
+            &problem,
+            |b, p| {
+                let mut tick = 0u64;
+                b.iter(|| {
+                    tick += 1;
+                    let scale = 0.85 + 0.01 * (tick % 30) as f64;
+                    for (jr, base) in scaled.jobs.iter_mut().zip(&p.jobs) {
+                        jr.demand = base.demand * scale;
+                    }
+                    let placement = warm.allocate_dense(
+                        &p.nodes,
+                        &p.apps,
+                        black_box(&app_hosts),
+                        &scaled.jobs,
+                        black_box(&job_nodes),
+                        p.config.mhz_unit,
+                    );
+                    black_box(placement.jobs.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocation);
+criterion_main!(benches);

@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use slaq_core::scenario::PaperParams;
-use slaq_core::{
-    StaticPartitionController, TransactionalFirstController, UtilityController,
-};
+use slaq_core::{StaticPartitionController, TransactionalFirstController, UtilityController};
 use std::hint::black_box;
 
 fn bench_baselines(c: &mut Criterion) {

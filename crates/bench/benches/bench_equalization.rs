@@ -24,7 +24,9 @@ fn bench_equalization(c: &mut Criterion) {
     let mut group = c.benchmark_group("equalization");
     for &n in &[10usize, 100, 400, 1000] {
         let curves = pool(n);
-        let ids: Vec<EntityId> = (0..n).map(|i| EntityId::Job(JobId::new(i as u32))).collect();
+        let ids: Vec<EntityId> = (0..n)
+            .map(|i| EntityId::Job(JobId::new(i as u32)))
+            .collect();
         let total = CpuMhz::new(curves.iter().map(|c| c.cap.as_f64()).sum::<f64>() * 0.6);
         let opts = EqualizeOptions {
             max_iters: 20_000,

@@ -1,15 +1,32 @@
 //! E4 — placement-solver scalability: one `solve` call on synthetic
 //! problems shaped like the paper's (12 000 MHz nodes, ≤3000 MHz jobs,
-//! three jobs per node by memory), cold placement and warm re-solve.
+//! three jobs per node by memory), at cluster sizes up to 500 nodes /
+//! 3000 jobs.
+//!
+//! Three series per shape:
+//! * `cold`  — empty previous placement, fresh [`Solver`] per call;
+//! * `warm`  — steady-state re-solve (previous placement = the cold
+//!   solution with jobs marked running), fresh `Solver` per call;
+//! * `warm_reused` — same re-solve through one long-lived [`Solver`],
+//!   the controller's real steady-state path (dense scratch + allocation
+//!   network reuse).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slaq_experiments::sweeps::synthetic_problem;
-use slaq_placement::{solve, Placement};
+use slaq_placement::{solve, Placement, Solver};
 use std::hint::black_box;
 
 fn bench_placement(c: &mut Criterion) {
     let mut group = c.benchmark_group("placement_scale");
-    for &(nodes, jobs) in &[(10u32, 30u32), (25, 120), (50, 300), (100, 600)] {
+    group.sample_size(30);
+    for &(nodes, jobs) in &[
+        (10u32, 30u32),
+        (25, 120),
+        (50, 300),
+        (100, 600),
+        (250, 1500),
+        (500, 3000),
+    ] {
         let problem = synthetic_problem(nodes, jobs, 1);
         group.bench_with_input(
             BenchmarkId::new("cold", format!("{nodes}n_{jobs}j")),
@@ -25,8 +42,18 @@ fn bench_placement(c: &mut Criterion) {
         }
         group.bench_with_input(
             BenchmarkId::new("warm", format!("{nodes}n_{jobs}j")),
-            &(warm_problem, cold.placement),
+            &(warm_problem.clone(), cold.placement.clone()),
             |b, (p, prev)| b.iter(|| black_box(solve(black_box(p), prev).changes.len())),
+        );
+        // Warm re-solve through one long-lived Solver: scratch and the
+        // allocation flow network persist across iterations, so the
+        // capacity-only rebuild path is what gets measured.
+        let mut solver = Solver::new();
+        solver.solve(&warm_problem, &cold.placement); // prime the caches
+        group.bench_with_input(
+            BenchmarkId::new("warm_reused", format!("{nodes}n_{jobs}j")),
+            &(warm_problem, cold.placement),
+            |b, (p, prev)| b.iter(|| black_box(solver.solve(black_box(p), prev).changes.len())),
         );
     }
     group.finish();

@@ -248,11 +248,12 @@ mod tests {
         // App demand swallows the whole cluster; FCFS jobs crawl.
         let mut sim = Simulator::new(&cluster(), cfg(4000.0));
         sim.add_app(
-            TransactionalRuntime::new(AppId::new(0), app_spec(), Box::new(|_| 22.0), 0.5)
-                .unwrap(),
+            TransactionalRuntime::new(AppId::new(0), app_spec(), Box::new(|_| 22.0), 0.5).unwrap(),
         );
         sim.add_arrivals((0..3).map(|_| (SimTime::ZERO, job(1500.0, 0.0))).collect());
-        let report = sim.run(&mut TransactionalFirstController::default()).unwrap();
+        let report = sim
+            .run(&mut TransactionalFirstController::default())
+            .unwrap();
         // λ=22: offered 44 000, demand 84 000 > 48 000 cluster.
         // Utility-blind: app takes everything placeable; job targets
         // shrink to the scraps.
@@ -274,7 +275,9 @@ mod tests {
             TransactionalRuntime::new(AppId::new(0), spec, Box::new(|_| 2.0), 0.5).unwrap(),
         );
         sim.add_arrivals((0..6).map(|_| (SimTime::ZERO, job(1000.0, 0.0))).collect());
-        let report = sim.run(&mut TransactionalFirstController::default()).unwrap();
+        let report = sim
+            .run(&mut TransactionalFirstController::default())
+            .unwrap();
         assert_eq!(report.job_stats.completed, 6);
     }
 
@@ -283,8 +286,7 @@ mod tests {
         let mut ctrl = StaticPartitionController::new(0.5);
         let mut sim = Simulator::new(&cluster(), cfg(4000.0));
         sim.add_app(
-            TransactionalRuntime::new(AppId::new(0), app_spec(), Box::new(|_| 8.0), 0.5)
-                .unwrap(),
+            TransactionalRuntime::new(AppId::new(0), app_spec(), Box::new(|_| 8.0), 0.5).unwrap(),
         );
         sim.add_arrivals((0..5).map(|_| (SimTime::ZERO, job(1000.0, 0.0))).collect());
         sim.run(&mut ctrl).unwrap();
@@ -307,8 +309,7 @@ mod tests {
         let mut ctrl = StaticPartitionController::new(0.5);
         let mut sim = Simulator::new(&cluster(), cfg(2500.0));
         sim.add_app(
-            TransactionalRuntime::new(AppId::new(0), app_spec(), Box::new(|_| 0.0), 0.5)
-                .unwrap(),
+            TransactionalRuntime::new(AppId::new(0), app_spec(), Box::new(|_| 0.0), 0.5).unwrap(),
         );
         // 12 jobs of 2000 s: the 2 job-nodes fit 6 at a time, so the
         // second wave cannot finish inside the horizon even though half
@@ -324,8 +325,7 @@ mod tests {
         // half and finishes (nearly) everything.
         let mut sim = Simulator::new(&cluster(), cfg(2500.0));
         sim.add_app(
-            TransactionalRuntime::new(AppId::new(0), app_spec(), Box::new(|_| 0.0), 0.5)
-                .unwrap(),
+            TransactionalRuntime::new(AppId::new(0), app_spec(), Box::new(|_| 0.0), 0.5).unwrap(),
         );
         sim.add_arrivals((0..12).map(|_| (SimTime::ZERO, job(2000.0, 0.0))).collect());
         let ours = sim

@@ -2,7 +2,7 @@
 
 use slaq_perfmodel::TransactionalModel;
 use slaq_placement::problem::{AppRequest, JobRequest, PlacementConfig, PlacementProblem};
-use slaq_placement::{solve, Placement};
+use slaq_placement::{Placement, Solver};
 use slaq_sim::{ControlInputs, Controller, MetricsSink};
 use slaq_types::{CpuMhz, EntityId};
 use slaq_utility::{equalize_bisection, EqEntity, EqualizeOptions, UtilityOfCpu};
@@ -47,12 +47,18 @@ impl Default for ControllerConfig {
 pub struct UtilityController {
     /// Configuration in force.
     pub config: ControllerConfig,
+    /// Long-lived placement solver: reuses its dense scratch and the
+    /// allocation flow network across cycles (warm re-solve path).
+    solver: Solver,
 }
 
 impl UtilityController {
     /// Controller with the given config.
     pub fn new(config: ControllerConfig) -> Self {
-        UtilityController { config }
+        UtilityController {
+            config,
+            solver: Solver::new(),
+        }
     }
 }
 
@@ -71,7 +77,8 @@ impl Controller for UtilityController {
             .collect();
         let job_snapshots = inputs.jobs.entities(now);
 
-        let mut entities: Vec<EqEntity<'_>> = Vec::with_capacity(app_models.len() + job_snapshots.len());
+        let mut entities: Vec<EqEntity<'_>> =
+            Vec::with_capacity(app_models.len() + job_snapshots.len());
         for (model, obs) in app_models.iter().zip(inputs.apps) {
             entities.push(EqEntity::new(obs.id, model as &dyn UtilityOfCpu));
         }
@@ -209,17 +216,9 @@ impl Controller for UtilityController {
             jobs,
             config: self.config.placement,
         };
-        let outcome = solve(&problem, inputs.current);
-        metrics.record(
-            "placement_changes",
-            now,
-            outcome.changes.len() as f64,
-        );
-        metrics.record(
-            "jobs_unplaced",
-            now,
-            outcome.unplaced_jobs.len() as f64,
-        );
+        let outcome = self.solver.solve(&problem, inputs.current);
+        metrics.record("placement_changes", now, outcome.changes.len() as f64);
+        metrics.record("jobs_unplaced", now, outcome.unplaced_jobs.len() as f64);
         outcome.placement
     }
 }
@@ -227,13 +226,11 @@ impl Controller for UtilityController {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use slaq_jobs::JobSpec;
     use slaq_perfmodel::TransactionalSpec;
-    use slaq_sim::{
-        AppObservation, OverheadConfig, SimConfig, Simulator, TransactionalRuntime,
-    };
+    use slaq_sim::{AppObservation, OverheadConfig, SimConfig, Simulator, TransactionalRuntime};
     use slaq_types::{AppId, ClusterSpec, JobId, MemMb, SimDuration, SimTime, Work};
     use slaq_utility::{CompletionGoal, ResponseTimeGoal};
-    use slaq_jobs::JobSpec;
 
     fn cluster(nodes: u32) -> ClusterSpec {
         ClusterSpec::homogeneous(nodes, 4, CpuMhz::new(3000.0), MemMb::new(4096))
@@ -283,7 +280,11 @@ mod tests {
     #[test]
     fn jobs_only_cluster_runs_all_jobs() {
         let mut sim = Simulator::new(&cluster(2), quiet_config(4000.0));
-        sim.add_arrivals((0..6).map(|_| (SimTime::ZERO, job_spec(1000.0, 0.0))).collect());
+        sim.add_arrivals(
+            (0..6)
+                .map(|_| (SimTime::ZERO, job_spec(1000.0, 0.0)))
+                .collect(),
+        );
         let report = sim.run(&mut UtilityController::default()).unwrap();
         assert_eq!(report.job_stats.completed, 6);
         assert_eq!(report.job_stats.goals_met, 6);
@@ -350,7 +351,11 @@ mod tests {
             TransactionalRuntime::new(AppId::new(0), app_spec(1.0), Box::new(|_| 0.0), 0.5)
                 .unwrap(),
         );
-        sim.add_arrivals((0..6).map(|_| (SimTime::ZERO, job_spec(1000.0, 0.0))).collect());
+        sim.add_arrivals(
+            (0..6)
+                .map(|_| (SimTime::ZERO, job_spec(1000.0, 0.0)))
+                .collect(),
+        );
         let report = sim.run(&mut UtilityController::default()).unwrap();
         // All six finish; the sixth had to queue behind the five memory
         // slots (2 on the instance node + 3), so it cannot make its goal
@@ -366,7 +371,11 @@ mod tests {
             TransactionalRuntime::new(AppId::new(0), app_spec(1.0), Box::new(|_| 4.0), 0.5)
                 .unwrap(),
         );
-        sim.add_arrivals((0..3).map(|_| (SimTime::ZERO, job_spec(2000.0, 0.0))).collect());
+        sim.add_arrivals(
+            (0..3)
+                .map(|_| (SimTime::ZERO, job_spec(2000.0, 0.0)))
+                .collect(),
+        );
         let report = sim.run(&mut UtilityController::default()).unwrap();
         for name in [
             "water_level",

@@ -86,7 +86,10 @@ pub fn summary(name: &str, pts: &[(f64, f64)]) -> String {
     let min = pts.iter().map(|p| p.1).min_by(|a, b| fcmp(*a, *b)).unwrap();
     let max = pts.iter().map(|p| p.1).max_by(|a, b| fcmp(*a, *b)).unwrap();
     let mean = pts.iter().map(|p| p.1).sum::<f64>() / pts.len() as f64;
-    format!("{name}: min {min:.3}  mean {mean:.3}  max {max:.3}  ({} samples)", pts.len())
+    format!(
+        "{name}: min {min:.3}  mean {mean:.3}  max {max:.3}  ({} samples)",
+        pts.len()
+    )
 }
 
 #[cfg(test)]
@@ -95,7 +98,9 @@ mod tests {
 
     #[test]
     fn plot_renders_axes_and_glyphs() {
-        let a: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, (i as f64 / 10.0).sin())).collect();
+        let a: Vec<(f64, f64)> = (0..50)
+            .map(|i| (i as f64, (i as f64 / 10.0).sin()))
+            .collect();
         let b: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, 0.5)).collect();
         let out = plot(&[("sin", &a), ("flat", &b)], 60, 12);
         assert!(out.contains('*'));

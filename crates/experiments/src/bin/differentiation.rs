@@ -9,9 +9,7 @@ use slaq_core::controller::ControllerConfig;
 use slaq_core::UtilityController;
 use slaq_jobs::JobSpec;
 use slaq_sim::{OverheadConfig, SimConfig, Simulator};
-use slaq_types::{
-    ClusterSpec, CpuMhz, EntityId, JobId, MemMb, SimDuration, SimTime, Work,
-};
+use slaq_types::{ClusterSpec, CpuMhz, EntityId, JobId, MemMb, SimDuration, SimTime, Work};
 use slaq_utility::CompletionGoal;
 use std::collections::BTreeMap;
 
@@ -81,7 +79,10 @@ fn main() {
     }
     let (g_w, b_w) = scenario(importance);
     let (g_u, b_u) = scenario(BTreeMap::new());
-    println!("{:<22} {:>12} {:>12} {:>14}", "config", "gold mean u", "bronze mean u", "gold - bronze");
+    println!(
+        "{:<22} {:>12} {:>12} {:>14}",
+        "config", "gold mean u", "bronze mean u", "gold - bronze"
+    );
     println!(
         "{:<22} {:>12.3} {:>12.3} {:>14.3}",
         "weighted (2:1)",

@@ -37,7 +37,10 @@ fn main() {
     println!(
         "{}",
         plot(
-            &[("transactional (actual)", &ut_d), ("long-running (hypothetical)", &uj_d)],
+            &[
+                ("transactional (actual)", &ut_d),
+                ("long-running (hypothetical)", &uj_d)
+            ],
             110,
             20,
         )

@@ -31,15 +31,24 @@ fn main() {
     let m = &report.metrics;
     println!("Figure 2 — CPU allocated to each workload and max-utility demands\n");
     let series = [
-        ("satisfied transactional", downsample(m.series("trans_alloc"), 110)),
-        ("satisfied long-running", downsample(m.series("jobs_alloc"), 110)),
-        ("transactional demand", downsample(m.series("trans_demand"), 110)),
-        ("long-running demand", downsample(m.series("jobs_demand"), 110)),
+        (
+            "satisfied transactional",
+            downsample(m.series("trans_alloc"), 110),
+        ),
+        (
+            "satisfied long-running",
+            downsample(m.series("jobs_alloc"), 110),
+        ),
+        (
+            "transactional demand",
+            downsample(m.series("trans_demand"), 110),
+        ),
+        (
+            "long-running demand",
+            downsample(m.series("jobs_demand"), 110),
+        ),
     ];
-    let refs: Vec<(&str, &[(f64, f64)])> = series
-        .iter()
-        .map(|(n, v)| (*n, v.as_slice()))
-        .collect();
+    let refs: Vec<(&str, &[(f64, f64)])> = series.iter().map(|(n, v)| (*n, v.as_slice())).collect();
     println!("{}", plot(&refs, 110, 22));
     for name in ["trans_alloc", "jobs_alloc", "trans_demand", "jobs_demand"] {
         println!("{}", summary(name, m.series(name)));

@@ -5,19 +5,11 @@
 //! ```
 
 use slaq_core::scenario::PaperParams;
-use slaq_experiments::sweeps::{
-    format_scalability, placement_scalability, seed_sweep,
-};
+use slaq_experiments::sweeps::{format_scalability, placement_scalability, seed_sweep};
 
 fn main() {
     println!("placement solver scalability (cold placement, jobs-heavy mix):\n");
-    let grid: Vec<(u32, u32)> = vec![
-        (10, 30),
-        (25, 120),
-        (50, 300),
-        (100, 600),
-        (200, 1200),
-    ];
+    let grid: Vec<(u32, u32)> = vec![(10, 30), (25, 120), (50, 300), (100, 600), (200, 1200)];
     let cells = placement_scalability(&grid, 1);
     println!("{}", format_scalability(&cells));
 
@@ -37,7 +29,10 @@ fn main() {
             o.completed
         );
     }
-    let crossed = outcomes.iter().filter(|o| o.crossover_secs.is_some()).count();
+    let crossed = outcomes
+        .iter()
+        .filter(|o| o.crossover_secs.is_some())
+        .count();
     println!(
         "\n{}/{} seeds show the crossover→equalization shape",
         crossed,

@@ -91,11 +91,19 @@ pub fn compare_controllers(params: &PaperParams) -> Result<Vec<ComparisonRow>> {
 
     let scenario = params.scenario();
     let mut utility = UtilityController::default();
-    rows.push(row("utility-equalizing", &scenario.run(&mut utility)?, horizon));
+    rows.push(row(
+        "utility-equalizing",
+        &scenario.run(&mut utility)?,
+        horizon,
+    ));
 
     let scenario = params.scenario();
     let mut fcfs = TransactionalFirstController::default();
-    rows.push(row("transactional-first-fcfs", &scenario.run(&mut fcfs)?, horizon));
+    rows.push(row(
+        "transactional-first-fcfs",
+        &scenario.run(&mut fcfs)?,
+        horizon,
+    ));
 
     let scenario = params.scenario();
     // Give the static partition the transactional share the utility

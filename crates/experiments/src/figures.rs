@@ -1,7 +1,7 @@
 //! E1/E2: the paper's single experiment, producing Figures 1 and 2.
 
-use slaq_core::{Scenario, UtilityController};
 use slaq_core::scenario::PaperParams;
+use slaq_core::{Scenario, UtilityController};
 use slaq_sim::SimReport;
 use slaq_types::Result;
 

@@ -146,9 +146,16 @@ impl std::fmt::Display for ShapeMetrics {
             "  early trans alloc vs demand: {:.0} / {:.0} MHz",
             self.early_trans_alloc, self.early_trans_demand
         )?;
-        writeln!(f, "  early jobs hypothetical utility: {:.3}", self.early_jobs_utility)?;
+        writeln!(
+            f,
+            "  early jobs hypothetical utility: {:.3}",
+            self.early_jobs_utility
+        )?;
         if let Some(r) = self.tail_recovery_ratio {
-            writeln!(f, "  tail trans-alloc recovery: {r:.2}x of contention level")?;
+            writeln!(
+                f,
+                "  tail trans-alloc recovery: {r:.2}x of contention level"
+            )?;
         }
         write!(f, "  peak jobs demand: {:.0} MHz", self.peak_jobs_demand)
     }

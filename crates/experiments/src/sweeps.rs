@@ -73,11 +73,7 @@ pub fn placement_scalability(grid: &[(u32, u32)], apps: u32) -> Vec<SweepCell> {
             let outcome = solve(&problem, &Placement::empty());
             let solve_micros = start.elapsed().as_micros();
             let demand: f64 = problem.jobs.iter().map(|j| j.demand.as_f64()).sum();
-            let got: f64 = outcome
-                .satisfied_jobs
-                .values()
-                .map(|c| c.as_f64())
-                .sum();
+            let got: f64 = outcome.satisfied_jobs.values().map(|c| c.as_f64()).sum();
             SweepCell {
                 nodes,
                 jobs,
@@ -111,8 +107,7 @@ pub fn seed_sweep(base: &PaperParams, seeds: &[u64]) -> Vec<SeedOutcome> {
         .map(|&seed| {
             let mut p = base.clone();
             p.seed = seed;
-            let report = crate::figures::run_paper_experiment(&p)
-                .expect("scenario must simulate");
+            let report = crate::figures::run_paper_experiment(&p).expect("scenario must simulate");
             let shape = crate::shape::shape_metrics(
                 &report,
                 slaq_types::SimTime::from_secs(p.tail_start_secs),

@@ -23,4 +23,4 @@
 
 pub mod network;
 
-pub use network::{EdgeId, FlowNetwork, MinCostOutcome};
+pub use network::{EdgeId, FlowNetwork, MaxFlowScratch, MinCostOutcome, MinCostScratch};

@@ -1,5 +1,21 @@
 //! Residual flow network with Dinic max-flow and successive-shortest-path
-//! min-cost flow.
+//! min-cost flow, designed for **reuse across control cycles**:
+//!
+//! * [`FlowNetwork::clear`] resets topology while keeping every allocation
+//!   (adjacency lists, edge storage), so a controller can rebuild its
+//!   transportation network each cycle without touching the allocator;
+//! * [`FlowNetwork::set_cap`] rewrites one edge's capacity in place, the
+//!   warm-path primitive for "same topology, new demands";
+//! * [`MaxFlowScratch`] / [`MinCostScratch`] hold the BFS/DFS/Dijkstra
+//!   working memory so repeated solves allocate nothing;
+//! * the Bellman–Ford potential initialization runs **only when a
+//!   negative-cost edge exists** (tracked by [`FlowNetwork::add_edge_with_cost`]);
+//!   networks with non-negative costs go straight to Dijkstra.
+//!
+//! The blocking-flow DFS is an explicit stack walk, so level graphs of any
+//! depth (thousands of nodes) cannot overflow the call stack.
+
+use std::collections::VecDeque;
 
 /// Identifier of a directed edge added with [`FlowNetwork::add_edge`].
 /// Stable across solver runs; use it to read back flow with
@@ -20,11 +36,14 @@ struct Edge {
 /// Internally stores paired residual edges: edge `2k` is the forward edge,
 /// `2k+1` its reverse. [`EdgeId`] returned by `add_edge` indexes the
 /// forward edge.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct FlowNetwork {
     /// `graph[v]` lists indices into `edges` leaving `v`.
     graph: Vec<Vec<usize>>,
     edges: Vec<Edge>,
+    /// `true` once any forward edge carries a negative cost; gates the
+    /// Bellman–Ford pass in [`FlowNetwork::min_cost_flow`].
+    has_negative_cost: bool,
 }
 
 /// Result of a min-cost-flow run.
@@ -36,13 +55,53 @@ pub struct MinCostOutcome {
     pub cost: i64,
 }
 
+/// Reusable working memory for [`FlowNetwork::max_flow_with`].
+#[derive(Debug, Clone, Default)]
+pub struct MaxFlowScratch {
+    level: Vec<i32>,
+    it: Vec<usize>,
+    queue: VecDeque<usize>,
+    /// Edge ids of the current augmenting path (explicit DFS stack).
+    path: Vec<usize>,
+}
+
+/// Reusable working memory for [`FlowNetwork::min_cost_flow_with`].
+#[derive(Debug, Clone, Default)]
+pub struct MinCostScratch {
+    pot: Vec<i64>,
+    dist: Vec<i64>,
+    prev_edge: Vec<usize>,
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(i64, usize)>>,
+}
+
+const INF: i64 = i64::MAX / 4;
+
 impl FlowNetwork {
     /// Create a network with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
         FlowNetwork {
             graph: vec![Vec::new(); n],
             edges: Vec::new(),
+            has_negative_cost: false,
         }
+    }
+
+    /// Reset to `n` nodes and no edges, **retaining** the adjacency-list
+    /// and edge-storage allocations of the previous build. The warm-path
+    /// constructor: a controller that re-solves every cycle calls
+    /// `clear` + `add_edge` and performs no heap allocation once the
+    /// high-water mark is reached.
+    pub fn clear(&mut self, n: usize) {
+        for adj in self.graph.iter_mut() {
+            adj.clear();
+        }
+        if self.graph.len() > n {
+            self.graph.truncate(n);
+        } else {
+            self.graph.resize_with(n, Vec::new);
+        }
+        self.edges.clear();
+        self.has_negative_cost = false;
     }
 
     /// Number of nodes.
@@ -55,6 +114,11 @@ impl FlowNetwork {
         self.graph.is_empty()
     }
 
+    /// Number of forward edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len() / 2
+    }
+
     /// Append one more node, returning its index.
     pub fn add_node(&mut self) -> usize {
         self.graph.push(Vec::new());
@@ -65,8 +129,14 @@ impl FlowNetwork {
     /// `cost`. Panics on out-of-range endpoints or negative capacity
     /// (caller bugs, not data conditions).
     pub fn add_edge_with_cost(&mut self, u: usize, v: usize, cap: i64, cost: i64) -> EdgeId {
-        assert!(u < self.graph.len() && v < self.graph.len(), "endpoint out of range");
+        assert!(
+            u < self.graph.len() && v < self.graph.len(),
+            "endpoint out of range"
+        );
         assert!(cap >= 0, "negative capacity");
+        if cost < 0 {
+            self.has_negative_cost = true;
+        }
         let id = self.edges.len();
         self.edges.push(Edge {
             to: v,
@@ -91,6 +161,17 @@ impl FlowNetwork {
         self.add_edge_with_cost(u, v, cap, 0)
     }
 
+    /// Rewrite a forward edge's capacity in place, discarding any flow it
+    /// carried. The warm-path primitive: a cycle whose topology matches
+    /// the previous one only calls `set_cap` on every edge and re-solves.
+    pub fn set_cap(&mut self, e: EdgeId, cap: i64) {
+        assert!(cap >= 0, "negative capacity");
+        let fwd = &mut self.edges[e.0];
+        fwd.cap = cap;
+        fwd.orig_cap = cap;
+        self.edges[e.0 ^ 1].cap = 0;
+    }
+
     /// Flow currently routed through a forward edge.
     pub fn flow_on(&self, e: EdgeId) -> i64 {
         let fwd = &self.edges[e.0];
@@ -108,81 +189,139 @@ impl FlowNetwork {
     // Dinic max-flow
     // ------------------------------------------------------------------
 
-    /// Maximum flow from `s` to `t` (Dinic). The network retains the flow;
-    /// inspect per-edge values with [`FlowNetwork::flow_on`] or run
-    /// [`FlowNetwork::reset_flow`] to start over.
+    /// Maximum flow from `s` to `t` (Dinic), allocating its own scratch.
+    /// The network retains the flow; inspect per-edge values with
+    /// [`FlowNetwork::flow_on`] or run [`FlowNetwork::reset_flow`] to
+    /// start over. Calling it again continues from the residual state, so
+    /// staged solves (enable edges, flow, enable more, flow again) compose.
     pub fn max_flow(&mut self, s: usize, t: usize) -> i64 {
+        let mut scratch = MaxFlowScratch::default();
+        self.max_flow_with(s, t, &mut scratch)
+    }
+
+    /// [`FlowNetwork::max_flow`] with caller-provided scratch: repeated
+    /// solves reuse the BFS queue, level array, iterator array and DFS
+    /// stack without allocating.
+    pub fn max_flow_with(&mut self, s: usize, t: usize, scratch: &mut MaxFlowScratch) -> i64 {
         assert!(s < self.graph.len() && t < self.graph.len());
         if s == t {
             return 0;
         }
         let n = self.graph.len();
+        scratch.level.resize(n, -1);
+        scratch.it.resize(n, 0);
         let mut total = 0i64;
-        let mut level = vec![-1i32; n];
-        let mut it = vec![0usize; n];
         loop {
             // BFS levels on the residual graph.
-            level.iter_mut().for_each(|l| *l = -1);
-            level[s] = 0;
-            let mut queue = std::collections::VecDeque::with_capacity(n);
-            queue.push_back(s);
-            while let Some(v) = queue.pop_front() {
+            scratch.level.iter_mut().for_each(|l| *l = -1);
+            scratch.level[s] = 0;
+            scratch.queue.clear();
+            scratch.queue.push_back(s);
+            while let Some(v) = scratch.queue.pop_front() {
                 for &eid in &self.graph[v] {
                     let e = &self.edges[eid];
-                    if e.cap > 0 && level[e.to] < 0 {
-                        level[e.to] = level[v] + 1;
-                        queue.push_back(e.to);
+                    if e.cap > 0 && scratch.level[e.to] < 0 {
+                        scratch.level[e.to] = scratch.level[v] + 1;
+                        scratch.queue.push_back(e.to);
                     }
                 }
             }
-            if level[t] < 0 {
+            if scratch.level[t] < 0 {
                 return total;
             }
-            it.iter_mut().for_each(|i| *i = 0);
-            // Blocking flow via iterative DFS.
-            loop {
-                let pushed = self.dfs_push(s, t, i64::MAX, &level, &mut it);
-                if pushed == 0 {
-                    break;
-                }
-                total += pushed;
-            }
+            scratch.it.iter_mut().for_each(|i| *i = 0);
+            total += self.blocking_flow(s, t, scratch);
         }
     }
 
-    fn dfs_push(&mut self, v: usize, t: usize, limit: i64, level: &[i32], it: &mut [usize]) -> i64 {
-        if v == t {
-            return limit;
-        }
-        while it[v] < self.graph[v].len() {
-            let eid = self.graph[v][it[v]];
-            let (to, cap) = {
-                let e = &self.edges[eid];
-                (e.to, e.cap)
-            };
-            if cap > 0 && level[to] == level[v] + 1 {
-                let pushed = self.dfs_push(to, t, limit.min(cap), level, it);
-                if pushed > 0 {
-                    self.edges[eid].cap -= pushed;
-                    self.edges[eid ^ 1].cap += pushed;
-                    return pushed;
+    /// One blocking flow on the current level graph, via an explicit-stack
+    /// DFS (`scratch.path` holds the edge ids of the walk), so deep level
+    /// graphs cannot overflow the call stack.
+    fn blocking_flow(&mut self, s: usize, t: usize, scratch: &mut MaxFlowScratch) -> i64 {
+        let MaxFlowScratch {
+            level, it, path, ..
+        } = scratch;
+        path.clear();
+        let mut total = 0i64;
+        let mut v = s;
+        loop {
+            if v == t {
+                // Augment along `path`.
+                let mut push = i64::MAX;
+                for &eid in path.iter() {
+                    push = push.min(self.edges[eid].cap);
                 }
+                for &eid in path.iter() {
+                    self.edges[eid].cap -= push;
+                    self.edges[eid ^ 1].cap += push;
+                }
+                total += push;
+                // Retreat to the tail of the first saturated edge.
+                let first_sat = path
+                    .iter()
+                    .position(|&eid| self.edges[eid].cap == 0)
+                    .expect("bottleneck edge saturated");
+                path.truncate(first_sat);
+                v = match path.last() {
+                    Some(&eid) => self.edges[eid].to,
+                    None => s,
+                };
+                continue;
             }
-            it[v] += 1;
+            // Advance along the next admissible edge, if any.
+            let mut advanced = false;
+            while it[v] < self.graph[v].len() {
+                let eid = self.graph[v][it[v]];
+                let e = &self.edges[eid];
+                if e.cap > 0 && level[e.to] == level[v] + 1 {
+                    path.push(eid);
+                    v = e.to;
+                    advanced = true;
+                    break;
+                }
+                it[v] += 1;
+            }
+            if advanced {
+                continue;
+            }
+            // Dead end: prune and retreat.
+            if v == s {
+                return total;
+            }
+            level[v] = -1;
+            let eid = path.pop().expect("non-source dead end has an inbound edge");
+            let u = self.edges[eid ^ 1].to;
+            it[u] += 1;
+            v = u;
         }
-        0
     }
 
     // ------------------------------------------------------------------
     // Min-cost flow (successive shortest paths with potentials)
     // ------------------------------------------------------------------
 
-    /// Route up to `want` units from `s` to `t` minimizing total cost.
-    ///
-    /// Handles negative edge costs (Bellman–Ford initialization of the
-    /// potentials) but not negative cycles — placement networks never
-    /// contain them. Returns the amount actually routed and its cost.
+    /// Route up to `want` units from `s` to `t` minimizing total cost,
+    /// allocating its own scratch.
     pub fn min_cost_flow(&mut self, s: usize, t: usize, want: i64) -> MinCostOutcome {
+        let mut scratch = MinCostScratch::default();
+        self.min_cost_flow_with(s, t, want, &mut scratch)
+    }
+
+    /// [`FlowNetwork::min_cost_flow`] with caller-provided scratch.
+    ///
+    /// Handles negative edge costs — a Bellman–Ford pass initializes the
+    /// potentials, but **only when a negative-cost edge was actually
+    /// added**; all-non-negative networks (every placement transportation
+    /// network) start from zero potentials and go straight to Dijkstra.
+    /// Negative cycles are not supported — placement networks never
+    /// contain them. Returns the amount actually routed and its cost.
+    pub fn min_cost_flow_with(
+        &mut self,
+        s: usize,
+        t: usize,
+        want: i64,
+        scratch: &mut MinCostScratch,
+    ) -> MinCostOutcome {
         assert!(s < self.graph.len() && t < self.graph.len());
         let n = self.graph.len();
         let mut flow = 0i64;
@@ -191,35 +330,49 @@ impl FlowNetwork {
             return MinCostOutcome { flow, cost };
         }
 
-        // Potentials via Bellman–Ford (supports negative costs).
-        const INF: i64 = i64::MAX / 4;
-        let mut pot = vec![INF; n];
-        pot[s] = 0;
-        for _ in 0..n {
-            let mut changed = false;
-            for v in 0..n {
-                if pot[v] == INF {
-                    continue;
-                }
-                for &eid in &self.graph[v] {
-                    let e = &self.edges[eid];
-                    if e.cap > 0 && pot[v] + e.cost < pot[e.to] {
-                        pot[e.to] = pot[v] + e.cost;
-                        changed = true;
+        let MinCostScratch {
+            pot,
+            dist,
+            prev_edge,
+            heap,
+        } = scratch;
+        pot.clear();
+        if self.has_negative_cost {
+            // Potentials via Bellman–Ford (supports negative costs).
+            pot.resize(n, INF);
+            pot[s] = 0;
+            for _ in 0..n {
+                let mut changed = false;
+                for v in 0..n {
+                    if pot[v] == INF {
+                        continue;
+                    }
+                    for &eid in &self.graph[v] {
+                        let e = &self.edges[eid];
+                        if e.cap > 0 && pot[v] + e.cost < pot[e.to] {
+                            pot[e.to] = pot[v] + e.cost;
+                            changed = true;
+                        }
                     }
                 }
+                if !changed {
+                    break;
+                }
             }
-            if !changed {
-                break;
-            }
+        } else {
+            // Non-negative costs: zero potentials are already feasible
+            // (reduced cost = cost ≥ 0), so the O(V·E) pass is skipped.
+            pot.resize(n, 0);
         }
 
+        dist.resize(n, INF);
+        prev_edge.resize(n, usize::MAX);
         while flow < want {
             // Dijkstra on reduced costs.
-            let mut dist = vec![INF; n];
-            let mut prev_edge = vec![usize::MAX; n];
+            dist.iter_mut().for_each(|d| *d = INF);
+            prev_edge.iter_mut().for_each(|p| *p = usize::MAX);
             dist[s] = 0;
-            let mut heap = std::collections::BinaryHeap::new();
+            heap.clear();
             heap.push(std::cmp::Reverse((0i64, s)));
             while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
                 if d > dist[v] {
@@ -373,7 +526,13 @@ mod tests {
         let cheap = g.add_edge_with_cost(0, 1, 5, 1);
         let dear = g.add_edge_with_cost(0, 1, 5, 3);
         let out = g.min_cost_flow(0, 1, 7);
-        assert_eq!(out, MinCostOutcome { flow: 7, cost: 5 + 6 });
+        assert_eq!(
+            out,
+            MinCostOutcome {
+                flow: 7,
+                cost: 5 + 6
+            }
+        );
         assert_eq!(g.flow_on(cheap), 5);
         assert_eq!(g.flow_on(dear), 2);
     }
@@ -395,14 +554,117 @@ mod tests {
         g.add_edge_with_cost(1, 2, 2, -1);
         g.add_edge_with_cost(0, 2, 2, 2);
         let out = g.min_cost_flow(0, 2, 4);
-        assert_eq!(out, MinCostOutcome { flow: 4, cost: 2 * 1 + 2 * 2 });
+        #[allow(clippy::identity_op)]
+        let expected = MinCostOutcome {
+            flow: 4,
+            cost: 2 * 1 + 2 * 2,
+        };
+        assert_eq!(out, expected);
     }
 
     #[test]
     fn min_cost_zero_request() {
         let mut g = FlowNetwork::new(2);
         g.add_edge_with_cost(0, 1, 5, 1);
-        assert_eq!(g.min_cost_flow(0, 1, 0), MinCostOutcome { flow: 0, cost: 0 });
+        assert_eq!(
+            g.min_cost_flow(0, 1, 0),
+            MinCostOutcome { flow: 0, cost: 0 }
+        );
+    }
+
+    #[test]
+    fn clear_retains_usability_and_resets_negative_flag() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge_with_cost(0, 1, 5, -2);
+        g.add_edge(1, 2, 5);
+        assert_eq!(g.min_cost_flow(0, 2, 10).flow, 5);
+        // Rebuild smaller, then larger, on the same allocation.
+        g.clear(2);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.edge_count(), 0);
+        let e = g.add_edge(0, 1, 3);
+        assert_eq!(g.max_flow(0, 1), 3);
+        assert_eq!(g.flow_on(e), 3);
+        g.clear(4);
+        assert_eq!(g.len(), 4);
+        g.add_edge(0, 3, 9);
+        assert_eq!(g.max_flow(0, 3), 9);
+    }
+
+    #[test]
+    fn set_cap_rewrites_capacity_and_discards_flow() {
+        let mut g = FlowNetwork::new(2);
+        let e = g.add_edge(0, 1, 4);
+        assert_eq!(g.max_flow(0, 1), 4);
+        g.set_cap(e, 9);
+        assert_eq!(g.flow_on(e), 0);
+        assert_eq!(g.max_flow(0, 1), 9);
+        g.set_cap(e, 0);
+        assert_eq!(g.max_flow(0, 1), 0);
+    }
+
+    #[test]
+    fn staged_max_flow_composes() {
+        // Gate one source edge closed, flow, open it, flow again: totals
+        // accumulate exactly as a single solve would.
+        let mut g = FlowNetwork::new(4);
+        let gate = g.add_edge(0, 1, 0);
+        g.add_edge(0, 2, 5);
+        g.add_edge(1, 3, 7);
+        g.add_edge(2, 3, 5);
+        assert_eq!(g.max_flow(0, 3), 5);
+        g.set_cap(gate, 7);
+        assert_eq!(g.max_flow(0, 3), 7);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // 20 000-node path: the recursive DFS would blow the stack here.
+        let n = 20_000;
+        let mut g = FlowNetwork::new(n);
+        for v in 0..n - 1 {
+            g.add_edge(v, v + 1, 3);
+        }
+        assert_eq!(g.max_flow(0, n - 1), 3);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let mut mf = MaxFlowScratch::default();
+        let mut mc = MinCostScratch::default();
+        for trial in 0..4u64 {
+            let n = 30 + trial as usize * 17;
+            let mut g1 = FlowNetwork::new(n);
+            let mut g2 = FlowNetwork::new(n);
+            // Deterministic pseudo-random sparse graph.
+            let mut x = trial.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            for _ in 0..n * 4 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let u = (x % n as u64) as usize;
+                let v = ((x >> 20) % n as u64) as usize;
+                if u == v {
+                    continue;
+                }
+                let cap = ((x >> 40) % 50) as i64;
+                let cost = ((x >> 46) % 9) as i64;
+                g1.add_edge_with_cost(u, v, cap, cost);
+                g2.add_edge_with_cost(u, v, cap, cost);
+            }
+            assert_eq!(
+                g1.max_flow_with(0, n - 1, &mut mf),
+                g2.max_flow(0, n - 1),
+                "trial {trial}"
+            );
+            g1.reset_flow();
+            g2.reset_flow();
+            assert_eq!(
+                g1.min_cost_flow_with(0, n - 1, i64::MAX / 8, &mut mc),
+                g2.min_cost_flow(0, n - 1, i64::MAX / 8),
+                "trial {trial}"
+            );
+        }
     }
 
     /// Brute-force min-cut over all vertex subsets (for tiny graphs).
@@ -466,6 +728,7 @@ mod tests {
             // Conservation at internal vertices; source/sink balance = f.
             prop_assert_eq!(net[0], -f);
             prop_assert_eq!(net[n - 1], f);
+            #[allow(clippy::needless_range_loop)]
             for v in 1..n - 1 {
                 prop_assert_eq!(net[v], 0, "imbalance at {}", v);
             }
@@ -489,6 +752,29 @@ mod tests {
             let f = g1.max_flow(0, n - 1);
             let out = g2.min_cost_flow(0, n - 1, i64::MAX / 8);
             prop_assert_eq!(out.flow, f, "min-cost flow should saturate to max flow");
+        }
+
+        #[test]
+        fn prop_clear_rebuild_matches_fresh_network(
+            n in 2usize..6,
+            raw_edges in proptest::collection::vec((0usize..6, 0usize..6, 0i64..20), 0..14),
+        ) {
+            let edges: Vec<(usize, usize, i64)> = raw_edges
+                .into_iter()
+                .filter(|&(u, v, _)| u < n && v < n && u != v)
+                .collect();
+            // A reused (cleared) network must behave exactly like a fresh
+            // one on the same topology.
+            let mut reused = FlowNetwork::new(9);
+            reused.add_edge_with_cost(0, 8, 3, -1);
+            reused.max_flow(0, 8);
+            reused.clear(n);
+            let mut fresh = FlowNetwork::new(n);
+            for &(u, v, c) in &edges {
+                reused.add_edge(u, v, c);
+                fresh.add_edge(u, v, c);
+            }
+            prop_assert_eq!(reused.max_flow(0, n - 1), fresh.max_flow(0, n - 1));
         }
     }
 }

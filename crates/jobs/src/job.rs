@@ -27,10 +27,14 @@ impl JobSpec {
     /// Validate the spec.
     pub fn validate(&self) -> Result<(), SlaqError> {
         if self.total_work.as_f64() <= 0.0 {
-            return Err(SlaqError::InvalidSpec("job total_work must be positive".into()));
+            return Err(SlaqError::InvalidSpec(
+                "job total_work must be positive".into(),
+            ));
         }
         if self.max_speed.as_f64() <= 0.0 {
-            return Err(SlaqError::InvalidSpec("job max_speed must be positive".into()));
+            return Err(SlaqError::InvalidSpec(
+                "job max_speed must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -340,7 +344,11 @@ mod tests {
     fn advance_integrates_work() {
         let mut j = job(); // 3e6 MHz·s: 1000 s at full speed
         j.start(NodeId::new(0), SimTime::ZERO).unwrap();
-        let done = j.advance(CpuMhz::new(3000.0), SimTime::ZERO, SimDuration::from_secs(400.0));
+        let done = j.advance(
+            CpuMhz::new(3000.0),
+            SimTime::ZERO,
+            SimDuration::from_secs(400.0),
+        );
         assert!(done.is_none());
         assert!((j.progress() - 0.4).abs() < 1e-12);
         assert_eq!(j.remaining, Work::new(1_800_000.0));
@@ -351,7 +359,11 @@ mod tests {
         let mut j = job();
         j.start(NodeId::new(0), SimTime::ZERO).unwrap();
         // 600 s of the 1000 s done…
-        j.advance(CpuMhz::new(3000.0), SimTime::ZERO, SimDuration::from_secs(600.0));
+        j.advance(
+            CpuMhz::new(3000.0),
+            SimTime::ZERO,
+            SimDuration::from_secs(600.0),
+        );
         // …then a 600 s cycle: completes 400 s in.
         let done = j.advance(
             CpuMhz::new(3000.0),
@@ -370,7 +382,11 @@ mod tests {
         let mut j = job(); // goal at 1250 s, exhausted 2000 s
         j.start(NodeId::new(0), SimTime::ZERO).unwrap();
         // Run at half speed: finishes at 2000 s ⇒ utility 0.
-        let done = j.advance(CpuMhz::new(1500.0), SimTime::ZERO, SimDuration::from_secs(4000.0));
+        let done = j.advance(
+            CpuMhz::new(1500.0),
+            SimTime::ZERO,
+            SimDuration::from_secs(4000.0),
+        );
         assert_eq!(done, Some(SimTime::from_secs(2000.0)));
         assert_eq!(j.achieved_utility, Some(0.0));
     }
@@ -382,7 +398,11 @@ mod tests {
         j.suspend().unwrap();
         let before = j.remaining;
         assert!(j
-            .advance(CpuMhz::new(3000.0), SimTime::ZERO, SimDuration::from_secs(100.0))
+            .advance(
+                CpuMhz::new(3000.0),
+                SimTime::ZERO,
+                SimDuration::from_secs(100.0)
+            )
             .is_none());
         assert_eq!(j.remaining, before);
     }
@@ -394,7 +414,11 @@ mod tests {
         let mut j = job();
         j.start(NodeId::new(0), SimTime::ZERO).unwrap();
         j.remaining = Work::new(1e-6); // 0.33 ns at full speed
-        let done = j.advance(CpuMhz::new(3000.0), SimTime::from_secs(500.0), SimDuration::ZERO);
+        let done = j.advance(
+            CpuMhz::new(3000.0),
+            SimTime::from_secs(500.0),
+            SimDuration::ZERO,
+        );
         assert_eq!(done, Some(SimTime::from_secs(500.0)));
         assert!(!j.is_active());
     }
@@ -414,7 +438,10 @@ mod tests {
     fn time_to_completion_respects_cap() {
         let j = job();
         assert_eq!(j.time_to_completion(CpuMhz::new(3000.0)).as_secs(), 1000.0);
-        assert_eq!(j.time_to_completion(CpuMhz::new(30_000.0)).as_secs(), 1000.0);
+        assert_eq!(
+            j.time_to_completion(CpuMhz::new(30_000.0)).as_secs(),
+            1000.0
+        );
         assert!(j.time_to_completion(CpuMhz::ZERO).is_infinite());
     }
 }

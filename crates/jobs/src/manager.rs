@@ -234,8 +234,11 @@ mod tests {
     fn mgr_with(n: usize) -> JobManager {
         let mut m = JobManager::new();
         for i in 0..n {
-            m.submit(spec(3_000_000.0, i as f64 * 100.0), SimTime::from_secs(i as f64 * 100.0))
-                .unwrap();
+            m.submit(
+                spec(3_000_000.0, i as f64 * 100.0),
+                SimTime::from_secs(i as f64 * 100.0),
+            )
+            .unwrap();
         }
         m
     }
@@ -286,10 +289,18 @@ mod tests {
         for _ in 0..4 {
             m.submit(spec(3_000_000.0, 0.0), SimTime::ZERO).unwrap();
         }
-        let h = m.hypothetical(SimTime::ZERO, CpuMhz::new(300_000.0), &EqualizeOptions::default());
+        let h = m.hypothetical(
+            SimTime::ZERO,
+            CpuMhz::new(300_000.0),
+            &EqualizeOptions::default(),
+        );
         assert_eq!(h.active_jobs, 4);
         // Every job can run at full speed ⇒ utility 1 each.
-        assert!((h.average_utility - 1.0).abs() < 1e-9, "{}", h.average_utility);
+        assert!(
+            (h.average_utility - 1.0).abs() < 1e-9,
+            "{}",
+            h.average_utility
+        );
         // Fresh jobs each demand their full speed.
         assert!(h.total_demand.approx_eq(CpuMhz::new(4.0 * 3000.0), 1e-6));
     }
@@ -365,7 +376,11 @@ mod tests {
     #[test]
     fn hypothetical_with_no_active_jobs() {
         let m = JobManager::new();
-        let h = m.hypothetical(SimTime::ZERO, CpuMhz::new(1000.0), &EqualizeOptions::default());
+        let h = m.hypothetical(
+            SimTime::ZERO,
+            CpuMhz::new(1000.0),
+            &EqualizeOptions::default(),
+        );
         assert_eq!(h.active_jobs, 0);
         assert_eq!(h.average_utility, 0.0);
         assert_eq!(h.total_demand, CpuMhz::ZERO);

@@ -227,7 +227,10 @@ mod tests {
         let mut u = ju(100.0);
         u.remaining = Work::ZERO;
         assert_eq!(u.max_useful_cpu(), CpuMhz::ZERO);
-        assert_eq!(u.projected_completion(CpuMhz::ZERO), SimTime::from_secs(100.0));
+        assert_eq!(
+            u.projected_completion(CpuMhz::ZERO),
+            SimTime::from_secs(100.0)
+        );
         assert_eq!(u.utility(CpuMhz::ZERO), 1.0); // 100 s < earliest
     }
 
@@ -235,7 +238,7 @@ mod tests {
     fn partially_done_job_needs_less_power() {
         let mut u = ju(0.0);
         u.remaining = Work::new(1_500_000.0); // half done
-        // To finish by earliest (1000 s): 1500 MHz suffices.
+                                              // To finish by earliest (1000 s): 1500 MHz suffices.
         assert_eq!(u.max_useful_cpu(), CpuMhz::new(1500.0));
         assert_eq!(u.utility(CpuMhz::new(1500.0)), 1.0);
     }

@@ -45,7 +45,9 @@ impl DemandEstimator {
             let svc_obs = total_work / (requests as f64);
             self.service = Some(match self.service {
                 None => svc_obs,
-                Some(prev) => Work::new(prev.as_f64() + self.alpha * (svc_obs.as_f64() - prev.as_f64())),
+                Some(prev) => {
+                    Work::new(prev.as_f64() + self.alpha * (svc_obs.as_f64() - prev.as_f64()))
+                }
             });
         }
     }
@@ -99,7 +101,11 @@ mod tests {
         // Start biased, then feed constant truth.
         e.observe(100, Work::new(50_000.0), SimDuration::from_secs(100.0));
         for _ in 0..40 {
-            e.observe(5000, Work::new(10_000_000.0), SimDuration::from_secs(1000.0));
+            e.observe(
+                5000,
+                Work::new(10_000_000.0),
+                SimDuration::from_secs(1000.0),
+            );
         }
         assert!((e.lambda().unwrap() - 5.0).abs() < 1e-3);
         assert!((e.service().unwrap().as_f64() - 2000.0).abs() < 1.0);

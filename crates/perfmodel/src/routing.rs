@@ -19,10 +19,7 @@ pub fn split_load(allocs: &[CpuMhz]) -> Vec<f64> {
     if total <= 0.0 {
         return Vec::new();
     }
-    allocs
-        .iter()
-        .map(|a| a.as_f64().max(0.0) / total)
-        .collect()
+    allocs.iter().map(|a| a.as_f64().max(0.0) / total).collect()
 }
 
 /// Mean response time of a clustered application under proportional
@@ -90,9 +87,7 @@ mod tests {
             CpuMhz::new(20_000.0),
         ];
         let total: CpuMhz = allocs.iter().sum();
-        let pooled = PsQueue::new(lambda, service)
-            .unwrap()
-            .response_time(total);
+        let pooled = PsQueue::new(lambda, service).unwrap().response_time(total);
         let clustered = aggregate_response_time(lambda, service, &allocs);
         assert!(
             (clustered.as_secs() - pooled.as_secs()).abs() < 1e-9,

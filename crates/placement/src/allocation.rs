@@ -1,4 +1,4 @@
-//! Exact CPU allocation for a *fixed* placement, via min-cost max-flow.
+//! Exact CPU allocation for a *fixed* placement, via network flow.
 //!
 //! Once the discrete decisions are made (which instances exist, which jobs
 //! run where), distributing CPU is a transportation problem:
@@ -9,26 +9,237 @@
 //!
 //! Max-flow maximizes total satisfied demand; when even the maximum flow
 //! cannot satisfy every target (discreteness made some commitment
-//! unrealizable), costs bias the shortfall onto the **jobs**: an
+//! unrealizable), the shortfall must land on the **jobs**: an
 //! application's utility collapses catastrophically once its allocation
 //! nears its offered load (response times diverge), while a shortchanged
 //! job still makes progress on work-conserving spare capacity and merely
 //! finishes later.
+//!
+//! The seed implementation expressed that bias as a 0/1-cost min-cost
+//! flow (one Dijkstra per augmenting path — the dominant solver cost at
+//! scale). With only two cost classes the same optimum falls out of a
+//! **two-phase Dinic**: flow the applications first with the job source
+//! edges gated shut, then open the gates and continue to the global
+//! maximum. Phase 2 augmenting paths can reroute application slices
+//! between nodes but can never reduce the application total (a reverse
+//! source edge would revisit the source), so the application tier keeps
+//! its phase-1 maximum — exactly the min-cost solution, with no
+//! Bellman–Ford and no Dijkstra on the path at all.
+//!
+//! [`Allocator`] additionally keeps the transportation network **alive
+//! across control cycles**: when the topology (who is placed where) is
+//! unchanged from the previous call — the common warm re-solve — it only
+//! rewrites edge capacities in place and re-flows, allocating nothing.
 
 use crate::placement::Placement;
 use crate::problem::{AppRequest, JobRequest, NodeCapacity};
-use slaq_flow::FlowNetwork;
-use slaq_types::{AppId, CpuMhz, JobId, NodeId};
+use slaq_flow::{EdgeId, FlowNetwork, MaxFlowScratch};
+use slaq_types::{AppId, CpuMhz, Interner, JobId, NodeId};
 use std::collections::BTreeMap;
 
-/// Compute allocations for the given instance/job placement.
+/// Sentinel separating per-app host runs in the flattened topology
+/// signature.
+const HOST_SEP: u32 = u32::MAX;
+
+/// Reusable allocation engine: owns the transportation network, its
+/// scratch memory, and the previous topology signature for warm reuse.
+#[derive(Debug, Clone, Default)]
+pub struct Allocator {
+    net: FlowNetwork,
+    scratch: MaxFlowScratch,
+    // --- topology signature of the network currently built ---
+    /// `false` until the first build: a fresh allocator must never take
+    /// the warm path, even when the incoming signature is empty too.
+    built: bool,
+    sig_nodes: usize,
+    sig_apps: usize,
+    /// Per job: dense node index + 1, or 0 when unplaced.
+    sig_job_place: Vec<u32>,
+    /// Per app: its dense host indices, runs separated by [`HOST_SEP`].
+    sig_hosts: Vec<u32>,
+    // --- edge handles, valid for the current topology ---
+    /// Source→job edge per job (the phase gate), for **all** jobs.
+    job_gate: Vec<EdgeId>,
+    /// Job→node edge per placed job.
+    job_edge: Vec<Option<EdgeId>>,
+    /// Source→app edge per app.
+    app_gate: Vec<EdgeId>,
+    /// App→node edges, flattened in `sig_hosts` order (separators skipped).
+    app_edge: Vec<EdgeId>,
+    /// Node→sink edge per node.
+    node_edge: Vec<EdgeId>,
+    // --- per-call builders (kept for allocation reuse) ---
+    new_job_place: Vec<u32>,
+    new_hosts: Vec<u32>,
+}
+
+impl Allocator {
+    /// A fresh allocator with no cached network.
+    pub fn new() -> Self {
+        Allocator::default()
+    }
+
+    /// Compute allocations for a placement expressed in **dense node
+    /// indices** (see [`slaq_types::Interner`]): `app_hosts[ai]` lists the
+    /// dense node indices hosting app `ai`, `job_nodes[ji]` the dense node
+    /// index running job `ji`. This is the solver's hot entry point.
+    ///
+    /// Returns a [`Placement`] with CPU slices filled in. Entities receive
+    /// at most their demand; nodes are never overcommitted; total
+    /// satisfied demand is maximal for this placement with the shortfall
+    /// biased onto jobs (the flow optimum).
+    #[allow(clippy::too_many_arguments)]
+    pub fn allocate_dense(
+        &mut self,
+        nodes: &[NodeCapacity],
+        apps: &[AppRequest],
+        app_hosts: &[Vec<usize>],
+        jobs: &[JobRequest],
+        job_nodes: &[Option<usize>],
+        mhz_unit: f64,
+    ) -> Placement {
+        assert_eq!(apps.len(), app_hosts.len(), "one host list per app");
+        assert_eq!(jobs.len(), job_nodes.len(), "one node slot per job");
+        let unit = if mhz_unit > 0.0 { mhz_unit } else { 1.0 };
+        // Demands round down too: granting an entity a fraction of a unit
+        // less than its target is harmless, while rounding *capacities* up
+        // would overcommit nodes by up to one unit.
+        let to_units = |c: CpuMhz| -> i64 { (c.as_f64() / unit).floor().max(0.0) as i64 };
+        let to_mhz = |u: i64| -> CpuMhz { CpuMhz::new(u as f64 * unit) };
+
+        // ------------------------------------------------------------------
+        // Topology signature: rebuild only when the shape changed.
+        // ------------------------------------------------------------------
+        self.new_job_place.clear();
+        self.new_job_place.extend(job_nodes.iter().map(|n| match n {
+            Some(ni) => *ni as u32 + 1,
+            None => 0,
+        }));
+        self.new_hosts.clear();
+        for hosts in app_hosts {
+            self.new_hosts.extend(hosts.iter().map(|&ni| ni as u32));
+            self.new_hosts.push(HOST_SEP);
+        }
+        let warm = self.built
+            && self.sig_nodes == nodes.len()
+            && self.sig_apps == apps.len()
+            && self.sig_job_place == self.new_job_place
+            && self.sig_hosts == self.new_hosts;
+
+        // Graph layout: 0 = source; 1..=A apps; A+1..=A+J jobs;
+        // A+J+1..=A+J+N nodes; last = sink.
+        let n_apps = apps.len();
+        let n_jobs = jobs.len();
+        let source = 0usize;
+        let app_vx = |i: usize| 1 + i;
+        let job_vx = |i: usize| 1 + n_apps + i;
+        let node_vx = |i: usize| 1 + n_apps + n_jobs + i;
+        let sink = 1 + n_apps + n_jobs + nodes.len();
+
+        if warm {
+            // Same topology: rewrite every capacity in place (which also
+            // discards last cycle's flow) — no graph construction at all.
+            for (ji, job) in jobs.iter().enumerate() {
+                let cap = to_units(job.demand);
+                self.net.set_cap(self.job_gate[ji], cap);
+                if let Some(e) = self.job_edge[ji] {
+                    self.net.set_cap(e, cap);
+                }
+            }
+            let mut flat = 0usize;
+            for (ai, app) in apps.iter().enumerate() {
+                let cap = to_units(app.demand);
+                self.net.set_cap(self.app_gate[ai], cap);
+                for _ in &app_hosts[ai] {
+                    self.net.set_cap(self.app_edge[flat], cap);
+                    flat += 1;
+                }
+            }
+            for (ni, node) in nodes.iter().enumerate() {
+                self.net.set_cap(self.node_edge[ni], to_units(node.cpu));
+            }
+        } else {
+            self.net.clear(sink + 1);
+            self.job_gate.clear();
+            self.job_edge.clear();
+            self.app_gate.clear();
+            self.app_edge.clear();
+            self.node_edge.clear();
+            for (ji, job) in jobs.iter().enumerate() {
+                let cap = to_units(job.demand);
+                self.job_gate
+                    .push(self.net.add_edge(source, job_vx(ji), cap));
+                self.job_edge
+                    .push(job_nodes[ji].map(|ni| self.net.add_edge(job_vx(ji), node_vx(ni), cap)));
+            }
+            for (ai, app) in apps.iter().enumerate() {
+                let cap = to_units(app.demand);
+                self.app_gate
+                    .push(self.net.add_edge(source, app_vx(ai), cap));
+                for &ni in &app_hosts[ai] {
+                    self.app_edge
+                        .push(self.net.add_edge(app_vx(ai), node_vx(ni), cap));
+                }
+            }
+            for (ni, node) in nodes.iter().enumerate() {
+                self.node_edge
+                    .push(self.net.add_edge(node_vx(ni), sink, to_units(node.cpu)));
+            }
+            std::mem::swap(&mut self.sig_job_place, &mut self.new_job_place);
+            std::mem::swap(&mut self.sig_hosts, &mut self.new_hosts);
+            self.sig_nodes = nodes.len();
+            self.sig_apps = apps.len();
+            self.built = true;
+        }
+
+        // ------------------------------------------------------------------
+        // Two-phase max-flow: apps first (gates shut), then jobs.
+        // ------------------------------------------------------------------
+        for gate in &self.job_gate {
+            self.net.set_cap(*gate, 0);
+        }
+        self.net.max_flow_with(source, sink, &mut self.scratch);
+        for (ji, job) in jobs.iter().enumerate() {
+            self.net.set_cap(self.job_gate[ji], to_units(job.demand));
+        }
+        self.net.max_flow_with(source, sink, &mut self.scratch);
+
+        // ------------------------------------------------------------------
+        // Read back the allocation.
+        // ------------------------------------------------------------------
+        let mut placement = Placement::empty();
+        let mut flat = 0usize;
+        for (ai, app) in apps.iter().enumerate() {
+            let slices = placement.apps.entry(app.id).or_default();
+            // Every host keeps its instance even at zero flow (warm
+            // instance).
+            for &ni in &app_hosts[ai] {
+                slices.insert(nodes[ni].id, CpuMhz::ZERO);
+            }
+            for &ni in &app_hosts[ai] {
+                let f = self.net.flow_on(self.app_edge[flat]);
+                flat += 1;
+                if f > 0 {
+                    slices.insert(nodes[ni].id, to_mhz(f));
+                }
+            }
+        }
+        for (ji, job) in jobs.iter().enumerate() {
+            if let (Some(ni), Some(e)) = (job_nodes[ji], self.job_edge[ji]) {
+                placement
+                    .jobs
+                    .insert(job.id, (nodes[ni].id, to_mhz(self.net.flow_on(e))));
+            }
+        }
+        placement
+    }
+}
+
+/// Compute allocations for the given instance/job placement (id-keyed
+/// convenience API; builds a fresh [`Allocator`] per call).
 ///
 /// * `app_instances[a]` — nodes hosting an instance of `a`;
 /// * `job_nodes[j]` — node hosting running job `j`.
-///
-/// Returns a [`Placement`] with CPU slices filled in. Entities receive at
-/// most their demand; nodes are never overcommitted; total satisfied
-/// demand is maximal for this placement (the flow optimum).
 pub fn allocate(
     nodes: &[NodeCapacity],
     apps: &[AppRequest],
@@ -37,86 +248,21 @@ pub fn allocate(
     job_nodes: &BTreeMap<JobId, NodeId>,
     mhz_unit: f64,
 ) -> Placement {
-    let unit = if mhz_unit > 0.0 { mhz_unit } else { 1.0 };
-    // Demands round down too: granting an entity a fraction of a unit
-    // less than its target is harmless, while rounding *capacities* up
-    // would overcommit nodes by up to one unit.
-    let to_units = |c: CpuMhz| -> i64 { (c.as_f64() / unit).floor().max(0.0) as i64 };
-    let to_mhz = |u: i64| -> CpuMhz { CpuMhz::new(u as f64 * unit) };
-
-    let n_apps = apps.len();
-    let n_jobs = jobs.len();
-    let n_nodes = nodes.len();
-    // Graph layout: 0 = source; 1..=A apps; A+1..=A+J jobs;
-    // A+J+1..=A+J+N nodes; last = sink.
-    let source = 0usize;
-    let app_vx = |i: usize| 1 + i;
-    let job_vx = |i: usize| 1 + n_apps + i;
-    let node_vx = |i: usize| 1 + n_apps + n_jobs + i;
-    let sink = 1 + n_apps + n_jobs + n_nodes;
-    let mut g = FlowNetwork::new(sink + 1);
-
-    let node_index: BTreeMap<NodeId, usize> =
-        nodes.iter().enumerate().map(|(i, n)| (n.id, i)).collect();
-
-    // Apps saturate first (cost 0); jobs absorb shortfalls (cost 1).
-    let mut job_edges = Vec::with_capacity(n_jobs);
-    for (ji, job) in jobs.iter().enumerate() {
-        let placed = job_nodes.get(&job.id).and_then(|n| node_index.get(n));
-        let cap = to_units(job.demand);
-        g.add_edge_with_cost(source, job_vx(ji), cap, 1);
-        match placed {
-            Some(&ni) => {
-                let e = g.add_edge(job_vx(ji), node_vx(ni), cap);
-                job_edges.push(Some((e, *job_nodes.get(&job.id).expect("checked"))));
-            }
-            None => job_edges.push(None),
-        }
-    }
-    let mut app_edges: Vec<Vec<(slaq_flow::EdgeId, NodeId)>> = Vec::with_capacity(n_apps);
-    for (ai, app) in apps.iter().enumerate() {
-        let cap = to_units(app.demand);
-        g.add_edge_with_cost(source, app_vx(ai), cap, 0);
-        let mut edges = Vec::new();
-        if let Some(hosts) = app_instances.get(&app.id) {
-            for node in hosts {
-                if let Some(&ni) = node_index.get(node) {
-                    let e = g.add_edge(app_vx(ai), node_vx(ni), cap);
-                    edges.push((e, *node));
-                }
-            }
-        }
-        app_edges.push(edges);
-    }
-    for (ni, node) in nodes.iter().enumerate() {
-        g.add_edge(node_vx(ni), sink, to_units(node.cpu));
-    }
-
-    g.min_cost_flow(source, sink, i64::MAX / 8);
-
-    // Read back the allocation.
-    let mut placement = Placement::empty();
-    for (ai, app) in apps.iter().enumerate() {
-        let slices = placement.apps.entry(app.id).or_default();
-        // Every host keeps its instance even at zero flow (warm instance).
-        if let Some(hosts) = app_instances.get(&app.id) {
-            for node in hosts {
-                slices.insert(*node, CpuMhz::ZERO);
-            }
-        }
-        for &(e, node) in &app_edges[ai] {
-            let f = g.flow_on(e);
-            if f > 0 {
-                slices.insert(node, to_mhz(f));
-            }
-        }
-    }
-    for (ji, job) in jobs.iter().enumerate() {
-        if let Some((e, node)) = job_edges[ji] {
-            placement.jobs.insert(job.id, (node, to_mhz(g.flow_on(e))));
-        }
-    }
-    placement
+    let node_ix = Interner::new(nodes.iter().map(|n| n.id));
+    let app_hosts: Vec<Vec<usize>> = apps
+        .iter()
+        .map(|a| {
+            app_instances
+                .get(&a.id)
+                .map(|hosts| hosts.iter().filter_map(|h| node_ix.dense(*h)).collect())
+                .unwrap_or_default()
+        })
+        .collect();
+    let job_dense: Vec<Option<usize>> = jobs
+        .iter()
+        .map(|j| job_nodes.get(&j.id).and_then(|n| node_ix.dense(*n)))
+        .collect();
+    Allocator::new().allocate_dense(nodes, apps, &app_hosts, jobs, &job_dense, mhz_unit)
 }
 
 #[cfg(test)]
@@ -194,10 +340,7 @@ mod tests {
         let p = allocate(&nodes, &apps, &inst, &jobs, &jn, 1.0);
         assert_eq!(p.job_alloc(JobId::new(0)), CpuMhz::new(3000.0));
         assert_eq!(p.app_alloc(AppId::new(0)), CpuMhz::new(3000.0));
-        assert_eq!(
-            p.apps[&AppId::new(0)][&NodeId::new(1)],
-            CpuMhz::new(3000.0)
-        );
+        assert_eq!(p.apps[&AppId::new(0)][&NodeId::new(1)], CpuMhz::new(3000.0));
     }
 
     #[test]
@@ -210,7 +353,7 @@ mod tests {
         let mut jn = BTreeMap::new();
         jn.insert(JobId::new(0), NodeId::new(0));
         let p = allocate(&nodes, &apps, &inst, &jobs, &jn, 1.0);
-        // App saturates first (cost bias: its utility cliffs at its
+        // App saturates first (phase bias: its utility cliffs at its
         // offered load); the job absorbs the shortfall and will catch up
         // on work-conserving spare in the simulator.
         assert_eq!(p.app_alloc(AppId::new(0)), CpuMhz::new(3000.0));
@@ -262,5 +405,69 @@ mod tests {
         let total = p.job_alloc(JobId::new(0)) + p.job_alloc(JobId::new(1));
         assert!(total.as_f64() <= 5000.0 + 1e-6);
         assert!(total.as_f64() >= 4900.0);
+    }
+
+    #[test]
+    fn empty_problem_on_fresh_allocator_yields_empty_placement() {
+        // Regression: an empty problem's topology signature matches a
+        // fresh allocator's default (empty) signature; the warm path must
+        // still be refused, since no network exists yet.
+        let mut alloc = Allocator::new();
+        let p = alloc.allocate_dense(&[], &[], &[], &[], &[], 1.0);
+        assert!(p.apps.is_empty());
+        assert!(p.jobs.is_empty());
+        // And again, now genuinely warm.
+        let p = alloc.allocate_dense(&[], &[], &[], &[], &[], 1.0);
+        assert!(p.jobs.is_empty());
+    }
+
+    #[test]
+    fn warm_reuse_matches_fresh_allocation() {
+        // Same topology, changing demands: the warm path (capacity
+        // rewrite) must produce exactly what a cold build produces.
+        let nodes = [node(0, 6000.0), node(1, 4000.0), node(2, 9000.0)];
+        let app_hosts = vec![vec![0usize, 2], vec![1usize, 2]];
+        let job_nodes = vec![Some(0usize), Some(1), None, Some(2)];
+        let mut warm = Allocator::new();
+        for scale in [1.0f64, 0.4, 1.7, 0.0, 1.0] {
+            let jobs = [
+                jobr(0, 3000.0 * scale),
+                jobr(1, 2000.0 * scale),
+                jobr(2, 1000.0),
+                jobr(3, 4000.0 * scale),
+            ];
+            let apps_scaled = [app(0, 5000.0 * scale), app(1, 2500.0)];
+            let got = warm.allocate_dense(&nodes, &apps_scaled, &app_hosts, &jobs, &job_nodes, 1.0);
+            let fresh = Allocator::new().allocate_dense(
+                &nodes,
+                &apps_scaled,
+                &app_hosts,
+                &jobs,
+                &job_nodes,
+                1.0,
+            );
+            assert_eq!(got, fresh, "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn topology_change_rebuilds_correctly() {
+        let nodes = [node(0, 6000.0), node(1, 6000.0)];
+        let apps = [app(0, 4000.0)];
+        let jobs = [jobr(0, 3000.0)];
+        let mut alloc = Allocator::new();
+        // Cycle 1: app on node0 only, job on node0 — the app saturates
+        // first (shortfall bias), the job absorbs the remainder.
+        let p1 = alloc.allocate_dense(&nodes, &apps, &[vec![0]], &jobs, &[Some(0)], 1.0);
+        assert_eq!(p1.app_alloc(AppId::new(0)), CpuMhz::new(4000.0));
+        assert_eq!(p1.job_alloc(JobId::new(0)), CpuMhz::new(2000.0));
+        // Cycle 2: app grows to node1; job migrates to node1.
+        let p2 = alloc.allocate_dense(&nodes, &apps, &[vec![0, 1]], &jobs, &[Some(1)], 1.0);
+        assert_eq!(p2.app_alloc(AppId::new(0)), CpuMhz::new(4000.0));
+        assert_eq!(p2.job_alloc(JobId::new(0)), CpuMhz::new(3000.0));
+        // Cycle 3: job unplaced (topology shrinks).
+        let p3 = alloc.allocate_dense(&nodes, &apps, &[vec![0, 1]], &jobs, &[None], 1.0);
+        assert_eq!(p3.app_alloc(AppId::new(0)), CpuMhz::new(4000.0));
+        assert!(p3.job_node(JobId::new(0)).is_none());
     }
 }

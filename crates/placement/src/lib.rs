@@ -32,9 +32,11 @@
 pub mod allocation;
 pub mod placement;
 pub mod problem;
+#[doc(hidden)]
+pub mod reference;
 pub mod solver;
 
-pub use allocation::allocate;
+pub use allocation::{allocate, Allocator};
 pub use placement::{Placement, PlacementChange};
 pub use problem::{AppRequest, JobRequest, NodeCapacity, PlacementConfig, PlacementProblem};
-pub use solver::{solve, PlacementOutcome};
+pub use solver::{solve, PlacementOutcome, Solver};

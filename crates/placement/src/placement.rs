@@ -100,11 +100,7 @@ impl Placement {
 
     /// Total CPU handed to transactional applications.
     pub fn total_app_alloc(&self) -> CpuMhz {
-        self.apps
-            .values()
-            .flat_map(|m| m.values())
-            .copied()
-            .sum()
+        self.apps.values().flat_map(|m| m.values()).copied().sum()
     }
 
     /// CPU committed on one node (instances + jobs).
@@ -233,9 +229,11 @@ impl Placement {
         for (&job, &(node, _)) in &self.jobs {
             match prev.jobs.get(&job) {
                 None => changes.push(PlacementChange::StartJob { job, node }),
-                Some(&(old, _)) if old != node => {
-                    changes.push(PlacementChange::MigrateJob { job, from: old, to: node })
-                }
+                Some(&(old, _)) if old != node => changes.push(PlacementChange::MigrateJob {
+                    job,
+                    from: old,
+                    to: node,
+                }),
                 Some(_) => {}
             }
         }
@@ -400,7 +398,11 @@ mod tests {
             job: JobId::new(3),
             node: NodeId::new(1)
         }));
-        assert_eq!(changes.len(), 5, "allocation resize must be free: {changes:?}");
+        assert_eq!(
+            changes.len(),
+            5,
+            "allocation resize must be free: {changes:?}"
+        );
     }
 
     #[test]

@@ -137,8 +137,16 @@ mod tests {
     fn node_index_handles_sparse_ids() {
         let p = PlacementProblem {
             nodes: vec![
-                NodeCapacity { id: NodeId::new(5), cpu: CpuMhz::new(1.0), mem: MemMb::new(1) },
-                NodeCapacity { id: NodeId::new(9), cpu: CpuMhz::new(2.0), mem: MemMb::new(2) },
+                NodeCapacity {
+                    id: NodeId::new(5),
+                    cpu: CpuMhz::new(1.0),
+                    mem: MemMb::new(1),
+                },
+                NodeCapacity {
+                    id: NodeId::new(9),
+                    cpu: CpuMhz::new(2.0),
+                    mem: MemMb::new(2),
+                },
             ],
             apps: vec![],
             jobs: vec![],

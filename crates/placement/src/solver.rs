@@ -20,17 +20,29 @@
 //! 6. **Reclaim** — jobs still memory-blocked may retire zero-load
 //!    application instances (above `min_instances`) and take their slot.
 //! 7. **Allocate** — exact CPU division for the final placement via
-//!    min-cost max-flow ([`crate::allocation::allocate`]).
+//!    two-phase max-flow ([`crate::allocation::Allocator`]).
 //!
 //! Every step consumes from a shared *change budget*
 //! ([`crate::problem::PlacementConfig::max_changes`]); keeping an entity
 //! where it is costs nothing, which is what makes placements sticky.
+//!
+//! ### Dense-index hot path
+//!
+//! All per-cycle state lives in flat `Vec`s indexed by **dense indices**
+//! (position in `problem.nodes` / `problem.apps` / `problem.jobs`); ids
+//! are translated once at the problem boundary through a
+//! [`slaq_types::Interner`]. The inner loops perform no map lookups and
+//! no `position()` scans. A long-lived [`Solver`] additionally reuses all
+//! of that scratch memory *and* the allocation flow network across
+//! cycles, so a steady-state warm re-solve allocates next to nothing.
+//! The public [`PlacementOutcome`] stays id-keyed (`BTreeMap`) for API
+//! stability.
 
-use crate::allocation::allocate;
+use crate::allocation::Allocator;
 use crate::placement::{Placement, PlacementChange};
-use crate::problem::{AppRequest, JobRequest, PlacementProblem};
+use crate::problem::{JobRequest, PlacementProblem};
 use serde::{Deserialize, Serialize};
-use slaq_types::{fcmp, AppId, CpuMhz, JobId, MemMb, NodeId};
+use slaq_types::{fcmp, AppId, CpuMhz, Interner, JobId, MemMb, NodeId};
 use std::collections::BTreeMap;
 
 /// Result of one placement run.
@@ -62,6 +74,9 @@ impl PlacementOutcome {
 }
 
 /// Mutable per-node trackers used while making discrete decisions.
+/// Indexed by dense node index; `id` is carried only for tie-breaking and
+/// final readout.
+#[derive(Debug, Clone, Copy)]
 struct NodeState {
     id: NodeId,
     mem_free: MemMb,
@@ -71,396 +86,516 @@ struct NodeState {
     cpu_free: f64,
 }
 
-/// Solve one cycle. `prev` is the placement currently in force.
-pub fn solve(problem: &PlacementProblem, prev: &Placement) -> PlacementOutcome {
-    let cfg = &problem.config;
-    let mut budget = cfg.max_changes.unwrap_or(usize::MAX);
+/// Reusable per-cycle working memory (all dense-indexed).
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    nodes: Vec<NodeState>,
+    /// Per app: dense node indices currently hosting an instance.
+    app_hosts: Vec<Vec<usize>>,
+    /// Per app: CPU actually claimed per host, parallel to `app_hosts`.
+    app_take: Vec<Vec<f64>>,
+    /// Per job: dense node index where placed this cycle.
+    job_node: Vec<Option<usize>>,
+    /// Per job: CPU committed during the discrete phase.
+    committed: Vec<f64>,
+    /// Per job: `running_on` translated to a dense index.
+    running_dense: Vec<Option<usize>>,
+    /// Per job: whether `prev` had it running.
+    prev_has: Vec<bool>,
+    /// Job dense indices, priority-descending (ties: id ascending).
+    ordered_jobs: Vec<usize>,
+    /// App dense indices, demand-descending (ties: id ascending).
+    ordered_apps: Vec<usize>,
+    /// Water-fill temporary: host *positions* with residual CPU.
+    open: Vec<usize>,
+    /// Host-sort temporary.
+    host_sort: Vec<(NodeId, usize, f64)>,
+}
 
-    let mut nodes: Vec<NodeState> = problem
-        .nodes
-        .iter()
-        .map(|n| NodeState {
+/// A long-lived placement solver: reuses its dense scratch state and the
+/// allocation flow network across cycles. Construct once per controller
+/// and call [`Solver::solve`] every cycle; the free [`solve`] function
+/// remains as a cold one-shot convenience.
+#[derive(Debug, Clone, Default)]
+pub struct Solver {
+    alloc: Allocator,
+    s: Scratch,
+}
+
+impl Solver {
+    /// A fresh solver with empty caches.
+    pub fn new() -> Self {
+        Solver::default()
+    }
+
+    /// Solve one cycle. `prev` is the placement currently in force.
+    pub fn solve(&mut self, problem: &PlacementProblem, prev: &Placement) -> PlacementOutcome {
+        let cfg = &problem.config;
+        let mut budget = cfg.max_changes.unwrap_or(usize::MAX);
+        let n_apps = problem.apps.len();
+        let n_jobs = problem.jobs.len();
+
+        // --------------------------------------------------------------
+        // Boundary: intern ids, build dense state. The only id-keyed
+        // lookups of the whole solve happen here.
+        // --------------------------------------------------------------
+        let node_ix = Interner::new(problem.nodes.iter().map(|n| n.id));
+        let s = &mut self.s;
+        s.nodes.clear();
+        s.nodes.extend(problem.nodes.iter().map(|n| NodeState {
             id: n.id,
             mem_free: n.mem,
             cpu_free: n.cpu.as_f64(),
-        })
-        .collect();
-    let idx_of = |ns: &[NodeState], id: NodeId| ns.iter().position(|n| n.id == id);
+        }));
 
-    // ------------------------------------------------------------------
-    // Step 0/1: keep previous app instances and running jobs; reserve
-    // memory and commit CPU.
-    // ------------------------------------------------------------------
-    let mut app_hosts: BTreeMap<AppId, Vec<NodeId>> = BTreeMap::new();
-    for app in &problem.apps {
-        let mut hosts: Vec<NodeId> = prev
-            .apps
-            .get(&app.id)
-            .map(|m| m.keys().copied().collect())
-            .unwrap_or_default();
-        hosts.retain(|h| idx_of(&nodes, *h).is_some());
-        for h in &hosts {
-            let i = idx_of(&nodes, *h).expect("retained");
-            nodes[i].mem_free = nodes[i].mem_free.saturating_sub(app.mem_per_instance);
+        s.app_hosts.truncate(n_apps);
+        s.app_take.truncate(n_apps);
+        while s.app_hosts.len() < n_apps {
+            s.app_hosts.push(Vec::new());
         }
-        app_hosts.insert(app.id, hosts);
-    }
+        while s.app_take.len() < n_apps {
+            s.app_take.push(Vec::new());
+        }
+        for v in &mut s.app_hosts {
+            v.clear();
+        }
+        for v in &mut s.app_take {
+            v.clear();
+        }
 
-    let mut ordered_jobs: Vec<&JobRequest> = problem.jobs.iter().collect();
-    ordered_jobs.sort_by(|a, b| fcmp(b.priority, a.priority).then(a.id.cmp(&b.id)));
+        s.job_node.clear();
+        s.job_node.resize(n_jobs, None);
+        s.committed.clear();
+        s.committed.resize(n_jobs, 0.0);
+        s.running_dense.clear();
+        s.running_dense.extend(
+            problem
+                .jobs
+                .iter()
+                .map(|j| j.running_on.and_then(|n| node_ix.dense(n))),
+        );
+        s.prev_has.clear();
+        s.prev_has
+            .extend(problem.jobs.iter().map(|j| prev.jobs.contains_key(&j.id)));
 
-    let mut job_nodes: BTreeMap<JobId, NodeId> = BTreeMap::new();
-    // Committed CPU per kept job (for the shortchange rebalance pass).
-    let mut committed: BTreeMap<JobId, f64> = BTreeMap::new();
-    for job in &ordered_jobs {
-        if let Some(node) = job.running_on {
-            if let Some(i) = idx_of(&nodes, node) {
-                if nodes[i].mem_free.fits(job.mem) || prev.jobs.contains_key(&job.id) {
-                    // A running job's memory is already resident; keeping
-                    // it is always feasible (prev placement was valid).
-                    nodes[i].mem_free = nodes[i].mem_free.saturating_sub(job.mem);
-                    let got = job.demand.as_f64().min(nodes[i].cpu_free).max(0.0);
-                    nodes[i].cpu_free -= got;
-                    committed.insert(job.id, got);
-                    job_nodes.insert(job.id, node);
+        s.ordered_jobs.clear();
+        s.ordered_jobs.extend(0..n_jobs);
+        s.ordered_jobs.sort_by(|&a, &b| {
+            let (ja, jb) = (&problem.jobs[a], &problem.jobs[b]);
+            fcmp(jb.priority, ja.priority).then(ja.id.cmp(&jb.id))
+        });
+        s.ordered_apps.clear();
+        s.ordered_apps.extend(0..n_apps);
+        s.ordered_apps.sort_by(|&a, &b| {
+            let (aa, ab) = (&problem.apps[a], &problem.apps[b]);
+            ab.demand.total_cmp(aa.demand).then(aa.id.cmp(&ab.id))
+        });
+
+        // --------------------------------------------------------------
+        // Step 0/1: keep previous app instances and running jobs; reserve
+        // memory and commit CPU.
+        // --------------------------------------------------------------
+        for (ai, app) in problem.apps.iter().enumerate() {
+            if let Some(prev_hosts) = prev.apps.get(&app.id) {
+                for (&host, _) in prev_hosts.iter() {
+                    let Some(ni) = node_ix.dense(host) else {
+                        continue;
+                    };
+                    s.nodes[ni].mem_free =
+                        s.nodes[ni].mem_free.saturating_sub(app.mem_per_instance);
+                    s.app_hosts[ai].push(ni);
+                    s.app_take[ai].push(0.0);
                 }
             }
         }
-    }
 
-    // ------------------------------------------------------------------
-    // Step 2: grow/shrink application instance sets. Applications claim
-    // nodes *before new jobs are placed* (kept jobs committed above stay
-    // senior): the transactional tier is fluid cluster-wide only through
-    // its instances, so it gets first pick of residual capacity; jobs are
-    // indivisible and fill in around it.
-    // ------------------------------------------------------------------
-    // Per-host CPU actually claimed by an app (for the reclaim pass: a
-    // zero-take instance is disposable when jobs are memory-blocked).
-    let mut app_take: BTreeMap<(AppId, NodeId), f64> = BTreeMap::new();
-    let mut ordered_apps: Vec<&AppRequest> = problem.apps.iter().collect();
-    ordered_apps.sort_by(|a, b| b.demand.total_cmp(a.demand).then(a.id.cmp(&b.id)));
-    for app in &ordered_apps {
-        let hosts = app_hosts.entry(app.id).or_default();
-        // Shrink above max_instances (stop the emptiest nodes first — the
-        // flow would starve them anyway). Also shed down to min_instances
-        // when the app is idle, releasing memory for future cycles.
-        let shrink_to = if app.demand.is_zero() {
-            app.min_instances.max(1) as usize
-        } else {
-            app.max_instances as usize
-        };
-        while hosts.len() > shrink_to && budget > 0 {
-            let (pos, &host) = hosts
-                .iter()
-                .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    let ca = idx_of(&nodes, **a).map_or(0.0, |i| nodes[i].cpu_free);
-                    let cb = idx_of(&nodes, **b).map_or(0.0, |i| nodes[i].cpu_free);
-                    fcmp(ca, cb).then(a.cmp(b))
-                })
-                .expect("hosts nonempty");
-            if let Some(i) = idx_of(&nodes, host) {
-                nodes[i].mem_free += app.mem_per_instance;
+        for k in 0..s.ordered_jobs.len() {
+            let ji = s.ordered_jobs[k];
+            let job = &problem.jobs[ji];
+            if job.running_on.is_none() {
+                continue;
             }
-            hosts.remove(pos);
-            budget -= 1;
-        }
-        // Grow the host set until the reachable capacity covers the
-        // target (or instances run out).
-        loop {
-            let reachable: f64 = hosts
-                .iter()
-                .filter_map(|h| idx_of(&nodes, *h))
-                .map(|i| nodes[i].cpu_free)
-                .sum();
-            if reachable + 1e-6 >= app.demand.as_f64()
-                || hosts.len() >= app.max_instances as usize
-                || budget == 0
-            {
-                break;
-            }
-            let cand = nodes
-                .iter()
-                .enumerate()
-                .filter(|(_, n)| {
-                    n.mem_free.fits(app.mem_per_instance)
-                        && n.cpu_free > 1e-9
-                        && !hosts.contains(&n.id)
-                })
-                .max_by(|(_, a), (_, b)| fcmp(a.cpu_free, b.cpu_free).then(b.id.cmp(&a.id)))
-                .map(|(i, _)| i);
-            let Some(i) = cand else { break };
-            nodes[i].mem_free -= app.mem_per_instance;
-            hosts.push(nodes[i].id);
-            budget -= 1;
-        }
-        // Spread the target evenly across the hosts (water-fill): a
-        // load-balanced cluster divides its traffic, and packing nodes
-        // solid would starve their memory slots of job CPU — the
-        // Figure 2 ratio depends on this spreading.
-        let mut remaining = app.demand.as_f64();
-        for _ in 0..hosts.len().max(1) {
-            if remaining <= 1e-6 {
-                break;
-            }
-            let open: Vec<usize> = hosts
-                .iter()
-                .filter_map(|h| idx_of(&nodes, *h))
-                .filter(|&i| nodes[i].cpu_free > 1e-9)
-                .collect();
-            if open.is_empty() {
-                break;
-            }
-            let share = remaining / open.len() as f64;
-            for i in open {
-                let host = nodes[i].id;
-                let take = share.min(nodes[i].cpu_free).min(remaining);
-                nodes[i].cpu_free -= take;
-                remaining -= take;
-                *app_take.entry((app.id, host)).or_insert(0.0) += take;
+            let Some(i) = s.running_dense[ji] else {
+                continue;
+            };
+            if s.nodes[i].mem_free.fits(job.mem) || s.prev_has[ji] {
+                // A running job's memory is already resident; keeping
+                // it is always feasible (prev placement was valid).
+                s.nodes[i].mem_free = s.nodes[i].mem_free.saturating_sub(job.mem);
+                let got = job.demand.as_f64().min(s.nodes[i].cpu_free).max(0.0);
+                s.nodes[i].cpu_free -= got;
+                s.committed[ji] = got;
+                s.job_node[ji] = Some(i);
             }
         }
-        // Honour min_instances even when idle.
-        while hosts.len() < app.min_instances as usize && budget > 0 {
-            let cand = nodes
-                .iter()
-                .enumerate()
-                .filter(|(_, n)| n.mem_free.fits(app.mem_per_instance) && !hosts.contains(&n.id))
-                .max_by(|(_, a), (_, b)| fcmp(a.cpu_free, b.cpu_free).then(b.id.cmp(&a.id)))
-                .map(|(i, _)| i);
-            let Some(i) = cand else { break };
-            nodes[i].mem_free -= app.mem_per_instance;
-            hosts.push(nodes[i].id);
-            budget -= 1;
-        }
-        hosts.sort();
-    }
 
-    // ------------------------------------------------------------------
-    // Step 3: place unplaced jobs with positive targets, priority order.
-    // ------------------------------------------------------------------
-    let place_job = |job: &JobRequest, nodes: &mut [NodeState], budget: &mut usize| -> Option<NodeId> {
-        if *budget == 0 || job.demand.is_zero() {
-            return None;
+        // --------------------------------------------------------------
+        // Step 2: grow/shrink application instance sets. Applications
+        // claim nodes *before new jobs are placed* (kept jobs committed
+        // above stay senior): the transactional tier is fluid
+        // cluster-wide only through its instances, so it gets first pick
+        // of residual capacity; jobs are indivisible and fill in around
+        // it.
+        // --------------------------------------------------------------
+        for k in 0..s.ordered_apps.len() {
+            let ai = s.ordered_apps[k];
+            let app = &problem.apps[ai];
+            // Shrink above max_instances (stop the emptiest nodes first —
+            // the flow would starve them anyway). Also shed down to
+            // min_instances when the app is idle, releasing memory for
+            // future cycles.
+            let shrink_to = if app.demand.is_zero() {
+                app.min_instances.max(1) as usize
+            } else {
+                app.max_instances as usize
+            };
+            while s.app_hosts[ai].len() > shrink_to && budget > 0 {
+                let hosts = &s.app_hosts[ai];
+                let nodes = &s.nodes;
+                let (pos, &hi) = hosts
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, &a), (_, &b)| {
+                        fcmp(nodes[a].cpu_free, nodes[b].cpu_free)
+                            .then(nodes[a].id.cmp(&nodes[b].id))
+                    })
+                    .expect("hosts nonempty");
+                s.nodes[hi].mem_free += app.mem_per_instance;
+                s.app_hosts[ai].remove(pos);
+                s.app_take[ai].remove(pos);
+                budget -= 1;
+            }
+            // Grow the host set until the reachable capacity covers the
+            // target (or instances run out).
+            loop {
+                let reachable: f64 = s.app_hosts[ai].iter().map(|&i| s.nodes[i].cpu_free).sum();
+                if reachable + 1e-6 >= app.demand.as_f64()
+                    || s.app_hosts[ai].len() >= app.max_instances as usize
+                    || budget == 0
+                {
+                    break;
+                }
+                let hosts = &s.app_hosts[ai];
+                let cand = s
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, n)| {
+                        n.mem_free.fits(app.mem_per_instance)
+                            && n.cpu_free > 1e-9
+                            && !hosts.contains(&i)
+                    })
+                    .max_by(|(_, a), (_, b)| fcmp(a.cpu_free, b.cpu_free).then(b.id.cmp(&a.id)))
+                    .map(|(i, _)| i);
+                let Some(i) = cand else { break };
+                s.nodes[i].mem_free -= app.mem_per_instance;
+                s.app_hosts[ai].push(i);
+                s.app_take[ai].push(0.0);
+                budget -= 1;
+            }
+            // Spread the target evenly across the hosts (water-fill): a
+            // load-balanced cluster divides its traffic, and packing
+            // nodes solid would starve their memory slots of job CPU —
+            // the Figure 2 ratio depends on this spreading.
+            let mut remaining = app.demand.as_f64();
+            for _ in 0..s.app_hosts[ai].len().max(1) {
+                if remaining <= 1e-6 {
+                    break;
+                }
+                s.open.clear();
+                {
+                    let nodes = &s.nodes;
+                    s.open.extend(
+                        s.app_hosts[ai]
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, &i)| nodes[i].cpu_free > 1e-9)
+                            .map(|(pos, _)| pos),
+                    );
+                }
+                if s.open.is_empty() {
+                    break;
+                }
+                let share = remaining / s.open.len() as f64;
+                for oi in 0..s.open.len() {
+                    let pos = s.open[oi];
+                    let i = s.app_hosts[ai][pos];
+                    let take = share.min(s.nodes[i].cpu_free).min(remaining);
+                    s.nodes[i].cpu_free -= take;
+                    remaining -= take;
+                    s.app_take[ai][pos] += take;
+                }
+            }
+            // Honour min_instances even when idle.
+            while s.app_hosts[ai].len() < app.min_instances as usize && budget > 0 {
+                let hosts = &s.app_hosts[ai];
+                let cand = s
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, n)| n.mem_free.fits(app.mem_per_instance) && !hosts.contains(&i))
+                    .max_by(|(_, a), (_, b)| fcmp(a.cpu_free, b.cpu_free).then(b.id.cmp(&a.id)))
+                    .map(|(i, _)| i);
+                let Some(i) = cand else { break };
+                s.nodes[i].mem_free -= app.mem_per_instance;
+                s.app_hosts[ai].push(i);
+                s.app_take[ai].push(0.0);
+                budget -= 1;
+            }
+            // Keep hosts id-sorted (deterministic downstream iteration,
+            // matching the seed's `hosts.sort()` on NodeIds).
+            s.host_sort.clear();
+            for (pos, &i) in s.app_hosts[ai].iter().enumerate() {
+                s.host_sort.push((s.nodes[i].id, i, s.app_take[ai][pos]));
+            }
+            s.host_sort.sort_by_key(|&(id, _, _)| id);
+            for (pos, &(_, i, take)) in s.host_sort.iter().enumerate() {
+                s.app_hosts[ai][pos] = i;
+                s.app_take[ai][pos] = take;
+            }
         }
-        // Affinity first if it can feed the job meaningfully.
-        if let Some(aff) = job.affinity {
-            if let Some(i) = idx_of(nodes, aff) {
-                if nodes[i].mem_free.fits(job.mem)
-                    && nodes[i].cpu_free >= job.demand.as_f64() * 0.5
+
+        // --------------------------------------------------------------
+        // Step 3: place unplaced jobs with positive targets, priority
+        // order.
+        // --------------------------------------------------------------
+        let place_job = |job: &JobRequest,
+                         nodes: &mut [NodeState],
+                         budget: &mut usize,
+                         affinity_dense: Option<usize>|
+         -> Option<usize> {
+            if *budget == 0 || job.demand.is_zero() {
+                return None;
+            }
+            // Affinity first if it can feed the job meaningfully.
+            if let Some(i) = affinity_dense {
+                if nodes[i].mem_free.fits(job.mem) && nodes[i].cpu_free >= job.demand.as_f64() * 0.5
                 {
                     nodes[i].mem_free -= job.mem;
                     let got = job.demand.as_f64().min(nodes[i].cpu_free);
                     nodes[i].cpu_free -= got;
                     *budget -= 1;
-                    return Some(aff);
+                    return Some(i);
                 }
             }
-        }
-        // Otherwise, the node offering the most CPU (ties: more free
-        // memory, then lower id).
-        let best = nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.mem_free.fits(job.mem) && n.cpu_free > 1e-9)
-            .max_by(|(_, a), (_, b)| {
-                fcmp(
-                    a.cpu_free.min(job.demand.as_f64()),
-                    b.cpu_free.min(job.demand.as_f64()),
-                )
-                .then(a.mem_free.cmp(&b.mem_free))
-                .then(b.id.cmp(&a.id))
-            })
-            .map(|(i, _)| i)?;
-        nodes[best].mem_free -= job.mem;
-        let got = job.demand.as_f64().min(nodes[best].cpu_free);
-        nodes[best].cpu_free -= got;
-        *budget -= 1;
-        Some(nodes[best].id)
-    };
-
-    for job in &ordered_jobs {
-        if job_nodes.contains_key(&job.id) {
-            continue;
-        }
-        if let Some(node) = place_job(job, &mut nodes, &mut budget) {
-            job_nodes.insert(job.id, node);
-            committed.insert(job.id, job.demand.as_f64().min(f64::MAX));
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Step 4: rebalance — migrate shortchanged running jobs to nodes
-    // with room.
-    // ------------------------------------------------------------------
-    for job in &ordered_jobs {
-        if budget == 0 {
-            break;
-        }
-        let Some(&cur) = job_nodes.get(&job.id) else {
-            continue;
+            // Otherwise, the node offering the most CPU (ties: more free
+            // memory, then lower id).
+            let best = nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.mem_free.fits(job.mem) && n.cpu_free > 1e-9)
+                .max_by(|(_, a), (_, b)| {
+                    fcmp(
+                        a.cpu_free.min(job.demand.as_f64()),
+                        b.cpu_free.min(job.demand.as_f64()),
+                    )
+                    .then(a.mem_free.cmp(&b.mem_free))
+                    .then(b.id.cmp(&a.id))
+                })
+                .map(|(i, _)| i)?;
+            nodes[best].mem_free -= job.mem;
+            let got = job.demand.as_f64().min(nodes[best].cpu_free);
+            nodes[best].cpu_free -= got;
+            *budget -= 1;
+            Some(best)
         };
-        if job.running_on != Some(cur) {
-            continue; // only running jobs can live-migrate
-        }
-        let got = committed.get(&job.id).copied().unwrap_or(0.0);
-        let deficit = job.demand.as_f64() - got;
-        if deficit <= job.demand.as_f64() * 0.25 {
-            continue; // close enough; not worth a migration
-        }
-        let target = nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.id != cur && n.mem_free.fits(job.mem) && n.cpu_free > got + deficit * 0.5)
-            .max_by(|(_, a), (_, b)| fcmp(a.cpu_free, b.cpu_free).then(b.id.cmp(&a.id)))
-            .map(|(i, _)| i);
-        if let Some(t) = target {
-            let ci = idx_of(&nodes, cur).expect("current node exists");
-            nodes[ci].mem_free += job.mem;
-            nodes[ci].cpu_free += got;
-            nodes[t].mem_free -= job.mem;
-            let newgot = job.demand.as_f64().min(nodes[t].cpu_free);
-            nodes[t].cpu_free -= newgot;
-            committed.insert(job.id, newgot);
-            job_nodes.insert(job.id, nodes[t].id);
-            budget -= 1;
-        }
-    }
 
-    // ------------------------------------------------------------------
-    // Step 5: eviction — unplaced high-priority jobs displace strictly
-    // lower-priority running jobs (suspend + start = two changes).
-    // ------------------------------------------------------------------
-    for job in &ordered_jobs {
-        if budget < 2 {
-            break;
-        }
-        if job_nodes.contains_key(&job.id) || job.demand.is_zero() {
-            continue;
-        }
-        // Cheapest victim: the lowest-priority placed job whose removal
-        // makes room, strictly below this job's priority minus the gap.
-        let victim = ordered_jobs
-            .iter()
-            .rev() // ascending priority
-            .filter(|v| {
-                job_nodes.contains_key(&v.id)
-                    && v.priority + problem.config.evict_priority_gap < job.priority
-            })
-            .find(|v| {
-                let node = job_nodes[&v.id];
-                let i = idx_of(&nodes, node).expect("placed on known node");
-                (nodes[i].mem_free + v.mem).fits(job.mem)
-            })
-            .map(|v| v.id);
-        if let Some(vid) = victim {
-            let vreq = problem.jobs.iter().find(|j| j.id == vid).expect("victim exists");
-            let node = job_nodes.remove(&vid).expect("victim placed");
-            let i = idx_of(&nodes, node).expect("known node");
-            nodes[i].mem_free += vreq.mem;
-            nodes[i].cpu_free += committed.remove(&vid).unwrap_or(0.0);
-            budget -= 1; // the suspension
-            nodes[i].mem_free -= job.mem;
-            let got = job.demand.as_f64().min(nodes[i].cpu_free);
-            nodes[i].cpu_free -= got;
-            committed.insert(job.id, got);
-            job_nodes.insert(job.id, node);
-            budget -= 1; // the start
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Step 6: reclaim — when jobs with positive targets are still
-    // memory-blocked, disposable (zero-CPU-take, above min_instances)
-    // application instances give their memory back to the job tier. This
-    // is the "drop least-useful instances when memory-blocked" move of
-    // the NOMS'08 heuristic.
-    // ------------------------------------------------------------------
-    for job in &ordered_jobs {
-        if budget < 2 {
-            break;
-        }
-        if job_nodes.contains_key(&job.id) || job.demand.is_zero() {
-            continue;
-        }
-        let mut placed_at: Option<NodeId> = None;
-        'apps: for app in &ordered_apps {
-            let hosts = app_hosts.get_mut(&app.id).expect("initialized above");
-            if hosts.len() <= app.min_instances.max(1) as usize {
+        for k in 0..s.ordered_jobs.len() {
+            let ji = s.ordered_jobs[k];
+            if s.job_node[ji].is_some() {
                 continue;
             }
-            for (pos, &host) in hosts.iter().enumerate() {
-                let take = app_take.get(&(app.id, host)).copied().unwrap_or(0.0);
-                if take > 1e-6 {
-                    continue; // instance is carrying real load
+            let job = &problem.jobs[ji];
+            let affinity_dense = job.affinity.and_then(|n| node_ix.dense(n));
+            if let Some(i) = place_job(job, &mut s.nodes, &mut budget, affinity_dense) {
+                s.job_node[ji] = Some(i);
+                s.committed[ji] = job.demand.as_f64();
+            }
+        }
+
+        // --------------------------------------------------------------
+        // Step 4: rebalance — migrate shortchanged running jobs to nodes
+        // with room.
+        // --------------------------------------------------------------
+        for k in 0..s.ordered_jobs.len() {
+            if budget == 0 {
+                break;
+            }
+            let ji = s.ordered_jobs[k];
+            let Some(cur) = s.job_node[ji] else { continue };
+            if s.running_dense[ji] != Some(cur) {
+                continue; // only running jobs can live-migrate
+            }
+            let job = &problem.jobs[ji];
+            let got = s.committed[ji];
+            let deficit = job.demand.as_f64() - got;
+            if deficit <= job.demand.as_f64() * 0.25 {
+                continue; // close enough; not worth a migration
+            }
+            let target = s
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|&(i, n)| {
+                    i != cur && n.mem_free.fits(job.mem) && n.cpu_free > got + deficit * 0.5
+                })
+                .max_by(|(_, a), (_, b)| fcmp(a.cpu_free, b.cpu_free).then(b.id.cmp(&a.id)))
+                .map(|(i, _)| i);
+            if let Some(t) = target {
+                s.nodes[cur].mem_free += job.mem;
+                s.nodes[cur].cpu_free += got;
+                s.nodes[t].mem_free -= job.mem;
+                let newgot = job.demand.as_f64().min(s.nodes[t].cpu_free);
+                s.nodes[t].cpu_free -= newgot;
+                s.committed[ji] = newgot;
+                s.job_node[ji] = Some(t);
+                budget -= 1;
+            }
+        }
+
+        // --------------------------------------------------------------
+        // Step 5: eviction — unplaced high-priority jobs displace
+        // strictly lower-priority running jobs (suspend + start = two
+        // changes).
+        // --------------------------------------------------------------
+        for k in 0..s.ordered_jobs.len() {
+            if budget < 2 {
+                break;
+            }
+            let ji = s.ordered_jobs[k];
+            let job = &problem.jobs[ji];
+            if s.job_node[ji].is_some() || job.demand.is_zero() {
+                continue;
+            }
+            // Cheapest victim: the lowest-priority placed job whose
+            // removal makes room, strictly below this job's priority
+            // minus the gap.
+            let victim = {
+                let (job_node, nodes) = (&s.job_node, &s.nodes);
+                s.ordered_jobs
+                    .iter()
+                    .rev() // ascending priority
+                    .filter(|&&vi| {
+                        job_node[vi].is_some()
+                            && problem.jobs[vi].priority + problem.config.evict_priority_gap
+                                < job.priority
+                    })
+                    .find(|&&vi| {
+                        let i = job_node[vi].expect("filtered to placed");
+                        (nodes[i].mem_free + problem.jobs[vi].mem).fits(job.mem)
+                    })
+                    .copied()
+            };
+            if let Some(vi) = victim {
+                let i = s.job_node[vi].take().expect("victim placed");
+                s.nodes[i].mem_free += problem.jobs[vi].mem;
+                s.nodes[i].cpu_free += std::mem::replace(&mut s.committed[vi], 0.0);
+                budget -= 1; // the suspension
+                s.nodes[i].mem_free -= job.mem;
+                let got = job.demand.as_f64().min(s.nodes[i].cpu_free);
+                s.nodes[i].cpu_free -= got;
+                s.committed[ji] = got;
+                s.job_node[ji] = Some(i);
+                budget -= 1; // the start
+            }
+        }
+
+        // --------------------------------------------------------------
+        // Step 6: reclaim — when jobs with positive targets are still
+        // memory-blocked, disposable (zero-CPU-take, above min_instances)
+        // application instances give their memory back to the job tier.
+        // This is the "drop least-useful instances when memory-blocked"
+        // move of the NOMS'08 heuristic.
+        // --------------------------------------------------------------
+        for k in 0..s.ordered_jobs.len() {
+            if budget < 2 {
+                break;
+            }
+            let ji = s.ordered_jobs[k];
+            let job = &problem.jobs[ji];
+            if s.job_node[ji].is_some() || job.demand.is_zero() {
+                continue;
+            }
+            'apps: for ak in 0..s.ordered_apps.len() {
+                let ai = s.ordered_apps[ak];
+                let app = &problem.apps[ai];
+                if s.app_hosts[ai].len() <= app.min_instances.max(1) as usize {
+                    continue;
                 }
-                let i = idx_of(&nodes, host).expect("host known");
-                if (nodes[i].mem_free + app.mem_per_instance).fits(job.mem)
-                    && nodes[i].cpu_free > 1e-9
-                {
-                    nodes[i].mem_free += app.mem_per_instance;
-                    hosts.remove(pos);
-                    budget -= 1; // the instance stop
-                    nodes[i].mem_free -= job.mem;
-                    let got = job.demand.as_f64().min(nodes[i].cpu_free);
-                    nodes[i].cpu_free -= got;
-                    committed.insert(job.id, got);
-                    job_nodes.insert(job.id, host);
-                    budget -= 1; // the job start
-                    placed_at = Some(host);
-                    break 'apps;
+                for pos in 0..s.app_hosts[ai].len() {
+                    if s.app_take[ai][pos] > 1e-6 {
+                        continue; // instance is carrying real load
+                    }
+                    let i = s.app_hosts[ai][pos];
+                    if (s.nodes[i].mem_free + app.mem_per_instance).fits(job.mem)
+                        && s.nodes[i].cpu_free > 1e-9
+                    {
+                        s.nodes[i].mem_free += app.mem_per_instance;
+                        s.app_hosts[ai].remove(pos);
+                        s.app_take[ai].remove(pos);
+                        budget -= 1; // the instance stop
+                        s.nodes[i].mem_free -= job.mem;
+                        let got = job.demand.as_f64().min(s.nodes[i].cpu_free);
+                        s.nodes[i].cpu_free -= got;
+                        s.committed[ji] = got;
+                        s.job_node[ji] = Some(i);
+                        budget -= 1; // the job start
+                        break 'apps;
+                    }
                 }
             }
         }
-        if placed_at.is_none() {
-            continue;
+
+        // --------------------------------------------------------------
+        // Step 7: exact allocation + bookkeeping.
+        // --------------------------------------------------------------
+        let placement = self.alloc.allocate_dense(
+            &problem.nodes,
+            &problem.apps,
+            &s.app_hosts,
+            &problem.jobs,
+            &s.job_node,
+            problem.config.mhz_unit,
+        );
+        let changes = placement.diff(prev);
+
+        let satisfied_apps: BTreeMap<AppId, CpuMhz> = problem
+            .apps
+            .iter()
+            .map(|a| (a.id, placement.app_alloc(a.id)))
+            .collect();
+        let satisfied_jobs: BTreeMap<JobId, CpuMhz> =
+            placement.jobs.iter().map(|(&j, &(_, c))| (j, c)).collect();
+        let unplaced_jobs: Vec<JobId> = problem
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(ji, j)| !j.demand.is_zero() && s.job_node[*ji].is_none())
+            .map(|(_, j)| j.id)
+            .collect();
+
+        PlacementOutcome {
+            placement,
+            changes,
+            satisfied_apps,
+            satisfied_jobs,
+            unplaced_jobs,
         }
     }
+}
 
-    // ------------------------------------------------------------------
-    // Step 7: exact allocation + bookkeeping.
-    // ------------------------------------------------------------------
-    let placement = allocate(
-        &problem.nodes,
-        &problem.apps,
-        &app_hosts,
-        &problem.jobs,
-        &job_nodes,
-        problem.config.mhz_unit,
-    );
-    let changes = placement.diff(prev);
-
-    let satisfied_apps: BTreeMap<AppId, CpuMhz> = problem
-        .apps
-        .iter()
-        .map(|a| (a.id, placement.app_alloc(a.id)))
-        .collect();
-    let satisfied_jobs: BTreeMap<JobId, CpuMhz> = placement
-        .jobs
-        .iter()
-        .map(|(&j, &(_, c))| (j, c))
-        .collect();
-    let unplaced_jobs: Vec<JobId> = problem
-        .jobs
-        .iter()
-        .filter(|j| !j.demand.is_zero() && !placement.jobs.contains_key(&j.id))
-        .map(|j| j.id)
-        .collect();
-
-    PlacementOutcome {
-        placement,
-        changes,
-        satisfied_apps,
-        satisfied_jobs,
-        unplaced_jobs,
-    }
+/// Solve one cycle with a cold (single-shot) [`Solver`]. `prev` is the
+/// placement currently in force. Controllers that re-solve every cycle
+/// should hold a [`Solver`] instead to reuse its scratch and network.
+pub fn solve(problem: &PlacementProblem, prev: &Placement) -> PlacementOutcome {
+    Solver::new().solve(problem, prev)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::problem::{NodeCapacity, PlacementConfig};
+    use crate::problem::{AppRequest, NodeCapacity, PlacementConfig};
+    use crate::reference::solve_reference;
     use proptest::prelude::*;
 
     fn nodes(n: u32, cpu: f64, mem: u64) -> Vec<NodeCapacity> {
@@ -551,6 +686,32 @@ mod tests {
             second.changes
         );
         assert_eq!(second.placement.jobs, first.placement.jobs);
+    }
+
+    #[test]
+    fn warm_solver_matches_cold_solver_across_cycles() {
+        // The same Solver re-used across cycles (scratch + network reuse)
+        // must behave exactly like fresh one-shot solves.
+        let mut warm = Solver::new();
+        let mut prev_warm = Placement::empty();
+        let mut prev_cold = Placement::empty();
+        for cycle in 0..6u32 {
+            let mut p = problem(
+                nodes(4, 12_000.0, 4096),
+                vec![appr(0, 6000.0 + 2000.0 * cycle as f64)],
+                (0..8)
+                    .map(|i| jobr(i, 1500.0 + 300.0 * ((i + cycle) % 5) as f64))
+                    .collect(),
+            );
+            for j in &mut p.jobs {
+                j.running_on = prev_warm.job_node(j.id);
+            }
+            let w = warm.solve(&p, &prev_warm);
+            let c = solve(&p, &prev_cold);
+            assert_eq!(w, c, "cycle {cycle}");
+            prev_warm = w.placement;
+            prev_cold = c.placement;
+        }
     }
 
     #[test]
@@ -710,7 +871,9 @@ mod tests {
         // 2 jobs (2×1280) + 1 instance (1024) = 3584 ≤ 4096 ✓; CPU exactly full.
         assert_eq!(out.placement.jobs.len(), 2);
         assert_eq!(out.total_job_satisfied(), CpuMhz::new(6000.0));
-        assert!(out.total_app_satisfied().approx_eq(CpuMhz::new(6000.0), 1.0));
+        assert!(out
+            .total_app_satisfied()
+            .approx_eq(CpuMhz::new(6000.0), 1.0));
         out.placement.validate(&p.nodes, &p.apps, &p.jobs).unwrap();
     }
 
@@ -725,9 +888,18 @@ mod tests {
             .insert(JobId::new(0), (NodeId::new(0), CpuMhz::ZERO));
         let p = problem(nodes(2, 12_000.0, 4096), vec![], vec![running, pending]);
         let out = solve(&p, &prev);
-        assert!(out.placement.jobs.contains_key(&JobId::new(0)), "kept running");
-        assert!(!out.placement.jobs.contains_key(&JobId::new(1)), "not started");
-        assert!(out.unplaced_jobs.is_empty(), "zero-demand pending is not 'unplaced'");
+        assert!(
+            out.placement.jobs.contains_key(&JobId::new(0)),
+            "kept running"
+        );
+        assert!(
+            !out.placement.jobs.contains_key(&JobId::new(1)),
+            "not started"
+        );
+        assert!(
+            out.unplaced_jobs.is_empty(),
+            "zero-demand pending is not 'unplaced'"
+        );
     }
 
     #[test]
@@ -737,6 +909,33 @@ mod tests {
         let p = problem(nodes(3, 12_000.0, 4096), vec![], vec![j]);
         let out = solve(&p, &Placement::empty());
         assert_eq!(out.placement.job_node(JobId::new(0)), Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn sparse_node_ids_work_via_interning() {
+        // Node ids far apart and unordered: dense indices must absorb it.
+        let caps = vec![
+            NodeCapacity {
+                id: NodeId::new(90),
+                cpu: CpuMhz::new(6000.0),
+                mem: MemMb::new(4096),
+            },
+            NodeCapacity {
+                id: NodeId::new(7),
+                cpu: CpuMhz::new(6000.0),
+                mem: MemMb::new(4096),
+            },
+        ];
+        let mut j = jobr(0, 3000.0);
+        j.running_on = Some(NodeId::new(90));
+        let mut prev = Placement::empty();
+        prev.jobs
+            .insert(JobId::new(0), (NodeId::new(90), CpuMhz::new(3000.0)));
+        let p = problem(caps, vec![appr(0, 4000.0)], vec![j, jobr(1, 2000.0)]);
+        let out = solve(&p, &prev);
+        out.placement.validate(&p.nodes, &p.apps, &p.jobs).unwrap();
+        assert_eq!(out.placement.job_node(JobId::new(0)), Some(NodeId::new(90)));
+        assert_eq!(out, solve_reference(&p, &prev));
     }
 
     proptest! {
@@ -805,6 +1004,56 @@ mod tests {
             }
             let second = solve(&p2, &first.placement);
             prop_assert!(second.changes.is_empty(), "churn: {:?}", second.changes);
+        }
+
+        #[test]
+        fn prop_dense_solver_matches_reference(
+            n_nodes in 1u32..7,
+            node_cpu in 3000.0..16_000.0f64,
+            node_mem in 1024u64..8192,
+            app_demands in proptest::collection::vec(0.0..40_000.0f64, 0..4),
+            job_demands in proptest::collection::vec(0.0..3000.0f64, 0..14),
+            budget in proptest::option::of(0usize..10),
+            gap in 0.0..500.0f64,
+        ) {
+            // Differential test: the dense-index solver must reproduce the
+            // seed (id-keyed) implementation's outcome bit-for-bit —
+            // including across a warm second cycle with running jobs and a
+            // prior placement.
+            let apps: Vec<AppRequest> = app_demands
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| {
+                    let mut a = appr(i as u32, d);
+                    a.min_instances = (i % 3) as u32;
+                    a
+                })
+                .collect();
+            let jobs: Vec<JobRequest> = job_demands
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| {
+                    let mut j = jobr(i as u32, d);
+                    j.priority = d * if i % 2 == 0 { 1.0 } else { 0.5 };
+                    j
+                })
+                .collect();
+            let mut p = problem(nodes(n_nodes, node_cpu, node_mem), apps, jobs);
+            p.config.max_changes = budget;
+            p.config.evict_priority_gap = gap;
+            let mut warm = Solver::new();
+            let dense1 = warm.solve(&p, &Placement::empty());
+            let ref1 = solve_reference(&p, &Placement::empty());
+            prop_assert_eq!(&dense1, &ref1, "cold cycle diverged");
+            // Warm cycle: jobs run where they landed; prev = cycle-1 result.
+            let mut p2 = p.clone();
+            for j in &mut p2.jobs {
+                j.running_on = dense1.placement.job_node(j.id);
+                j.affinity = j.running_on;
+            }
+            let dense2 = warm.solve(&p2, &dense1.placement);
+            let ref2 = solve_reference(&p2, &ref1.placement);
+            prop_assert_eq!(&dense2, &ref2, "warm cycle diverged");
         }
     }
 }

@@ -1,9 +1,9 @@
 //! Transactional application runtime: intensity source, measured response
 //! times, and online demand estimation.
 
+use slaq_perfmodel::TransactionalSpec;
 use slaq_perfmodel::{DemandEstimator, PsQueue};
 use slaq_types::{AppId, CpuMhz, SimDuration, SimTime, Work};
-use slaq_perfmodel::TransactionalSpec;
 
 /// What the controller gets to see about a transactional application each
 /// cycle: the spec and the *estimated* arrival rate (not the ground-truth
@@ -82,8 +82,7 @@ impl TransactionalRuntime {
         let lam = self.true_lambda(from);
         let served = lam * dt.as_secs();
         let work = Work::new(served * self.spec.service_per_request.as_f64());
-        self.estimator
-            .observe(served.round() as u64, work, dt);
+        self.estimator.observe(served.round() as u64, work, dt);
 
         let rt = match PsQueue::new(lam, self.spec.service_per_request) {
             Some(q) => q.response_time(alloc),
@@ -92,9 +91,7 @@ impl TransactionalRuntime {
         let u = self.spec.rt_goal.utility_of_rt(rt);
         // Saturated cycles have unbounded RT; accumulate a capped value so
         // the mean stays plottable (utility already bottoms at −1).
-        let rt_capped = rt
-            .as_secs()
-            .min(4.0 * self.spec.rt_goal.target.as_secs());
+        let rt_capped = rt.as_secs().min(4.0 * self.spec.rt_goal.target.as_secs());
         self.rt_weighted += rt_capped * dt.as_secs();
         self.util_weighted += u * dt.as_secs();
         self.accum_secs += dt.as_secs();
@@ -135,13 +132,7 @@ mod tests {
     }
 
     fn rt(lambda: f64) -> TransactionalRuntime {
-        TransactionalRuntime::new(
-            AppId::new(0),
-            spec(),
-            Box::new(move |_| lambda),
-            0.3,
-        )
-        .unwrap()
+        TransactionalRuntime::new(AppId::new(0), spec(), Box::new(move |_| lambda), 0.3).unwrap()
     }
 
     #[test]
@@ -170,7 +161,11 @@ mod tests {
     fn well_provisioned_interval_scores_high_utility() {
         let mut r = rt(50.0);
         // Demand for u=0.9 is 140 000 (see perfmodel tests).
-        r.observe_interval(SimTime::ZERO, SimDuration::from_secs(600.0), CpuMhz::new(140_000.0));
+        r.observe_interval(
+            SimTime::ZERO,
+            SimDuration::from_secs(600.0),
+            CpuMhz::new(140_000.0),
+        );
         let (rt_mean, u) = r.flush_cycle().unwrap();
         assert!((u - 0.9).abs() < 1e-9, "{u}");
         assert!((rt_mean.as_secs() - 0.05).abs() < 1e-9);
@@ -182,7 +177,11 @@ mod tests {
     fn starved_interval_bottoms_out() {
         let mut r = rt(50.0);
         // Below offered load (100 000): unstable.
-        r.observe_interval(SimTime::ZERO, SimDuration::from_secs(600.0), CpuMhz::new(90_000.0));
+        r.observe_interval(
+            SimTime::ZERO,
+            SimDuration::from_secs(600.0),
+            CpuMhz::new(90_000.0),
+        );
         let (rt_mean, u) = r.flush_cycle().unwrap();
         assert_eq!(u, -1.0);
         assert_eq!(rt_mean.as_secs(), 2.0); // capped at 4×τ
@@ -191,7 +190,11 @@ mod tests {
     #[test]
     fn mixed_intervals_average_time_weighted() {
         let mut r = rt(50.0);
-        r.observe_interval(SimTime::ZERO, SimDuration::from_secs(300.0), CpuMhz::new(140_000.0));
+        r.observe_interval(
+            SimTime::ZERO,
+            SimDuration::from_secs(300.0),
+            CpuMhz::new(140_000.0),
+        );
         r.observe_interval(
             SimTime::from_secs(300.0),
             SimDuration::from_secs(100.0),

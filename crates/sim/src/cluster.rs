@@ -13,8 +13,8 @@
 //! 3. whatever remains goes to the node's transactional instances
 //!    (proportional to their guarantees, evenly when all are zero).
 
-use slaq_placement::Placement;
 use slaq_placement::problem::NodeCapacity;
+use slaq_placement::Placement;
 use slaq_types::{AppId, CpuMhz, JobId};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -149,7 +149,8 @@ mod tests {
     #[test]
     fn guarantees_are_enforced() {
         let mut p = Placement::empty();
-        p.jobs.insert(JobId::new(0), (NodeId::new(0), CpuMhz::new(2000.0)));
+        p.jobs
+            .insert(JobId::new(0), (NodeId::new(0), CpuMhz::new(2000.0)));
         p.apps
             .entry(AppId::new(0))
             .or_default()
@@ -169,8 +170,10 @@ mod tests {
     #[test]
     fn spare_goes_to_jobs_first_capped_at_max_speed() {
         let mut p = Placement::empty();
-        p.jobs.insert(JobId::new(0), (NodeId::new(0), CpuMhz::new(1000.0)));
-        p.jobs.insert(JobId::new(1), (NodeId::new(0), CpuMhz::new(1000.0)));
+        p.jobs
+            .insert(JobId::new(0), (NodeId::new(0), CpuMhz::new(1000.0)));
+        p.jobs
+            .insert(JobId::new(1), (NodeId::new(0), CpuMhz::new(1000.0)));
         p.apps
             .entry(AppId::new(0))
             .or_default()
@@ -207,8 +210,10 @@ mod tests {
     #[test]
     fn blocked_jobs_run_at_zero_and_donate_their_guarantee() {
         let mut p = Placement::empty();
-        p.jobs.insert(JobId::new(0), (NodeId::new(0), CpuMhz::new(3000.0)));
-        p.jobs.insert(JobId::new(1), (NodeId::new(0), CpuMhz::new(3000.0)));
+        p.jobs
+            .insert(JobId::new(0), (NodeId::new(0), CpuMhz::new(3000.0)));
+        p.jobs
+            .insert(JobId::new(1), (NodeId::new(0), CpuMhz::new(3000.0)));
         let blocked: BTreeSet<JobId> = [JobId::new(0)].into();
         let (js, _) = effective_speeds(
             &nodes(1, 4000.0),

@@ -37,6 +37,5 @@ pub use apps::{AppObservation, TransactionalRuntime};
 pub use cluster::effective_speeds;
 pub use metrics::MetricsSink;
 pub use simulator::{
-    NodeOutage,
-    ControlInputs, Controller, OverheadConfig, SimConfig, SimReport, Simulator,
+    ControlInputs, Controller, NodeOutage, OverheadConfig, SimConfig, SimReport, Simulator,
 };

@@ -14,9 +14,7 @@ use serde::{Deserialize, Serialize};
 use slaq_jobs::{JobManager, JobSpec, JobState, JobStats};
 use slaq_placement::problem::{AppRequest, JobRequest, NodeCapacity};
 use slaq_placement::{Placement, PlacementChange};
-use slaq_types::{
-    ClusterSpec, CpuMhz, JobId, Result, SimDuration, SimTime, SlaqError,
-};
+use slaq_types::{ClusterSpec, CpuMhz, JobId, Result, SimDuration, SimTime, SlaqError};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Latencies paid by jobs for placement actions (the *cost* that makes
@@ -446,11 +444,7 @@ impl Simulator {
             }
 
             // Arrivals at or before now.
-            while self
-                .arrivals
-                .last()
-                .is_some_and(|&(t, _)| t <= self.now)
-            {
+            while self.arrivals.last().is_some_and(|&(t, _)| t <= self.now) {
                 let (t, spec) = self.arrivals.pop().expect("checked non-empty");
                 self.job_mgr.submit(spec, t)?;
             }
@@ -490,11 +484,8 @@ impl Simulator {
             }
         }
 
-        let observations: Vec<AppObservation> = self
-            .apps
-            .iter()
-            .map(|a| a.observation(self.now))
-            .collect();
+        let observations: Vec<AppObservation> =
+            self.apps.iter().map(|a| a.observation(self.now)).collect();
         let live_nodes = self.effective_nodes(self.now);
         let inputs = ControlInputs {
             now: self.now,
@@ -538,8 +529,7 @@ impl Simulator {
                     continue;
                 }
                 let speed = job_speeds.get(&job.id).copied().unwrap_or(CpuMhz::ZERO);
-                let u = slaq_jobs::JobUtility::of(job, t)
-                    .projected_completion(speed);
+                let u = slaq_jobs::JobUtility::of(job, t).projected_completion(speed);
                 let u = job.spec.goal.utility_at(u);
                 sum += u;
                 min = min.min(u);
@@ -554,14 +544,19 @@ impl Simulator {
             .record("trans_alloc", t, self.placement.total_app_alloc().as_f64());
         self.metrics
             .record("jobs_alloc", t, self.placement.total_job_alloc().as_f64());
-        self.metrics
-            .record("changes", t, n_changes as f64);
+        self.metrics.record("changes", t, n_changes as f64);
         let stats = self.job_mgr.stats();
-        self.metrics.record("jobs_active", t, (stats.pending + stats.running + stats.suspended) as f64);
+        self.metrics.record(
+            "jobs_active",
+            t,
+            (stats.pending + stats.running + stats.suspended) as f64,
+        );
         self.metrics.record("jobs_running", t, stats.running as f64);
         self.metrics.record("jobs_pending", t, stats.pending as f64);
-        self.metrics.record("jobs_suspended", t, stats.suspended as f64);
-        self.metrics.record("jobs_completed", t, stats.completed as f64);
+        self.metrics
+            .record("jobs_suspended", t, stats.suspended as f64);
+        self.metrics
+            .record("jobs_completed", t, stats.completed as f64);
         Ok(())
     }
 }
@@ -667,7 +662,9 @@ mod tests {
         assert!((report.job_stats.mean_achieved_utility - 1.0).abs() < 1e-9);
         // Arrival at 0, first control at 0 places it, completes at 1000.
         let done = sim.jobs().job(JobId::new(0)).unwrap();
-        assert!(matches!(done.state, JobState::Completed { at } if (at.as_secs() - 1000.0).abs() < 1e-6));
+        assert!(
+            matches!(done.state, JobState::Completed { at } if (at.as_secs() - 1000.0).abs() < 1e-6)
+        );
     }
 
     #[test]
@@ -818,7 +815,12 @@ mod tests {
         let mut sim = Simulator::new(&cluster(), config(2500.0));
         sim.add_arrivals(
             (0..3)
-                .map(|i| (SimTime::from_secs(100.0 * i as f64), job_spec(5000.0, 100.0 * i as f64)))
+                .map(|i| {
+                    (
+                        SimTime::from_secs(100.0 * i as f64),
+                        job_spec(5000.0, 100.0 * i as f64),
+                    )
+                })
                 .collect(),
         );
         let report = sim.run(&mut FcfsController).unwrap();

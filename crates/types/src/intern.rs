@@ -1,0 +1,123 @@
+//! Dense interning of sparse identifiers.
+//!
+//! The placement solver runs every control cycle over hundreds of nodes
+//! and thousands of entities. Keying its hot state by [`crate::NodeId`] /
+//! [`crate::AppId`] / [`crate::JobId`] forces tree lookups or `O(n)`
+//! position scans inside inner loops; an [`Interner`] instead assigns each
+//! id a contiguous `usize` *dense index* once, at problem-build time, so
+//! all per-entity state lives in flat `Vec`s indexed by plain integers.
+//!
+//! Lookups from id → dense index happen only at the problem boundary
+//! (translating the previous cycle's placement) and use binary search over
+//! a sorted table — `O(log n)` with no hashing and no per-lookup
+//! allocation. Dense → id is an array read.
+
+/// Maps a set of ids to dense indices `0..len` (in first-seen order) and
+/// back.
+///
+/// Duplicate ids keep their **first** occurrence's dense index; later
+/// occurrences still consume an index (so dense indices always mirror the
+/// source collection's positions) but are unreachable via [`Interner::dense`].
+/// Placement problems never contain duplicates — the tolerance just keeps
+/// the boundary total.
+#[derive(Debug, Clone, Default)]
+pub struct Interner<I> {
+    /// Dense index → id (source order).
+    ids: Vec<I>,
+    /// Sorted `(id, dense)` table for binary-search lookups.
+    sorted: Vec<(I, u32)>,
+}
+
+impl<I: Copy + Ord> Interner<I> {
+    /// Intern the given ids in iteration order.
+    pub fn new(ids: impl IntoIterator<Item = I>) -> Self {
+        let ids: Vec<I> = ids.into_iter().collect();
+        assert!(ids.len() <= u32::MAX as usize, "interner overflow");
+        let mut sorted: Vec<(I, u32)> = ids
+            .iter()
+            .enumerate()
+            .map(|(dense, &id)| (id, dense as u32))
+            .collect();
+        // Stable order: by id, then by dense index, so duplicates resolve
+        // to their first occurrence.
+        sorted.sort_unstable();
+        Interner { ids, sorted }
+    }
+
+    /// Number of interned ids.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when nothing was interned.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The id at a dense index. Panics on out-of-range indices (caller
+    /// bugs: dense indices only come from this interner).
+    #[inline]
+    pub fn id(&self, dense: usize) -> I {
+        self.ids[dense]
+    }
+
+    /// The dense index of an id, if interned.
+    #[inline]
+    pub fn dense(&self, id: I) -> Option<usize> {
+        let at = self.sorted.partition_point(|&(k, _)| k < id);
+        match self.sorted.get(at) {
+            Some(&(k, dense)) if k == id => Some(dense as usize),
+            _ => None,
+        }
+    }
+
+    /// Iterate ids in dense order.
+    pub fn iter(&self) -> impl Iterator<Item = I> + '_ {
+        self.ids.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn dense_indices_follow_source_order() {
+        let ix = Interner::new([NodeId::new(9), NodeId::new(2), NodeId::new(5)]);
+        assert_eq!(ix.len(), 3);
+        assert_eq!(ix.id(0), NodeId::new(9));
+        assert_eq!(ix.id(2), NodeId::new(5));
+        assert_eq!(ix.dense(NodeId::new(9)), Some(0));
+        assert_eq!(ix.dense(NodeId::new(2)), Some(1));
+        assert_eq!(ix.dense(NodeId::new(5)), Some(2));
+        assert_eq!(ix.dense(NodeId::new(7)), None);
+        assert_eq!(ix.iter().collect::<Vec<_>>().len(), 3);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let ix: Interner<NodeId> = Interner::new([]);
+        assert!(ix.is_empty());
+        assert_eq!(ix.dense(NodeId::new(0)), None);
+    }
+
+    #[test]
+    fn duplicates_resolve_to_first_occurrence() {
+        let ix = Interner::new([NodeId::new(3), NodeId::new(3), NodeId::new(1)]);
+        assert_eq!(ix.len(), 3);
+        assert_eq!(ix.dense(NodeId::new(3)), Some(0));
+        assert_eq!(ix.dense(NodeId::new(1)), Some(2));
+    }
+
+    #[test]
+    fn scales_to_large_sparse_id_spaces() {
+        let ids: Vec<NodeId> = (0..10_000u32).map(|i| NodeId::new(i * 17 + 3)).collect();
+        let ix = Interner::new(ids.iter().copied());
+        for (dense, &id) in ids.iter().enumerate() {
+            assert_eq!(ix.dense(id), Some(dense));
+            assert_eq!(ix.id(dense), id);
+        }
+        assert_eq!(ix.dense(NodeId::new(1)), None);
+    }
+}

@@ -26,12 +26,14 @@
 pub mod cluster;
 pub mod error;
 pub mod ids;
+pub mod intern;
 pub mod time;
 pub mod units;
 
 pub use cluster::{ClusterSpec, ClusterSpecBuilder, NodeSpec};
 pub use error::SlaqError;
 pub use ids::{AppId, EntityId, JobId, NodeId};
+pub use intern::Interner;
 pub use time::{SimDuration, SimTime};
 pub use units::{fcmp, CpuMhz, MemMb, Work};
 

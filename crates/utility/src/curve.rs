@@ -216,11 +216,7 @@ impl PiecewiseLinear {
         if a == 0.0 || !a.is_finite() || !b.is_finite() {
             return None;
         }
-        let mut pts: Vec<(f64, f64)> = self
-            .points
-            .iter()
-            .map(|&(x, y)| ((x - b) / a, y))
-            .collect();
+        let mut pts: Vec<(f64, f64)> = self.points.iter().map(|&(x, y)| ((x - b) / a, y)).collect();
         if a < 0.0 {
             pts.reverse();
         }
@@ -286,13 +282,8 @@ mod tests {
     fn eval_handles_multi_segment_curves() {
         // A job-style utility of completion time: 1.0 until the goal,
         // then decaying to 0 and further to -0.5.
-        let u = PiecewiseLinear::new(vec![
-            (0.0, 1.0),
-            (100.0, 1.0),
-            (200.0, 0.0),
-            (400.0, -0.5),
-        ])
-        .unwrap();
+        let u = PiecewiseLinear::new(vec![(0.0, 1.0), (100.0, 1.0), (200.0, 0.0), (400.0, -0.5)])
+            .unwrap();
         assert_eq!(u.eval(50.0), 1.0);
         assert_eq!(u.eval(150.0), 0.5);
         assert_eq!(u.eval(300.0), -0.25);

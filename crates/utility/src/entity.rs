@@ -235,8 +235,9 @@ mod tests {
     #[test]
     fn from_fn_samples_and_monotonizes() {
         // sqrt-ish diminishing returns curve.
-        let t = TabulatedUtility::from_fn(|x| (x / 1000.0).sqrt().min(1.0), CpuMhz::new(2000.0), 64)
-            .unwrap();
+        let t =
+            TabulatedUtility::from_fn(|x| (x / 1000.0).sqrt().min(1.0), CpuMhz::new(2000.0), 64)
+                .unwrap();
         assert!(t.utility(CpuMhz::ZERO).abs() < 1e-12);
         assert!((t.utility(CpuMhz::new(1000.0)) - 1.0).abs() < 0.02);
         assert_eq!(t.max_utility(), 1.0);

@@ -71,10 +71,7 @@ impl EqualizedAllocation {
     /// Allocation for one entity, if present.
     pub fn cpu_of(&self, id: impl Into<EntityId>) -> Option<CpuMhz> {
         let id = id.into();
-        self.allocations
-            .iter()
-            .find(|a| a.id == id)
-            .map(|a| a.cpu)
+        self.allocations.iter().find(|a| a.id == id).map(|a| a.cpu)
     }
 
     /// Minimum utility across entities (`+∞` when empty).
@@ -182,10 +179,7 @@ pub fn equalize_bisection(
     let mut iterations = 0;
     while hi - lo > opts.tol_utility && iterations < opts.max_iters {
         let mid = 0.5 * (lo + hi);
-        let need: CpuMhz = entities
-            .iter()
-            .map(|e| demand_at_level(e.curve, mid))
-            .sum();
+        let need: CpuMhz = entities.iter().map(|e| demand_at_level(e.curve, mid)).sum();
         if need.as_f64() <= total.as_f64() {
             lo = mid;
         } else {
@@ -481,13 +475,11 @@ pub fn equalize_steal(
         let mut receiver: Option<usize> = None;
         for i in 0..n {
             let u = utility(i, &alloc);
-            if alloc[i].as_f64() > opts.tol_cpu
-                && donor.map_or(true, |d| u > utility(d, &alloc))
-            {
+            if alloc[i].as_f64() > opts.tol_cpu && donor.is_none_or(|d| u > utility(d, &alloc)) {
                 donor = Some(i);
             }
             if caps[i].as_f64() - alloc[i].as_f64() > opts.tol_cpu
-                && receiver.map_or(true, |r| u < utility(r, &alloc))
+                && receiver.is_none_or(|r| u < utility(r, &alloc))
             {
                 receiver = Some(i);
             }
@@ -572,7 +564,9 @@ mod tests {
     }
 
     fn ids(n: usize) -> Vec<EntityId> {
-        (0..n).map(|i| EntityId::Job(JobId::new(i as u32))).collect()
+        (0..n)
+            .map(|i| EntityId::Job(JobId::new(i as u32)))
+            .collect()
     }
 
     #[test]
@@ -665,7 +659,7 @@ mod tests {
 
     #[test]
     fn steal_matches_bisection_on_a_mixed_pool() {
-        let curves = vec![
+        let curves = [
             ent(0.0, 1.0, 3000.0),
             ent(0.1, 0.9, 1000.0),
             ent(-0.3, 1.0, 6000.0),
@@ -707,9 +701,17 @@ mod tests {
         let c = ent(0.0, 1.0, 1000.0);
         let id = ids(2);
         let es = vec![EqEntity::new(id[0], &c), EqEntity::new(id[1], &c)];
-        let r = equalize_weighted(&es, &[2.0, 1.0], CpuMhz::new(1000.0), &EqualizeOptions::default());
+        let r = equalize_weighted(
+            &es,
+            &[2.0, 1.0],
+            CpuMhz::new(1000.0),
+            &EqualizeOptions::default(),
+        );
         let (u_gold, u_bronze) = (r.allocations[0].utility, r.allocations[1].utility);
-        assert!(u_gold > u_bronze + 0.1, "gold {u_gold} vs bronze {u_bronze}");
+        assert!(
+            u_gold > u_bronze + 0.1,
+            "gold {u_gold} vs bronze {u_bronze}"
+        );
         // Weighted shortfalls are equal: 2·(1−u_g) = 1·(1−u_b).
         assert!(
             (2.0 * (1.0 - u_gold) - (1.0 - u_bronze)).abs() < 1e-3,
@@ -723,7 +725,7 @@ mod tests {
 
     #[test]
     fn weighted_with_unit_weights_matches_unweighted_on_equal_maxima() {
-        let curves = vec![ent(0.0, 1.0, 2000.0), ent(0.1, 1.0, 800.0)];
+        let curves = [ent(0.0, 1.0, 2000.0), ent(0.1, 1.0, 800.0)];
         let id = ids(2);
         let es: Vec<EqEntity> = curves
             .iter()
@@ -749,7 +751,12 @@ mod tests {
         let c = ent(0.0, 1.0, 500.0);
         let id = ids(2);
         let es = vec![EqEntity::new(id[0], &c), EqEntity::new(id[1], &c)];
-        let r = equalize_weighted(&es, &[5.0, 1.0], CpuMhz::new(5000.0), &EqualizeOptions::default());
+        let r = equalize_weighted(
+            &es,
+            &[5.0, 1.0],
+            CpuMhz::new(5000.0),
+            &EqualizeOptions::default(),
+        );
         assert!(r.surplus.approx_eq(CpuMhz::new(4000.0), 1e-6));
         assert!((r.allocations[1].utility - 1.0).abs() < 1e-9);
     }
@@ -774,7 +781,10 @@ mod tests {
         let a = ent(0.0, 1.0, 100.0);
         let es = vec![EqEntity::new(AppId::new(7), &a)];
         let r = equalize_bisection(&es, CpuMhz::new(50.0), &EqualizeOptions::default());
-        assert!(r.cpu_of(AppId::new(7)).unwrap().approx_eq(CpuMhz::new(50.0), 1e-6));
+        assert!(r
+            .cpu_of(AppId::new(7))
+            .unwrap()
+            .approx_eq(CpuMhz::new(50.0), 1e-6));
         assert!(r.cpu_of(AppId::new(8)).is_none());
         assert!(r.cpu_of(JobId::new(7)).is_none());
     }

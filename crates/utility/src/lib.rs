@@ -37,9 +37,8 @@ pub mod goal;
 pub use curve::PiecewiseLinear;
 pub use entity::{CappedLinearUtility, TabulatedUtility, UtilityOfCpu};
 pub use equalize::{
-    equalize_weighted,
-    equalize_bisection, equalize_steal, EntityAllocation, EqEntity, EqualizeOptions,
-    EqualizedAllocation,
+    equalize_bisection, equalize_steal, equalize_weighted, EntityAllocation, EqEntity,
+    EqualizeOptions, EqualizedAllocation,
 };
 pub use goal::{CompletionGoal, ResponseTimeGoal};
 

@@ -37,10 +37,7 @@ impl RateSchedule {
                 return None;
             }
         }
-        if segments
-            .iter()
-            .any(|&(_, m)| !(m.is_finite() && m > 0.0))
-        {
+        if segments.iter().any(|&(_, m)| !(m.is_finite() && m > 0.0)) {
             return None;
         }
         Some(RateSchedule { segments })
@@ -99,7 +96,7 @@ impl Iterator for PoissonArrivals {
         // Inverse-transform sampling of Exp(1/mean); guard the log(0) tail.
         let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
         let gap = -mean * u.ln();
-        self.t = self.t + slaq_types::SimDuration::from_secs(gap);
+        self.t += slaq_types::SimDuration::from_secs(gap);
         Some(self.t)
     }
 }
@@ -189,11 +186,8 @@ mod tests {
         assert!(before > 60, "fast phase arrivals: {before}");
         let after: Vec<&f64> = times.iter().filter(|&&t| t >= 1000.0).collect();
         if after.len() >= 2 {
-            let gaps: f64 = after
-                .windows(2)
-                .map(|w| *w[1] - *w[0])
-                .sum::<f64>()
-                / (after.len() - 1) as f64;
+            let gaps: f64 =
+                after.windows(2).map(|w| *w[1] - *w[0]).sum::<f64>() / (after.len() - 1) as f64;
             assert!(gaps > 100.0, "tail gaps should widen: {gaps}");
         }
     }

@@ -61,8 +61,8 @@ impl IntensityTrace {
                 period_secs,
                 phase_secs,
             } => {
-                let x = 2.0 * std::f64::consts::PI * (t.as_secs() - phase_secs)
-                    / period_secs.max(1e-9);
+                let x =
+                    2.0 * std::f64::consts::PI * (t.as_secs() - phase_secs) / period_secs.max(1e-9);
                 (base + amplitude * x.sin()).max(0.0)
             }
         }
@@ -96,7 +96,10 @@ mod tests {
         let t = IntensityTrace::constant(50.0);
         assert_eq!(t.lambda(SimTime::ZERO), 50.0);
         assert_eq!(t.lambda(SimTime::from_secs(1e6)), 50.0);
-        assert_eq!(t.mean_lambda(SimTime::ZERO, SimTime::from_secs(600.0), 8), 50.0);
+        assert_eq!(
+            t.mean_lambda(SimTime::ZERO, SimTime::from_secs(600.0), 8),
+            50.0
+        );
     }
 
     #[test]

@@ -30,14 +30,9 @@ pub struct JobTemplate {
 impl JobTemplate {
     /// Instantiate the template for a submission at `submit`.
     pub fn spec_at(&self, submit: SimTime, index: usize) -> Option<JobSpec> {
-        let fastest =
-            slaq_types::SimDuration::from_secs(self.work.secs_at(self.max_speed));
-        let goal = CompletionGoal::relative(
-            submit,
-            fastest,
-            self.goal_factor,
-            self.exhausted_factor,
-        )?;
+        let fastest = slaq_types::SimDuration::from_secs(self.work.secs_at(self.max_speed));
+        let goal =
+            CompletionGoal::relative(submit, fastest, self.goal_factor, self.exhausted_factor)?;
         Some(JobSpec {
             name: format!("{}-{index}", self.name_prefix),
             total_work: self.work,

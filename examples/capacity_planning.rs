@@ -40,12 +40,7 @@ fn main() {
             .min(m.min("jobs_hypo_utility").unwrap_or(f64::NAN));
         println!(
             "{:<7} {:>12.3} {:>12.3} {:>10} {:>10} {:>12.3}",
-            nodes,
-            u_t,
-            u_j,
-            report.job_stats.completed,
-            report.job_stats.goals_met,
-            worst,
+            nodes, u_t, u_j, report.job_stats.completed, report.job_stats.goals_met, worst,
         );
     }
 

@@ -15,7 +15,10 @@ fn main() {
     let mut manager = JobManager::new();
 
     // Submit a mixed bag of jobs: different lengths, same SLA shape.
-    for (i, work_secs) in [3600.0, 7200.0, 1800.0, 10_800.0, 5400.0].iter().enumerate() {
+    for (i, work_secs) in [3600.0, 7200.0, 1800.0, 10_800.0, 5400.0]
+        .iter()
+        .enumerate()
+    {
         manager
             .submit(
                 JobSpec {
@@ -45,7 +48,12 @@ fn main() {
         hypo.average_utility, hypo.total_demand
     );
     for a in &hypo.allocation.allocations {
-        println!("  {}: {:>8.1} MHz  → utility {:.3}", a.id, a.cpu.as_f64(), a.utility);
+        println!(
+            "  {}: {:>8.1} MHz  → utility {:.3}",
+            a.id,
+            a.cpu.as_f64(),
+            a.utility
+        );
     }
 
     // 2. Realize those targets on a 2-node cluster.
@@ -60,10 +68,7 @@ fn main() {
         .jobs()
         .iter()
         .map(|j| {
-            let target = hypo
-                .allocation
-                .cpu_of(j.id)
-                .unwrap_or(CpuMhz::ZERO);
+            let target = hypo.allocation.cpu_of(j.id).unwrap_or(CpuMhz::ZERO);
             JobRequest {
                 id: j.id,
                 demand: target,

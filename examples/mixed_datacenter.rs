@@ -38,7 +38,10 @@ fn main() {
     println!(
         "\n{}",
         plot(
-            &[("transactional (actual)", &ut), ("long-running (hypothetical)", &uj)],
+            &[
+                ("transactional (actual)", &ut),
+                ("long-running (hypothetical)", &uj)
+            ],
             100,
             18,
         )

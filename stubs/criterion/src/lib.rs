@@ -1,0 +1,244 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the slaq benches use — `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `sample_size`, `iter`,
+//! `criterion_group!`/`criterion_main!` — as a simple wall-clock harness:
+//! per benchmark it warms up, picks an iteration count targeting a fixed
+//! measurement window, then reports mean/min time per iteration. Passing
+//! `--test` (what `cargo test` does for harness-less bench targets) runs
+//! every body exactly once.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 100,
+            test_mode: self.test_mode,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(name, f);
+    }
+}
+
+/// Identifier combining a function name and a parameter rendering.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.full)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measurement samples (kept for API compatibility;
+    /// the harness scales its measurement window with it).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = self.label(&id.to_string());
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        b.report(&label);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = self.label(&id.to_string());
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b, input);
+        b.report(&label);
+        self
+    }
+
+    /// Close the group (no-op; println output is immediate).
+    pub fn finish(self) {}
+
+    fn label(&self, id: &str) -> String {
+        if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        }
+    }
+}
+
+/// Measurement result for one benchmark.
+struct Measurement {
+    mean_ns: f64,
+    min_ns: f64,
+    iters: u64,
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Measure a closure. The routine's return value is passed through
+    /// `black_box` so the optimizer cannot elide the work.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up and calibration: find an iteration count that runs for
+        // at least ~25 ms, then take several timed samples.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(25) || iters_per_sample >= 1 << 24 {
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+        let samples = (self.sample_size / 10).clamp(3, 10);
+        let mut total_ns = 0f64;
+        let mut min_ns = f64::INFINITY;
+        let mut total_iters = 0u64;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            total_ns += ns * iters_per_sample as f64;
+            min_ns = min_ns.min(ns);
+            total_iters += iters_per_sample;
+        }
+        self.result = Some(Measurement {
+            mean_ns: total_ns / total_iters as f64,
+            min_ns,
+            iters: total_iters,
+        });
+    }
+
+    fn report(&self, label: &str) {
+        match &self.result {
+            None => println!("{label:<48} (ran once, test mode)"),
+            Some(m) => println!(
+                "{label:<48} time: [mean {} min {}] ({} iters)",
+                fmt_ns(m.mean_ns),
+                fmt_ns(m.min_ns),
+                m.iters
+            ),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundle benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,67 @@
+//! Offline stand-in for the `rand` crate: the `RngCore`/`SeedableRng`
+//! core traits plus a `Rng` extension with uniform `gen_range` sampling
+//! over half-open ranges.
+
+pub mod rand_core {
+    //! Core generator traits (mirrors the `rand_core` crate layout).
+
+    /// A source of random 64-bit words.
+    pub trait RngCore {
+        /// Next raw 32 bits.
+        fn next_u32(&mut self) -> u32;
+        /// Next raw 64 bits.
+        fn next_u64(&mut self) -> u64;
+    }
+
+    /// Generators constructible from seeds.
+    pub trait SeedableRng: Sized {
+        /// Build from a 64-bit seed (SplitMix64 key-expansion convention).
+        fn seed_from_u64(state: u64) -> Self;
+    }
+}
+
+pub use rand_core::{RngCore, SeedableRng};
+
+/// Types samplable uniformly from a half-open `Range`.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Draw uniformly from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        low + unit * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        f64::sample_range(rng, low as f64, high as f64) as f32
+    }
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as i128 - low as i128) as u128;
+                debug_assert!(span > 0, "empty gen_range");
+                (low as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+sample_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Convenience extension over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from a half-open range; panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        T::sample_range(self, range.start, range.end)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}

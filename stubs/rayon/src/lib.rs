@@ -1,0 +1,35 @@
+//! Offline stand-in for `rayon`: `par_iter()` degrades to a sequential
+//! `std` iterator. Call sites keep their shape (`.par_iter().map(..)
+//! .collect()`), results are identical, and the real crate can be swapped
+//! back in whenever the build environment gains registry access.
+
+/// Borrowing parallel-iterator entry point (sequential fallback).
+pub trait IntoParallelRefIterator<'data> {
+    /// The iterator type (a plain sequential iterator here).
+    type Iter: Iterator<Item = Self::Item>;
+    /// Element type.
+    type Item: 'data;
+    /// "Parallel" iteration over `&self`.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = std::slice::Iter<'data, T>;
+    type Item = &'data T;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = std::slice::Iter<'data, T>;
+    type Item = &'data T;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+pub mod prelude {
+    //! Drop-in for `rayon::prelude::*`.
+    pub use crate::IntoParallelRefIterator;
+}

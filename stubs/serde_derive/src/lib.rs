@@ -1,0 +1,408 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` in the offline registry):
+//! supports non-generic named structs, tuple structs and enums with unit /
+//! newtype / tuple / struct variants, plus `#[serde(transparent)]`. That is
+//! the entire shape inventory of the slaq workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+        transparent: bool,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Skip attributes and visibility; report whether `#[serde(transparent)]`
+/// was among the attributes.
+fn skip_meta(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut transparent = false;
+    loop {
+        if *i + 1 < tokens.len() && is_punct(&tokens[*i], '#') {
+            if let TokenTree::Group(g) = &tokens[*i + 1] {
+                if g.delimiter() == Delimiter::Bracket {
+                    let s = g.stream().to_string();
+                    if s.contains("serde") && s.contains("transparent") {
+                        transparent = true;
+                    }
+                    *i += 2;
+                    continue;
+                }
+            }
+        }
+        if *i < tokens.len() && is_ident(&tokens[*i], "pub") {
+            *i += 1;
+            if *i < tokens.len() {
+                if let TokenTree::Group(g) = &tokens[*i] {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            continue;
+        }
+        return transparent;
+    }
+}
+
+/// Advance past a type, stopping after the top-level `,` (or at end).
+/// Tracks `<...>` nesting, which token streams expose as plain puncts.
+fn skip_type_to_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_meta(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("expected field name, got {:?}", tokens[i]);
+        };
+        fields.push(name.to_string());
+        i += 1; // name
+        assert!(is_punct(&tokens[i], ':'), "expected ':' after field name");
+        i += 1; // colon
+        skip_type_to_comma(&tokens, &mut i);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    for (k, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            // A trailing comma does not open a new field.
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 && k + 1 < tokens.len() => {
+                count += 1
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_meta(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("expected variant name, got {:?}", tokens[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    let n = count_tuple_fields(g.stream());
+                    i += 1;
+                    Shape::Tuple(n)
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    let fields = parse_named_fields(g.stream());
+                    i += 1;
+                    Shape::Named(fields)
+                }
+                _ => Shape::Unit,
+            }
+        } else {
+            Shape::Unit
+        };
+        if i < tokens.len() && is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let transparent = skip_meta(&tokens, &mut i);
+    let is_enum = if is_ident(&tokens[i], "struct") {
+        false
+    } else if is_ident(&tokens[i], "enum") {
+        true
+    } else {
+        panic!(
+            "derive target must be a struct or enum, got {:?}",
+            tokens[i]
+        );
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("serde stand-in derive does not support generic types ({name})");
+    }
+    if is_enum {
+        let TokenTree::Group(g) = &tokens[i] else {
+            panic!("expected enum body");
+        };
+        Item::Enum {
+            name,
+            variants: parse_variants(g.stream()),
+        }
+    } else {
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        Item::Struct {
+            name,
+            shape,
+            transparent,
+        }
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct {
+            name,
+            shape,
+            transparent,
+        } => {
+            let body = match shape {
+                Shape::Named(fields) => {
+                    if *transparent && fields.len() == 1 {
+                        format!("::serde::Serialize::to_value(&self.{})", fields[0])
+                    } else {
+                        let mut entries = String::new();
+                        for f in fields {
+                            entries.push_str(&format!(
+                                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+                            ));
+                        }
+                        format!("::serde::Value::Obj(vec![{entries}])")
+                    }
+                }
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let mut entries = String::new();
+                    for k in 0..*n {
+                        entries.push_str(&format!("::serde::Serialize::to_value(&self.{k}),"));
+                    }
+                    format!("::serde::Value::Arr(vec![{entries}])")
+                }
+                Shape::Unit => "::serde::Value::Null".to_string(),
+            };
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+            ));
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::Value::Obj(vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(f0))]),"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Obj(vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Arr(vec![{}]))]),",
+                            binds.join(","),
+                            items.join(",")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds = fields.join(",");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}{{{binds}}} => ::serde::Value::Obj(vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Obj(vec![{}]))]),",
+                            items.join(",")
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{ fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }} }}"
+            ));
+        }
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct {
+            name,
+            shape,
+            transparent,
+        } => {
+            let body = match shape {
+                Shape::Named(fields) => {
+                    if *transparent && fields.len() == 1 {
+                        format!(
+                            "Ok({name} {{ {}: ::serde::Deserialize::from_value(v)? }})",
+                            fields[0]
+                        )
+                    } else {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::obj_get(v, \"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        format!("Ok({name} {{ {} }})", inits.join(","))
+                    }
+                }
+                Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+                Shape::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                        .collect();
+                    format!(
+                        "match v {{ ::serde::Value::Arr(items) if items.len() == {n} => Ok({name}({})), other => Err(::serde::DeError::msg(format!(\"expected {n}-element array for {name}, got {{other:?}}\"))) }}",
+                        inits.join(",")
+                    )
+                }
+                Shape::Unit => format!("{{ let _ = v; Ok({name}) }}"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{ fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),")),
+                    Shape::Tuple(1) => keyed_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    Shape::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                            .collect();
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => match inner {{ ::serde::Value::Arr(items) if items.len() == {n} => Ok({name}::{vn}({})), other => Err(::serde::DeError::msg(format!(\"bad payload for {name}::{vn}: {{other:?}}\"))) }},",
+                            inits.join(",")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::obj_get(inner, \"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn} {{ {} }}),",
+                            inits.join(",")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{ fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ match v {{ \
+                 ::serde::Value::Str(s) => match s.as_str() {{ {unit_arms} other => Err(::serde::DeError::msg(format!(\"unknown variant {{other}} for {name}\"))) }}, \
+                 ::serde::Value::Obj(pairs) if pairs.len() == 1 => {{ let (key, inner) = &pairs[0]; match key.as_str() {{ {keyed_arms} other => Err(::serde::DeError::msg(format!(\"unknown variant {{other}} for {name}\"))) }} }}, \
+                 other => Err(::serde::DeError::msg(format!(\"expected variant encoding for {name}, got {{other:?}}\"))) }} }} }}"
+            )
+        }
+    }
+}
+
+/// Derive `Serialize` (value-tree lowering).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derive `Deserialize` (value-tree raising).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}

@@ -63,7 +63,12 @@ fn run_is_deterministic_for_a_seed() {
     let params = PaperParams::small();
     let a = run_paper_experiment(&params).unwrap();
     let b = run_paper_experiment(&params).unwrap();
-    for name in ["trans_utility", "jobs_hypo_utility", "trans_alloc", "jobs_alloc"] {
+    for name in [
+        "trans_utility",
+        "jobs_hypo_utility",
+        "trans_alloc",
+        "jobs_alloc",
+    ] {
         assert_eq!(
             a.metrics.series(name),
             b.metrics.series(name),

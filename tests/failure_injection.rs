@@ -24,13 +24,8 @@ fn job(i: u32, work_secs: f64) -> JobSpec {
         total_work: Work::from_power_secs(CpuMhz::new(3000.0), work_secs),
         max_speed: CpuMhz::new(3000.0),
         mem: MemMb::new(1280),
-        goal: CompletionGoal::relative(
-            SimTime::ZERO,
-            SimDuration::from_secs(work_secs),
-            1.25,
-            4.0,
-        )
-        .unwrap(),
+        goal: CompletionGoal::relative(SimTime::ZERO, SimDuration::from_secs(work_secs), 1.25, 4.0)
+            .unwrap(),
     }
 }
 

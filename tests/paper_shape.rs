@@ -97,9 +97,7 @@ fn phase4_tail_returns_cpu_to_transactional() {
         SimTime::from_secs(params.tail_start_secs),
         SimTime::from_secs(params.horizon_secs),
     );
-    let recovery = shape
-        .tail_recovery_ratio
-        .expect("tail window must exist");
+    let recovery = shape.tail_recovery_ratio.expect("tail window must exist");
     assert!(
         recovery > 1.02,
         "transactional allocation should recover in the tail: {recovery}"

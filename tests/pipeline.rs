@@ -84,13 +84,8 @@ fn job_utility_inverse_matches_equalizer_grant() {
                 total_work: Work::from_power_secs(CpuMhz::new(3000.0), 3000.0),
                 max_speed: CpuMhz::new(3000.0),
                 mem: MemMb::new(1280),
-                goal: CompletionGoal::relative(
-                    now,
-                    SimDuration::from_secs(3000.0),
-                    1.25,
-                    2.0,
-                )
-                .unwrap(),
+                goal: CompletionGoal::relative(now, SimDuration::from_secs(3000.0), 1.25, 2.0)
+                    .unwrap(),
             },
             now,
         )
