@@ -1,0 +1,30 @@
+//! Corpus-driven placement bench: for every named scenario preset,
+//! materialize the spec (workload generation included) and run the first
+//! control cycle — the cold-placement solve each scenario shape produces.
+//! Horizon capping is a field write on the spec, so each iteration stays
+//! cheap while exercising the full spec → scenario → simulator path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slaq_core::ScenarioSpec;
+use std::hint::black_box;
+
+fn bench_corpus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_corpus");
+    group.sample_size(10);
+    for name in ScenarioSpec::preset_names() {
+        group.bench_function(format!("first_cycle_{name}"), |b| {
+            let mut spec = ScenarioSpec::preset(name).expect("preset exists");
+            spec.timing.horizon_secs = spec.timing.control_period_secs;
+            b.iter(|| {
+                let scenario = black_box(&spec).materialize().expect("valid preset");
+                let mut controller = scenario.controller();
+                let report = scenario.run(&mut controller).expect("one cycle runs");
+                black_box(report.cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_corpus);
+criterion_main!(benches);

@@ -4,7 +4,7 @@ use slaq_perfmodel::TransactionalModel;
 use slaq_placement::problem::{AppRequest, JobRequest, PlacementConfig, PlacementProblem};
 use slaq_placement::{Placement, Solver};
 use slaq_sim::{ControlInputs, Controller, MetricsSink};
-use slaq_types::{CpuMhz, EntityId};
+use slaq_types::{AppId, CpuMhz, EntityId};
 use slaq_utility::{equalize_bisection, EqEntity, EqualizeOptions, UtilityOfCpu};
 
 /// Tuning for [`UtilityController`].
@@ -50,6 +50,10 @@ pub struct UtilityController {
     /// Long-lived placement solver: reuses its dense scratch and the
     /// allocation flow network across cycles (warm re-solve path).
     solver: Solver,
+    /// Interned per-app metric keys: `control` runs every cycle for the
+    /// life of the experiment, so the `format!` for each per-app series
+    /// name is paid once here instead of once per cycle per app.
+    pred_utility_keys: std::collections::BTreeMap<AppId, String>,
 }
 
 impl UtilityController {
@@ -58,6 +62,7 @@ impl UtilityController {
         UtilityController {
             config,
             solver: Solver::new(),
+            pred_utility_keys: std::collections::BTreeMap::new(),
         }
     }
 }
@@ -130,11 +135,11 @@ impl Controller for UtilityController {
         }
         for (model, obs) in app_models.iter().zip(inputs.apps) {
             if let Some(cpu) = eq.cpu_of(obs.id) {
-                metrics.record(
-                    &format!("trans_pred_utility_{}", obs.id),
-                    now,
-                    model.utility(cpu),
-                );
+                let key = self
+                    .pred_utility_keys
+                    .entry(obs.id)
+                    .or_insert_with(|| format!("trans_pred_utility_{}", obs.id));
+                metrics.record(key, now, model.utility(cpu));
             }
         }
 

@@ -21,9 +21,15 @@
 //! The `baselines` module provides the two comparison controllers used by
 //! experiment E3 (DESIGN.md): a transactional-first FCFS scheduler
 //! without utility awareness, and a static cluster partitioning in the
-//! spirit of the paper's reference [6]. The `scenario` module packages
-//! cluster + workload configurations — including the paper's Figure 1/2
-//! experiment — into runnable simulations.
+//! spirit of the paper's reference [6].
+//!
+//! Scenarios are **data**: the `spec` module defines the declarative,
+//! serde-round-trippable [`ScenarioSpec`] (cluster pools, timing,
+//! outages, apps with composable intensity traces, job streams with
+//! composable arrival processes and template mixes, controller tuning)
+//! plus a ≥6-preset corpus; the `scenario` module holds the materialized
+//! [`Scenario`] form and the paper's [`scenario::PaperParams`], which is
+//! now just the `"paper"` preset's parameter struct.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -31,7 +37,12 @@
 pub mod baselines;
 pub mod controller;
 pub mod scenario;
+pub mod spec;
 
 pub use baselines::{StaticPartitionController, TransactionalFirstController};
 pub use controller::{ControllerConfig, UtilityController};
 pub use scenario::{Scenario, ScenarioApp};
+pub use spec::{
+    AppSpec, ClusterTopology, ControllerSpec, JobStreamSpec, NodePoolSpec, OutageSpec,
+    ScenarioSpec, TimingSpec,
+};

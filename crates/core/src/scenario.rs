@@ -1,18 +1,33 @@
-//! Runnable scenario definitions, including the paper's evaluation setup.
+//! Runnable scenarios and the paper's experiment parameters.
 //!
-//! [`PaperParams::default`] encodes the HPDC'08 experiment: a 25-node
-//! cluster of four-processor machines, a constant transactional workload,
-//! and up to 800 identical long-running jobs arriving with exponential
-//! inter-arrival times (mean 260 s) whose rate drops near the end of the
-//! ~72 000 s horizon; application placement is recomputed every 600 s and
-//! memory admits three jobs per node.
+//! A [`Scenario`] is the *materialized* form of a declarative
+//! [`crate::spec::ScenarioSpec`]: concrete cluster, simulator config,
+//! application runtimes, a fully generated job stream, an outage plan,
+//! and the controller configuration (including service-differentiation
+//! importance derived from the job mix). [`Scenario::build`] validates
+//! and assembles the simulator — it is fallible, returning
+//! [`SlaqError`] rather than panicking on an inconsistent app spec.
+//!
+//! [`PaperParams`] keeps the HPDC'08 experiment's knobs as a plain
+//! struct — a 25-node cluster of four-processor machines, a constant
+//! transactional workload, and up to 800 identical jobs with mean
+//! spacing 260 s over a ~72 000 s horizon — and lowers them onto the
+//! spec API via [`PaperParams::spec_named`]; the `"paper"` and
+//! `"paper-small"` corpus presets are exactly these parameters. Sweeps
+//! mutate the struct, everything downstream goes through the spec.
 
+use crate::controller::{ControllerConfig, UtilityController};
+use crate::spec::{
+    AppSpec, ClusterTopology, ControllerSpec, JobStreamSpec, ScenarioSpec, TimingSpec,
+};
 use slaq_jobs::JobSpec;
 use slaq_perfmodel::TransactionalSpec;
-use slaq_sim::{Controller, SimConfig, SimReport, Simulator, TransactionalRuntime};
-use slaq_types::{AppId, ClusterSpec, CpuMhz, MemMb, Result, SimDuration, SimTime, Work};
+use slaq_sim::{Controller, NodeOutage, SimConfig, SimReport, Simulator, TransactionalRuntime};
+use slaq_types::{
+    AppId, ClusterSpec, CpuMhz, MemMb, Result, SimDuration, SimTime, SlaqError, Work,
+};
 use slaq_utility::ResponseTimeGoal;
-use slaq_workloads::{generate_job_stream, IntensityTrace, JobTemplate, RateSchedule};
+use slaq_workloads::{ArrivalProcess, IntensityTrace, JobMix, JobTemplate, RateSchedule};
 
 /// One transactional application in a scenario.
 pub struct ScenarioApp {
@@ -24,7 +39,8 @@ pub struct ScenarioApp {
     pub estimator_alpha: f64,
 }
 
-/// A complete simulation scenario: cluster + timing + workloads.
+/// A complete simulation scenario: cluster + timing + workloads +
+/// controller configuration.
 pub struct Scenario {
     /// Label used in reports.
     pub name: String,
@@ -36,11 +52,19 @@ pub struct Scenario {
     pub apps: Vec<ScenarioApp>,
     /// Job arrival stream.
     pub jobs: Vec<(SimTime, JobSpec)>,
+    /// Planned node outages.
+    pub outages: Vec<NodeOutage>,
+    /// Controller configuration (placement knobs + importance tiers from
+    /// the job mix).
+    pub controller: ControllerConfig,
 }
 
 impl Scenario {
-    /// Materialize a simulator for this scenario.
-    pub fn build(&self) -> Simulator {
+    /// Materialize a simulator for this scenario. Fails with
+    /// [`SlaqError::InvalidSpec`] if an application spec is inconsistent
+    /// (spec-built scenarios are pre-validated; hand-built ones are
+    /// checked here).
+    pub fn build(&self) -> Result<Simulator> {
         let mut sim = Simulator::new(&self.cluster, self.sim);
         for (i, app) in self.apps.iter().enumerate() {
             let trace = app.trace.clone();
@@ -50,16 +74,30 @@ impl Scenario {
                 Box::new(move |t| trace.lambda(t)),
                 app.estimator_alpha,
             )
-            .expect("scenario app spec validated");
+            .ok_or_else(|| {
+                SlaqError::InvalidSpec(format!(
+                    "app {} ({}): invalid transactional spec or estimator alpha",
+                    i, app.spec.name
+                ))
+            })?;
             sim.add_app(runtime);
         }
         sim.add_arrivals(self.jobs.clone());
-        sim
+        for o in &self.outages {
+            sim.add_outage(*o);
+        }
+        Ok(sim)
+    }
+
+    /// The scenario's own controller (placement knobs and importance
+    /// tiers from the spec).
+    pub fn controller(&self) -> UtilityController {
+        UtilityController::new(self.controller.clone())
     }
 
     /// Build and run under `controller`.
     pub fn run(&self, controller: &mut dyn Controller) -> Result<SimReport> {
-        self.build().run(controller)
+        self.build()?.run(controller)
     }
 }
 
@@ -200,48 +238,71 @@ impl PaperParams {
         }
     }
 
-    /// Assemble the full scenario.
-    pub fn scenario(&self) -> Scenario {
-        let cluster = ClusterSpec::homogeneous(
-            self.nodes,
-            self.cpus_per_node,
-            CpuMhz::new(self.core_mhz),
-            MemMb::new(self.node_mem_mb),
-        );
-        let schedule = RateSchedule::new(vec![
-            (SimTime::ZERO, self.mean_interarrival_secs),
-            (
-                SimTime::from_secs(self.tail_start_secs),
-                self.tail_interarrival_secs,
+    /// Lower these parameters onto the declarative spec API. The
+    /// resulting spec reproduces the PR-1 experiment bit-identically: a
+    /// single-class mix over a two-segment Poisson schedule draws the
+    /// exact same ChaCha12 stream as the original generator.
+    pub fn spec_named(&self, name: &str) -> ScenarioSpec {
+        ScenarioSpec {
+            name: name.into(),
+            seed: self.seed,
+            cluster: ClusterTopology::homogeneous(
+                self.nodes,
+                self.cpus_per_node,
+                self.core_mhz,
+                self.node_mem_mb,
             ),
-        ])
-        .expect("valid schedule");
-        let jobs = generate_job_stream(
-            &self.job_template(),
-            schedule,
-            self.total_jobs,
-            SimTime::from_secs(self.horizon_secs),
-            self.seed,
-        );
-        Scenario {
-            name: "paper-fig1-fig2".into(),
-            cluster,
-            sim: SimConfig {
-                control_period: SimDuration::from_secs(self.control_period_secs),
-                horizon: SimTime::from_secs(self.horizon_secs),
-                overheads: Default::default(),
+            timing: TimingSpec {
+                control_period_secs: self.control_period_secs,
+                horizon_secs: self.horizon_secs,
                 // The authors' middleware enforces the computed
                 // allocations; without limits, work-conserving spare
                 // masks the squeeze that Figure 1 shows.
                 cap_transactional: true,
+                ..TimingSpec::default()
             },
-            apps: vec![ScenarioApp {
-                spec: self.app_spec(),
+            controller: ControllerSpec::default(),
+            apps: vec![AppSpec {
+                name: "transactional".into(),
                 trace: IntensityTrace::constant(self.lambda),
+                service_mhz_s: self.service_mhz_s,
+                rt_goal_secs: self.rt_goal_secs,
+                u_cap: self.u_cap,
+                mem_mb: self.app_mem_mb,
+                min_instances: 1,
+                max_instances: self.nodes,
                 estimator_alpha: 0.4,
             }],
-            jobs,
+            job_streams: vec![JobStreamSpec {
+                name: "batch".into(),
+                arrivals: ArrivalProcess::Poisson {
+                    schedule: RateSchedule::new(vec![
+                        (SimTime::ZERO, self.mean_interarrival_secs),
+                        (
+                            SimTime::from_secs(self.tail_start_secs),
+                            self.tail_interarrival_secs,
+                        ),
+                    ])
+                    .expect("valid schedule"),
+                },
+                max_jobs: self.total_jobs,
+                mix: JobMix::uniform(self.job_template()),
+                seed_offset: 0,
+            }],
+            outages: vec![],
         }
+    }
+
+    /// The spec form under the canonical `"paper"` name.
+    pub fn spec(&self) -> ScenarioSpec {
+        self.spec_named("paper")
+    }
+
+    /// Assemble the full scenario (via the spec pipeline).
+    pub fn scenario(&self) -> Scenario {
+        self.spec()
+            .materialize()
+            .expect("paper parameters are valid by construction")
     }
 }
 
@@ -249,6 +310,7 @@ impl PaperParams {
 mod tests {
     use super::*;
     use crate::controller::UtilityController;
+    use slaq_workloads::generate_job_stream;
 
     #[test]
     fn paper_params_match_the_paper() {
@@ -276,6 +338,53 @@ mod tests {
         // Identical jobs.
         let w0 = s.jobs[0].1.total_work;
         assert!(s.jobs.iter().all(|(_, j)| j.total_work == w0));
+    }
+
+    #[test]
+    fn spec_pipeline_reproduces_the_legacy_stream_bit_identically() {
+        // The PR-1 generator and the spec pipeline must agree on every
+        // submission instant and every job name, or the Figure 1/2
+        // regression corpus silently shifts.
+        let p = PaperParams::small();
+        let schedule = RateSchedule::new(vec![
+            (SimTime::ZERO, p.mean_interarrival_secs),
+            (
+                SimTime::from_secs(p.tail_start_secs),
+                p.tail_interarrival_secs,
+            ),
+        ])
+        .unwrap();
+        let legacy = generate_job_stream(
+            &p.job_template(),
+            schedule,
+            p.total_jobs,
+            SimTime::from_secs(p.horizon_secs),
+            p.seed,
+        );
+        let via_spec = p.scenario().jobs;
+        assert_eq!(legacy.len(), via_spec.len());
+        for (a, b) in legacy.iter().zip(&via_spec) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.name, b.1.name);
+            assert_eq!(a.1.goal, b.1.goal);
+        }
+    }
+
+    #[test]
+    fn hand_built_scenario_with_bad_app_fails_to_build() {
+        let p = PaperParams::small();
+        let mut s = p.scenario();
+        s.apps[0].spec.u_cap = 2.0; // invalid: must be < 1
+        let err = match s.build() {
+            Err(e) => e,
+            Ok(_) => panic!("invalid app spec must not build"),
+        };
+        assert!(
+            matches!(err, SlaqError::InvalidSpec(_)),
+            "expected InvalidSpec, got {err}"
+        );
+        // And `run` propagates instead of panicking.
+        assert!(s.run(&mut UtilityController::default()).is_err());
     }
 
     #[test]

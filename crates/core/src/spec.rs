@@ -1,0 +1,823 @@
+//! Declarative scenario specifications: a run as **data**.
+//!
+//! [`ScenarioSpec`] fully describes a simulation — cluster topology
+//! (homogeneous and heterogeneous node pools), simulator timing/overheads
+//! and planned outages, transactional applications with composable
+//! intensity traces, job streams with composable arrival processes and
+//! template mixes, and controller tuning — and round-trips through serde
+//! JSON, so scenarios live in files and corpora instead of code.
+//!
+//! The pipeline is:
+//!
+//! ```text
+//! ScenarioSpec ──validate()──▶ ok? ──materialize()──▶ Scenario ──build()──▶ Simulator
+//!      ▲                                                │
+//!      └── serde JSON (to_json / from_json) ────────────┘ run(…) ──▶ SimReport
+//! ```
+//!
+//! [`ScenarioSpec::preset`] names the built-in corpus (≥ 6 scenarios:
+//! the paper's experiment and its scaled variant, a heterogeneous pool,
+//! diurnal and bursty/batch workloads, and a service-differentiation
+//! mix); [`ScenarioSpec::corpus`] returns all of them for sweeps, benches
+//! and the CI round-trip gate.
+
+use crate::controller::ControllerConfig;
+use crate::scenario::{Scenario, ScenarioApp};
+use serde::{Deserialize, Serialize};
+use slaq_perfmodel::TransactionalSpec;
+use slaq_placement::problem::PlacementConfig;
+use slaq_sim::{NodeOutage, OverheadConfig, SimConfig, SimReport};
+use slaq_types::{
+    ClusterSpec, CpuMhz, EntityId, JobId, MemMb, NodeId, Result, SimDuration, SimTime, SlaqError,
+    Work,
+};
+use slaq_utility::ResponseTimeGoal;
+use slaq_workloads::{ArrivalProcess, GeneratedJob, IntensityTrace, JobMix, JobTemplate};
+use std::collections::BTreeMap;
+
+/// A pool of identical nodes; a cluster is a list of pools, so one pool
+/// is the homogeneous case and several pools are a heterogeneous fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodePoolSpec {
+    /// Number of identical nodes in this pool.
+    pub count: u32,
+    /// Processors per node.
+    pub cpus_per_node: u32,
+    /// Power of one processor.
+    pub core_mhz: f64,
+    /// Memory per node available to workload VMs.
+    pub node_mem_mb: u64,
+}
+
+/// Cluster topology: ordered node pools; node ids are assigned
+/// sequentially across pools.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterTopology {
+    /// The pools, in node-id order.
+    pub pools: Vec<NodePoolSpec>,
+}
+
+impl ClusterTopology {
+    /// Single-pool (homogeneous) topology.
+    pub fn homogeneous(count: u32, cpus_per_node: u32, core_mhz: f64, node_mem_mb: u64) -> Self {
+        ClusterTopology {
+            pools: vec![NodePoolSpec {
+                count,
+                cpus_per_node,
+                core_mhz,
+                node_mem_mb,
+            }],
+        }
+    }
+
+    /// Total node count across pools.
+    pub fn node_count(&self) -> u32 {
+        self.pools.iter().map(|p| p.count).sum()
+    }
+
+    /// Materialize the concrete [`ClusterSpec`].
+    pub fn materialize(&self) -> ClusterSpec {
+        let mut b = ClusterSpec::builder();
+        for p in &self.pools {
+            b = b.nodes(
+                p.count,
+                p.cpus_per_node,
+                CpuMhz::new(p.core_mhz),
+                MemMb::new(p.node_mem_mb),
+            );
+        }
+        b.build()
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.pools.is_empty() {
+            return Err(SlaqError::spec("cluster", "topology has no nodes"));
+        }
+        for (i, p) in self.pools.iter().enumerate() {
+            let section = format!("cluster.pools[{i}]");
+            if p.count == 0 {
+                return Err(SlaqError::spec(section, "pool count must be at least 1"));
+            }
+            if p.cpus_per_node == 0 {
+                return Err(SlaqError::spec(section, "cpus_per_node must be at least 1"));
+            }
+            if !(p.core_mhz.is_finite() && p.core_mhz > 0.0) {
+                return Err(SlaqError::spec(section, "core_mhz must be positive"));
+            }
+            if p.node_mem_mb == 0 {
+                return Err(SlaqError::spec(section, "node_mem_mb must be positive"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Simulator timing, placement-action overheads, and enforcement mode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingSpec {
+    /// Controller invocation period (paper: 600 s).
+    pub control_period_secs: f64,
+    /// Experiment horizon (paper: 72 000 s).
+    pub horizon_secs: f64,
+    /// Cold-start latency of a pending job's VM.
+    pub start_overhead_secs: f64,
+    /// Resume latency of a suspended image.
+    pub resume_overhead_secs: f64,
+    /// Live-migration latency.
+    pub migrate_overhead_secs: f64,
+    /// Enforce transactional allocations as hypervisor limits (the
+    /// paper's middleware behaviour).
+    pub cap_transactional: bool,
+}
+
+impl Default for TimingSpec {
+    fn default() -> Self {
+        TimingSpec {
+            control_period_secs: 600.0,
+            horizon_secs: 72_000.0,
+            start_overhead_secs: 30.0,
+            resume_overhead_secs: 60.0,
+            migrate_overhead_secs: 90.0,
+            cap_transactional: true,
+        }
+    }
+}
+
+impl TimingSpec {
+    /// The concrete simulator configuration.
+    pub fn materialize(&self) -> SimConfig {
+        SimConfig {
+            control_period: SimDuration::from_secs(self.control_period_secs),
+            horizon: SimTime::from_secs(self.horizon_secs),
+            overheads: OverheadConfig {
+                start: SimDuration::from_secs(self.start_overhead_secs),
+                resume: SimDuration::from_secs(self.resume_overhead_secs),
+                migrate: SimDuration::from_secs(self.migrate_overhead_secs),
+            },
+            cap_transactional: self.cap_transactional,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.control_period_secs.is_finite() && self.control_period_secs > 0.0) {
+            return Err(SlaqError::spec("timing", "control period must be positive"));
+        }
+        if !(self.horizon_secs.is_finite() && self.horizon_secs > 0.0) {
+            return Err(SlaqError::spec("timing", "horizon must be positive"));
+        }
+        for (name, v) in [
+            ("start_overhead_secs", self.start_overhead_secs),
+            ("resume_overhead_secs", self.resume_overhead_secs),
+            ("migrate_overhead_secs", self.migrate_overhead_secs),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(SlaqError::spec(
+                    "timing",
+                    format!("{name} must be non-negative"),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One transactional application: static SLA parameters plus its
+/// ground-truth intensity trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// Report label.
+    pub name: String,
+    /// Ground-truth request intensity λ(t).
+    pub trace: IntensityTrace,
+    /// CPU work per request (MHz·s).
+    pub service_mhz_s: f64,
+    /// Response-time goal τ (seconds).
+    pub rt_goal_secs: f64,
+    /// Modeled maximum-utility level (must lie in (0, 1)).
+    pub u_cap: f64,
+    /// Memory footprint per instance.
+    pub mem_mb: u64,
+    /// Instances kept running even when idle.
+    pub min_instances: u32,
+    /// Cluster-size limit.
+    pub max_instances: u32,
+    /// EWMA smoothing of the online demand estimator (in (0, 1]).
+    pub estimator_alpha: f64,
+}
+
+impl AppSpec {
+    /// The static spec the performance model consumes.
+    pub fn transactional_spec(&self) -> Result<TransactionalSpec> {
+        let rt_goal = ResponseTimeGoal::new(SimDuration::from_secs(self.rt_goal_secs))
+            .ok_or_else(|| SlaqError::spec(&self.name, "rt_goal_secs must be positive"))?;
+        let spec = TransactionalSpec {
+            name: self.name.clone(),
+            service_per_request: Work::new(self.service_mhz_s),
+            rt_goal,
+            mem_per_instance: MemMb::new(self.mem_mb),
+            max_instances: self.max_instances,
+            min_instances: self.min_instances,
+            u_cap: self.u_cap,
+        };
+        spec.validate()
+            .map_err(|detail| SlaqError::spec(&self.name, detail))?;
+        Ok(spec)
+    }
+
+    fn validate(&self, section: &str) -> Result<()> {
+        self.transactional_spec().map_err(|e| relabel(e, section))?;
+        self.trace
+            .validate()
+            .map_err(|detail| SlaqError::spec(section, detail))?;
+        if !(self.estimator_alpha > 0.0 && self.estimator_alpha <= 1.0) {
+            return Err(SlaqError::spec(
+                section,
+                "estimator_alpha must lie in (0, 1]",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One job stream: an arrival process feeding a template mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobStreamSpec {
+    /// Report label.
+    pub name: String,
+    /// When jobs arrive.
+    pub arrivals: ArrivalProcess,
+    /// Cap on jobs submitted by this stream (the horizon truncates
+    /// further).
+    pub max_jobs: usize,
+    /// What arrives.
+    pub mix: JobMix,
+    /// Added to the scenario seed so streams draw independent randomness.
+    pub seed_offset: u64,
+}
+
+impl JobStreamSpec {
+    fn validate(&self, section: &str) -> Result<()> {
+        self.arrivals
+            .validate()
+            .map_err(|detail| SlaqError::spec(section, detail))?;
+        self.mix
+            .validate()
+            .map_err(|detail| SlaqError::spec(section, detail))?;
+        if self.max_jobs == 0 {
+            return Err(SlaqError::spec(section, "max_jobs must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// A planned node outage, by node index.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OutageSpec {
+    /// Failing node index (dense, across pools).
+    pub node: u32,
+    /// Failure instant.
+    pub from_secs: f64,
+    /// Recovery instant.
+    pub to_secs: f64,
+}
+
+/// Controller tuning carried by the spec (the knobs experiments sweep).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControllerSpec {
+    /// Cap on placement changes per cycle (`None` = unbounded).
+    pub max_changes: Option<usize>,
+    /// Eviction hysteresis (see [`PlacementConfig::evict_priority_gap`]).
+    pub evict_priority_gap: f64,
+}
+
+impl Default for ControllerSpec {
+    fn default() -> Self {
+        let d = ControllerConfig::default();
+        ControllerSpec {
+            max_changes: d.placement.max_changes,
+            evict_priority_gap: d.placement.evict_priority_gap,
+        }
+    }
+}
+
+/// A complete, declarative, serde-round-trippable description of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name (also the report label).
+    pub name: String,
+    /// Master workload seed; streams offset it via their `seed_offset`.
+    pub seed: u64,
+    /// The cluster.
+    pub cluster: ClusterTopology,
+    /// Simulator timing and overheads.
+    pub timing: TimingSpec,
+    /// Controller tuning.
+    pub controller: ControllerSpec,
+    /// Transactional applications.
+    pub apps: Vec<AppSpec>,
+    /// Job streams.
+    pub job_streams: Vec<JobStreamSpec>,
+    /// Planned node outages (failure injection).
+    pub outages: Vec<OutageSpec>,
+}
+
+/// Rewrite a nested spec error's section to the outer path.
+fn relabel(e: SlaqError, section: &str) -> SlaqError {
+    match e {
+        SlaqError::Spec { detail, .. } => SlaqError::spec(section, detail),
+        other => other,
+    }
+}
+
+impl ScenarioSpec {
+    /// Check every section; the error names the offending part.
+    pub fn validate(&self) -> Result<()> {
+        if self.name.is_empty() {
+            return Err(SlaqError::spec("name", "scenario name must be non-empty"));
+        }
+        self.cluster.validate()?;
+        self.timing.validate()?;
+        if !(self.controller.evict_priority_gap.is_finite()
+            && self.controller.evict_priority_gap >= 0.0)
+        {
+            return Err(SlaqError::spec(
+                "controller",
+                "evict_priority_gap must be non-negative",
+            ));
+        }
+        if self.apps.is_empty() && self.job_streams.is_empty() {
+            return Err(SlaqError::spec(
+                "workloads",
+                "a scenario needs at least one app or job stream",
+            ));
+        }
+        for (i, app) in self.apps.iter().enumerate() {
+            app.validate(&format!("apps[{i}]"))?;
+        }
+        for (i, s) in self.job_streams.iter().enumerate() {
+            s.validate(&format!("job_streams[{i}]"))?;
+        }
+        let nodes = self.cluster.node_count();
+        for (i, o) in self.outages.iter().enumerate() {
+            let section = format!("outages[{i}]");
+            if o.node >= nodes {
+                return Err(SlaqError::spec(
+                    section,
+                    format!("node {} out of range (cluster has {nodes})", o.node),
+                ));
+            }
+            if !(o.from_secs.is_finite() && o.from_secs >= 0.0 && o.to_secs > o.from_secs) {
+                return Err(SlaqError::spec(section, "outage window must be non-empty"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate and materialize the runnable [`Scenario`]: concrete
+    /// cluster, generated job population (with per-job importance tiers
+    /// folded into the controller config), and outage plan.
+    pub fn materialize(&self) -> Result<Scenario> {
+        self.validate()?;
+        let cluster = self.cluster.materialize();
+        let sim = self.timing.materialize();
+        let horizon = sim.horizon;
+
+        let mut apps = Vec::with_capacity(self.apps.len());
+        for app in &self.apps {
+            apps.push(ScenarioApp {
+                spec: app.transactional_spec()?,
+                trace: app.trace.clone(),
+                estimator_alpha: app.estimator_alpha,
+            });
+        }
+
+        // Generate all streams, then replicate the simulator's arrival
+        // ordering (descending (time, name), popped from the back) so job
+        // ids — assigned densely in submission order — can be mapped to
+        // importance tiers here, before the simulator exists.
+        let mut generated: Vec<GeneratedJob> = Vec::new();
+        for stream in &self.job_streams {
+            let arrival_seed = self.seed.wrapping_add(stream.seed_offset);
+            let mix_seed = arrival_seed ^ 0x6a09_e667_f3bc_c909;
+            let arrivals = stream
+                .arrivals
+                .stream(stream.max_jobs, horizon, arrival_seed);
+            generated.extend(stream.mix.generate(&arrivals, mix_seed, generated.len()));
+        }
+        generated.sort_by(|a, b| {
+            b.submit
+                .total_cmp(a.submit)
+                .then(b.spec.name.cmp(&a.spec.name))
+        });
+        let mut importance: BTreeMap<EntityId, f64> = BTreeMap::new();
+        let mut jobs = Vec::with_capacity(generated.len());
+        for (i, g) in generated.into_iter().rev().enumerate() {
+            if g.importance != 1.0 {
+                importance.insert(EntityId::Job(JobId::new(i as u32)), g.importance);
+            }
+            jobs.push((g.submit, g.spec));
+        }
+
+        let controller = ControllerConfig {
+            placement: PlacementConfig {
+                max_changes: self.controller.max_changes,
+                evict_priority_gap: self.controller.evict_priority_gap,
+                ..PlacementConfig::default()
+            },
+            importance,
+            ..ControllerConfig::default()
+        };
+
+        let outages = self
+            .outages
+            .iter()
+            .map(|o| NodeOutage {
+                node: NodeId::new(o.node),
+                from: SimTime::from_secs(o.from_secs),
+                to: SimTime::from_secs(o.to_secs),
+            })
+            .collect();
+
+        Ok(Scenario {
+            name: self.name.clone(),
+            cluster,
+            sim,
+            apps,
+            jobs,
+            outages,
+            controller,
+        })
+    }
+
+    /// Materialize, build, and run under the scenario's own controller.
+    pub fn run(&self) -> Result<SimReport> {
+        let scenario = self.materialize()?;
+        let mut controller = scenario.controller();
+        scenario.run(&mut controller)
+    }
+
+    /// Pretty JSON rendering of the spec.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self).map_err(|e| SlaqError::spec("json", e.to_string()))
+    }
+
+    /// Parse a spec from JSON text (then validate separately / on
+    /// materialization).
+    pub fn from_json(text: &str) -> Result<Self> {
+        serde_json::from_str(text).map_err(|e| SlaqError::spec("json", e.to_string()))
+    }
+
+    /// Names of the built-in corpus, in canonical order.
+    pub fn preset_names() -> &'static [&'static str] {
+        &[
+            "paper",
+            "paper-small",
+            "hetero-pool",
+            "diurnal",
+            "bursty-batch",
+            "differentiation-mix",
+        ]
+    }
+
+    /// Look up a built-in preset by name.
+    pub fn preset(name: &str) -> Option<ScenarioSpec> {
+        match name {
+            "paper" => Some(crate::scenario::PaperParams::default().spec_named("paper")),
+            "paper-small" => Some(crate::scenario::PaperParams::small().spec_named("paper-small")),
+            "hetero-pool" => Some(hetero_pool()),
+            "diurnal" => Some(diurnal()),
+            "bursty-batch" => Some(bursty_batch()),
+            "differentiation-mix" => Some(differentiation_mix()),
+            _ => None,
+        }
+    }
+
+    /// The full built-in corpus.
+    pub fn corpus() -> Vec<ScenarioSpec> {
+        Self::preset_names()
+            .iter()
+            .map(|n| Self::preset(n).expect("corpus names are exhaustive"))
+            .collect()
+    }
+}
+
+fn batch_template(prefix: &str, work_secs: f64, mem_mb: u64) -> JobTemplate {
+    JobTemplate {
+        name_prefix: prefix.into(),
+        work: Work::from_power_secs(CpuMhz::new(3000.0), work_secs),
+        max_speed: CpuMhz::new(3000.0),
+        mem: MemMb::new(mem_mb),
+        goal_factor: 1.25,
+        exhausted_factor: 3.0,
+    }
+}
+
+fn small_app(name: &str, trace: IntensityTrace, max_instances: u32) -> AppSpec {
+    AppSpec {
+        name: name.into(),
+        trace,
+        service_mhz_s: 720.0,
+        rt_goal_secs: 0.5,
+        u_cap: 0.9,
+        mem_mb: 1024,
+        min_instances: 1,
+        max_instances,
+        estimator_alpha: 0.4,
+    }
+}
+
+/// Heterogeneous fleet: fat high-memory nodes next to the paper's 4-way
+/// boxes and a pair of fast 2-way machines, with one planned outage —
+/// the regime DRAPS targets, where per-node headroom differs.
+fn hetero_pool() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "hetero-pool".into(),
+        seed: 8,
+        cluster: ClusterTopology {
+            pools: vec![
+                NodePoolSpec {
+                    count: 4,
+                    cpus_per_node: 4,
+                    core_mhz: 3000.0,
+                    node_mem_mb: 4096,
+                },
+                NodePoolSpec {
+                    count: 2,
+                    cpus_per_node: 8,
+                    core_mhz: 2400.0,
+                    node_mem_mb: 16_384,
+                },
+                NodePoolSpec {
+                    count: 2,
+                    cpus_per_node: 2,
+                    core_mhz: 3600.0,
+                    node_mem_mb: 2048,
+                },
+            ],
+        },
+        timing: TimingSpec {
+            horizon_secs: 22_000.0,
+            ..TimingSpec::default()
+        },
+        controller: ControllerSpec::default(),
+        apps: vec![small_app("webfront", IntensityTrace::constant(24.0), 8)],
+        job_streams: vec![JobStreamSpec {
+            name: "batch".into(),
+            arrivals: ArrivalProcess::poisson_constant(220.0).expect("positive mean"),
+            max_jobs: 160,
+            mix: JobMix::uniform(batch_template("batch", 4000.0, 1280)),
+            seed_offset: 0,
+        }],
+        outages: vec![OutageSpec {
+            node: 0,
+            from_secs: 9000.0,
+            to_secs: 13_000.0,
+        }],
+    }
+}
+
+/// Diurnal + flash-crowd transactional demand over a small cluster: the
+/// composed trace peaks where placement must steal CPU back from jobs.
+fn diurnal() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "diurnal".into(),
+        seed: 8,
+        cluster: ClusterTopology::homogeneous(6, 4, 3000.0, 4096),
+        timing: TimingSpec {
+            horizon_secs: 24_000.0,
+            ..TimingSpec::default()
+        },
+        controller: ControllerSpec::default(),
+        apps: vec![small_app(
+            "storefront",
+            IntensityTrace::Sum {
+                parts: vec![
+                    IntensityTrace::Diurnal {
+                        base: 16.0,
+                        amplitude: 12.0,
+                        period_secs: 24_000.0,
+                        phase_secs: 0.0,
+                    },
+                    IntensityTrace::Spiky {
+                        base: 0.0,
+                        surge: 18.0,
+                        period_secs: 8000.0,
+                        spike_secs: 900.0,
+                        phase_secs: 2000.0,
+                    },
+                ],
+            },
+            6,
+        )],
+        job_streams: vec![JobStreamSpec {
+            name: "batch".into(),
+            arrivals: ArrivalProcess::poisson_constant(300.0).expect("positive mean"),
+            max_jobs: 70,
+            mix: JobMix::uniform(batch_template("batch", 4000.0, 1280)),
+            seed_offset: 0,
+        }],
+        outages: vec![],
+    }
+}
+
+/// Bursty ON–OFF submissions riding over nightly batch drops — the
+/// MORPHOSYS-style periodic/bursty colocation regime.
+fn bursty_batch() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "bursty-batch".into(),
+        seed: 8,
+        cluster: ClusterTopology::homogeneous(6, 4, 3000.0, 4096),
+        timing: TimingSpec {
+            horizon_secs: 22_000.0,
+            ..TimingSpec::default()
+        },
+        controller: ControllerSpec::default(),
+        apps: vec![small_app("portal", IntensityTrace::constant(10.0), 6)],
+        job_streams: vec![
+            JobStreamSpec {
+                name: "bursts".into(),
+                arrivals: ArrivalProcess::OnOff {
+                    on_secs: 1200.0,
+                    off_secs: 2400.0,
+                    on_mean_interarrival_secs: 110.0,
+                    off_mean_interarrival_secs: None,
+                },
+                max_jobs: 90,
+                mix: JobMix::uniform(batch_template("burst", 2500.0, 1280)),
+                seed_offset: 0,
+            },
+            JobStreamSpec {
+                name: "nightly".into(),
+                arrivals: ArrivalProcess::BatchDrops {
+                    first_secs: 3000.0,
+                    period_secs: 7000.0,
+                    batch_size: 8,
+                },
+                max_jobs: 24,
+                mix: JobMix::uniform(batch_template("nightly", 5000.0, 1280)),
+                seed_offset: 1,
+            },
+        ],
+        outages: vec![],
+    }
+}
+
+/// Differentiated importance tiers over a short/long × small/large job
+/// mixture: gold jobs may take only half the utility shortfall of
+/// standard ones.
+fn differentiation_mix() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "differentiation-mix".into(),
+        seed: 8,
+        cluster: ClusterTopology::homogeneous(4, 4, 3000.0, 4096),
+        timing: TimingSpec {
+            horizon_secs: 18_000.0,
+            ..TimingSpec::default()
+        },
+        controller: ControllerSpec::default(),
+        apps: vec![small_app("checkout", IntensityTrace::constant(12.0), 4)],
+        job_streams: vec![JobStreamSpec {
+            name: "tiers".into(),
+            arrivals: ArrivalProcess::poisson_constant(210.0).expect("positive mean"),
+            max_jobs: 70,
+            mix: JobMix {
+                classes: vec![
+                    slaq_workloads::TemplateClass {
+                        template: batch_template("gold-short", 1800.0, 512),
+                        weight: 2.0,
+                        importance: 2.0,
+                    },
+                    slaq_workloads::TemplateClass {
+                        template: batch_template("std-mid", 3600.0, 1280),
+                        weight: 2.0,
+                        importance: 1.0,
+                    },
+                    slaq_workloads::TemplateClass {
+                        template: batch_template("std-long-big", 7200.0, 2048),
+                        weight: 1.0,
+                        importance: 1.0,
+                    },
+                ],
+            },
+            seed_offset: 0,
+        }],
+        outages: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_all_named_presets() {
+        let corpus = ScenarioSpec::corpus();
+        assert_eq!(corpus.len(), ScenarioSpec::preset_names().len());
+        assert!(corpus.len() >= 6);
+        for (spec, name) in corpus.iter().zip(ScenarioSpec::preset_names()) {
+            assert_eq!(&spec.name, name);
+            spec.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        assert!(ScenarioSpec::preset("no-such-scenario").is_none());
+    }
+
+    // JSON round-trip coverage lives in tests/scenario_corpus.rs (the CI
+    // corpus gate), which also asserts the serialization fixed point.
+
+    #[test]
+    fn every_preset_materializes() {
+        for spec in ScenarioSpec::corpus() {
+            let scenario = spec
+                .materialize()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert_eq!(scenario.cluster.len() as u32, spec.cluster.node_count());
+            assert!(!scenario.jobs.is_empty(), "{}: no jobs", spec.name);
+            // Arrivals sorted and inside the horizon.
+            assert!(scenario.jobs.windows(2).all(|w| w[0].0 <= w[1].0));
+            assert!(scenario
+                .jobs
+                .iter()
+                .all(|(t, _)| t.as_secs() <= spec.timing.horizon_secs));
+        }
+    }
+
+    #[test]
+    fn validation_pinpoints_the_offending_section() {
+        let mut s = ScenarioSpec::preset("paper-small").unwrap();
+        s.apps[0].u_cap = 1.5;
+        let e = s.validate().unwrap_err();
+        assert!(e.to_string().contains("apps[0]"), "{e}");
+
+        let mut s = ScenarioSpec::preset("paper-small").unwrap();
+        s.cluster.pools[0].count = 0;
+        let e = s.validate().unwrap_err();
+        assert!(e.to_string().contains("cluster.pools[0]"), "{e}");
+
+        let mut s = ScenarioSpec::preset("hetero-pool").unwrap();
+        s.outages[0].node = 99;
+        let e = s.validate().unwrap_err();
+        assert!(e.to_string().contains("outages[0]"), "{e}");
+
+        let mut s = ScenarioSpec::preset("paper-small").unwrap();
+        s.job_streams[0].max_jobs = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = ScenarioSpec::preset("paper-small").unwrap();
+        s.apps.clear();
+        s.job_streams.clear();
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn hetero_pool_materializes_all_pools_and_outage() {
+        let spec = ScenarioSpec::preset("hetero-pool").unwrap();
+        let scenario = spec.materialize().unwrap();
+        assert_eq!(scenario.cluster.len(), 8);
+        // Pool boundaries: node 4 is a fat box, node 6 a fast 2-way.
+        let n4 = scenario.cluster.node(NodeId::new(4)).unwrap();
+        assert_eq!(n4.num_cpus, 8);
+        assert_eq!(n4.mem, MemMb::new(16_384));
+        let n6 = scenario.cluster.node(NodeId::new(6)).unwrap();
+        assert_eq!(n6.cpu_per_core, CpuMhz::new(3600.0));
+        assert_eq!(scenario.outages.len(), 1);
+        assert_eq!(scenario.outages[0].node, NodeId::new(0));
+    }
+
+    #[test]
+    fn differentiation_mix_wires_importance_into_controller_config() {
+        let spec = ScenarioSpec::preset("differentiation-mix").unwrap();
+        let scenario = spec.materialize().unwrap();
+        assert!(
+            !scenario.controller.importance.is_empty(),
+            "gold tier must surface as importance weights"
+        );
+        // Every weighted entity is a job with weight 2.0 (the gold tier),
+        // and the weighted ids correspond to gold-short jobs by name.
+        let gold_jobs: Vec<usize> = scenario
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, s))| s.name.starts_with("gold-short"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(gold_jobs.len(), scenario.controller.importance.len());
+        for i in &gold_jobs {
+            let w = scenario
+                .controller
+                .importance
+                .get(&EntityId::Job(JobId::new(*i as u32)))
+                .copied();
+            assert_eq!(w, Some(2.0), "job {i} should be gold-weighted");
+        }
+    }
+
+    #[test]
+    fn spec_horizon_is_data_not_code() {
+        // Truncating the horizon is a field write — the property sweeps
+        // and benches rely on.
+        let mut spec = ScenarioSpec::preset("paper-small").unwrap();
+        spec.timing.horizon_secs = 1200.0;
+        let scenario = spec.materialize().unwrap();
+        assert!(scenario.jobs.iter().all(|(t, _)| t.as_secs() <= 1200.0));
+    }
+}

@@ -5,9 +5,15 @@
 //! ```
 
 use slaq_core::scenario::PaperParams;
-use slaq_experiments::sweeps::{format_scalability, placement_scalability, seed_sweep};
+use slaq_experiments::sweeps::{
+    corpus_sweep, format_corpus, format_scalability, placement_scalability, seed_sweep,
+};
 
 fn main() {
+    println!("scenario corpus (each preset, first 12 control cycles):\n");
+    let corpus = corpus_sweep(Some(12)).expect("corpus presets must run");
+    println!("{}", format_corpus(&corpus));
+
     println!("placement solver scalability (cold placement, jobs-heavy mix):\n");
     let grid: Vec<(u32, u32)> = vec![(10, 30), (25, 120), (50, 300), (100, 600), (200, 1200)];
     let cells = placement_scalability(&grid, 1);
@@ -42,7 +48,7 @@ fn main() {
     std::fs::create_dir_all("out").expect("create out/");
     std::fs::write(
         "out/sweep.json",
-        serde_json::to_string_pretty(&(cells, outcomes)).expect("serialize"),
+        serde_json::to_string_pretty(&(corpus, cells, outcomes)).expect("serialize"),
     )
     .expect("write out/sweep.json");
     println!("wrote out/sweep.json");

@@ -11,7 +11,9 @@
 //!   --bin fig1` shows the curves without any plotting stack;
 //! * [`comparison`] — E3: the utility controller vs the two baselines;
 //! * [`churn`] — E9: churn-budget sensitivity of the placement solver;
-//! * [`sweeps`] — E4: placement-solver scalability grids (rayon-parallel).
+//! * [`sweeps`] — E4: placement-solver scalability grids
+//!   (rayon-parallel), seed robustness, and brief runs over the whole
+//!   scenario corpus ([`sweeps::corpus_sweep`]).
 //!
 //! Binaries: `fig1`, `fig2`, `baselines`, `sweep` (see DESIGN.md §4).
 
@@ -29,3 +31,4 @@ pub use churn::{churn_sweep, ChurnCell};
 pub use comparison::{compare_controllers, ComparisonRow};
 pub use figures::{fig1_csv, fig2_csv, run_paper_experiment};
 pub use shape::{shape_metrics, ShapeMetrics};
+pub use sweeps::{corpus_sweep, CorpusOutcome};

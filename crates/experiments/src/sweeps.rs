@@ -1,14 +1,16 @@
-//! E4: placement-solver scalability sweeps (rayon-parallel) and seed
-//! robustness sweeps of the paper experiment.
+//! E4: placement-solver scalability sweeps (rayon-parallel), seed
+//! robustness sweeps of the paper experiment, and brief runs over the
+//! whole scenario corpus.
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use slaq_core::scenario::PaperParams;
+use slaq_core::ScenarioSpec;
 use slaq_placement::problem::{
     AppRequest, JobRequest, NodeCapacity, PlacementConfig, PlacementProblem,
 };
 use slaq_placement::{solve, Placement};
-use slaq_types::{AppId, CpuMhz, JobId, MemMb, NodeId};
+use slaq_types::{AppId, CpuMhz, JobId, MemMb, NodeId, Result, SimTime};
 use std::time::Instant;
 
 /// One cell of the placement scalability grid.
@@ -123,6 +125,88 @@ pub fn seed_sweep(base: &PaperParams, seeds: &[u64]) -> Vec<SeedOutcome> {
         .collect()
 }
 
+/// One corpus scenario's scorecard from a (possibly horizon-capped) run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusOutcome {
+    /// Preset name.
+    pub scenario: String,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Transactional applications.
+    pub apps: usize,
+    /// Jobs the generated stream submits within the (capped) horizon.
+    pub jobs_submitted: usize,
+    /// Control cycles executed.
+    pub cycles: usize,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Mean measured transactional utility.
+    pub mean_trans_utility: f64,
+    /// Mean controller-neutral job outlook.
+    pub mean_jobs_outlook: f64,
+}
+
+/// Run every corpus preset under its own controller, horizon-capped to
+/// `max_cycles` control cycles — scenarios are data, so the cap is one
+/// field write on the spec. `None` runs each preset's full horizon.
+pub fn corpus_sweep(max_cycles: Option<usize>) -> Result<Vec<CorpusOutcome>> {
+    let specs = ScenarioSpec::corpus();
+    let rows: Vec<Result<CorpusOutcome>> = specs
+        .par_iter()
+        .map(|spec| {
+            let mut spec = spec.clone();
+            if let Some(cycles) = max_cycles {
+                spec.timing.horizon_secs = spec
+                    .timing
+                    .horizon_secs
+                    .min(spec.timing.control_period_secs * cycles as f64);
+            }
+            let horizon = SimTime::from_secs(spec.timing.horizon_secs);
+            let scenario = spec.materialize()?;
+            let mut controller = scenario.controller();
+            let report = scenario.run(&mut controller)?;
+            Ok(CorpusOutcome {
+                scenario: spec.name.clone(),
+                nodes: scenario.cluster.len(),
+                apps: scenario.apps.len(),
+                jobs_submitted: report.job_stats.submitted,
+                cycles: report.cycles,
+                completed: report.job_stats.completed,
+                mean_trans_utility: report
+                    .metrics
+                    .mean_over("trans_utility", SimTime::ZERO, horizon)
+                    .unwrap_or(0.0),
+                mean_jobs_outlook: report
+                    .metrics
+                    .mean_over("jobs_outlook", SimTime::ZERO, horizon)
+                    .unwrap_or(0.0),
+            })
+        })
+        .collect();
+    rows.into_iter().collect()
+}
+
+/// Text table for the corpus sweep.
+pub fn format_corpus(rows: &[CorpusOutcome]) -> String {
+    let mut out = String::from(
+        "scenario              nodes  apps  submitted  cycles  done   mean u_T   outlook\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<21} {:<6} {:<5} {:<10} {:<7} {:<6} {:<10.3} {:.3}\n",
+            r.scenario,
+            r.nodes,
+            r.apps,
+            r.jobs_submitted,
+            r.cycles,
+            r.completed,
+            r.mean_trans_utility,
+            r.mean_jobs_outlook,
+        ));
+    }
+    out
+}
+
 /// Text table for the scalability grid.
 pub fn format_scalability(cells: &[SweepCell]) -> String {
     let mut out = String::from("nodes   jobs   apps   solve(us)   job-satisfaction\n");
@@ -162,5 +246,21 @@ mod tests {
         // 40 nodes × 12 000 = 480 000 MHz vs ~30 jobs × ≤3000: trivial fit.
         let cells = placement_scalability(&[(40, 30)], 1);
         assert!(cells[0].satisfaction > 0.99, "{}", cells[0].satisfaction);
+    }
+
+    #[test]
+    fn corpus_sweep_touches_every_preset() {
+        // Three cycles per preset keeps this minutes-free while still
+        // exercising generation → placement → measurement end to end.
+        let rows = corpus_sweep(Some(3)).unwrap();
+        let names: Vec<&str> = rows.iter().map(|r| r.scenario.as_str()).collect();
+        assert_eq!(names, ScenarioSpec::preset_names());
+        for r in &rows {
+            assert!(r.cycles >= 3, "{}: cycles {}", r.scenario, r.cycles);
+            assert!(r.nodes > 0 && r.apps > 0, "{}", r.scenario);
+        }
+        let table = format_corpus(&rows);
+        assert_eq!(table.lines().count(), rows.len() + 1);
+        assert!(table.contains("hetero-pool"));
     }
 }

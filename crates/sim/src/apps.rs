@@ -33,6 +33,10 @@ pub struct TransactionalRuntime {
     /// Utility · seconds accumulated since the last flush.
     util_weighted: f64,
     accum_secs: f64,
+    /// Interned metric keys — the simulator records these every control
+    /// cycle, so the per-app `format!` is paid once at construction.
+    rt_metric_key: String,
+    utility_metric_key: String,
 }
 
 impl TransactionalRuntime {
@@ -53,7 +57,19 @@ impl TransactionalRuntime {
             rt_weighted: 0.0,
             util_weighted: 0.0,
             accum_secs: 0.0,
+            rt_metric_key: format!("trans_rt_{id}"),
+            utility_metric_key: format!("trans_utility_{id}"),
         })
+    }
+
+    /// Name of this app's measured response-time series.
+    pub fn rt_metric_key(&self) -> &str {
+        &self.rt_metric_key
+    }
+
+    /// Name of this app's measured utility series.
+    pub fn utility_metric_key(&self) -> &str {
+        &self.utility_metric_key
     }
 
     /// Ground-truth arrival rate at `t`.

@@ -477,9 +477,8 @@ impl Simulator {
         for app in &mut self.apps {
             if let Some((rt, u)) = app.flush_cycle() {
                 self.metrics
-                    .record(&format!("trans_rt_{}", app.id), self.now, rt.as_secs());
-                self.metrics
-                    .record(&format!("trans_utility_{}", app.id), self.now, u);
+                    .record(app.rt_metric_key(), self.now, rt.as_secs());
+                self.metrics.record(app.utility_metric_key(), self.now, u);
                 self.metrics.record("trans_utility", self.now, u);
             }
         }

@@ -18,6 +18,15 @@ pub enum SlaqError {
     UnknownJob(JobId),
     /// A specification was internally inconsistent (message explains).
     InvalidSpec(String),
+    /// A declarative scenario spec failed validation or materialization;
+    /// `section` names the offending part (`"cluster"`, `"apps[0]"`, …)
+    /// so spec authors can find the field without a stack trace.
+    Spec {
+        /// The spec section at fault.
+        section: String,
+        /// What is wrong with it.
+        detail: String,
+    },
     /// A solver failed to converge or was handed an infeasible instance.
     Solver(String),
     /// A placement plan violated a capacity constraint when applied.
@@ -41,12 +50,25 @@ impl fmt::Display for SlaqError {
             SlaqError::UnknownApp(a) => write!(f, "unknown application {a}"),
             SlaqError::UnknownJob(j) => write!(f, "unknown job {j}"),
             SlaqError::InvalidSpec(msg) => write!(f, "invalid specification: {msg}"),
+            SlaqError::Spec { section, detail } => {
+                write!(f, "scenario spec: {section}: {detail}")
+            }
             SlaqError::Solver(msg) => write!(f, "solver error: {msg}"),
             SlaqError::CapacityViolation { node, detail } => {
                 write!(f, "capacity violation on {node}: {detail}")
             }
             SlaqError::IllegalState(msg) => write!(f, "illegal state: {msg}"),
             SlaqError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl SlaqError {
+    /// Convenience constructor for [`SlaqError::Spec`].
+    pub fn spec(section: impl Into<String>, detail: impl Into<String>) -> Self {
+        SlaqError::Spec {
+            section: section.into(),
+            detail: detail.into(),
         }
     }
 }
@@ -80,6 +102,10 @@ mod tests {
         assert!(SlaqError::Solver("no convergence".into())
             .to_string()
             .contains("no convergence"));
+        assert_eq!(
+            SlaqError::spec("apps[2]", "u_cap must lie in (0, 1)").to_string(),
+            "scenario spec: apps[2]: u_cap must lie in (0, 1)"
+        );
     }
 
     #[test]

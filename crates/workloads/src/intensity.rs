@@ -1,13 +1,20 @@
 //! Transactional request-intensity traces λ(t).
 //!
 //! The paper's experiment applies "a constant transactional workload …
-//! throughout"; the stepped and diurnal shapes support the extension
-//! experiments (E3/E4 in DESIGN.md).
+//! throughout"; the other shapes are the generator library used by
+//! [`crate`]-level scenario corpora: stepped and diurnal curves, periodic
+//! spikes, and sums of any of these for composite demand. Every trace is
+//! a pure function of time, so scenarios that reference one are exactly
+//! reproducible.
 
 use serde::{Deserialize, Serialize};
 use slaq_types::SimTime;
 
 /// A deterministic request-rate trace.
+///
+/// Traces compose: [`IntensityTrace::Sum`] adds any number of component
+/// traces, so "diurnal baseline plus lunchtime spikes" is
+/// `Sum { parts: vec![Diurnal {..}, Spiky {..}] }`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum IntensityTrace {
     /// λ(t) = `rate` for all t.
@@ -31,6 +38,26 @@ pub enum IntensityTrace {
         period_secs: f64,
         /// Horizontal offset in seconds.
         phase_secs: f64,
+    },
+    /// Periodic flash crowds: `base` everywhere except during a recurring
+    /// spike window of `spike_secs` at the head of every `period_secs`
+    /// cycle (offset by `phase_secs`), where the rate is `base + surge`.
+    Spiky {
+        /// Quiet-phase rate.
+        base: f64,
+        /// Extra rate during a spike window.
+        surge: f64,
+        /// Spike recurrence period in seconds.
+        period_secs: f64,
+        /// Spike duration in seconds (< `period_secs`).
+        spike_secs: f64,
+        /// Offset of the first spike's start.
+        phase_secs: f64,
+    },
+    /// Pointwise sum of component traces (composition).
+    Sum {
+        /// The component traces.
+        parts: Vec<IntensityTrace>,
     },
 }
 
@@ -65,7 +92,87 @@ impl IntensityTrace {
                     2.0 * std::f64::consts::PI * (t.as_secs() - phase_secs) / period_secs.max(1e-9);
                 (base + amplitude * x.sin()).max(0.0)
             }
+            IntensityTrace::Spiky {
+                base,
+                surge,
+                period_secs,
+                spike_secs,
+                phase_secs,
+            } => {
+                let pos = (t.as_secs() - phase_secs).rem_euclid(period_secs.max(1e-9));
+                let rate = if pos < *spike_secs {
+                    base + surge
+                } else {
+                    *base
+                };
+                rate.max(0.0)
+            }
+            IntensityTrace::Sum { parts } => parts.iter().map(|p| p.lambda(t)).sum(),
         }
+    }
+
+    /// Structural sanity of the trace parameters; returns a message
+    /// naming the offending field on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            IntensityTrace::Constant { rate } => {
+                if !(rate.is_finite() && *rate >= 0.0) {
+                    return Err("constant rate must be finite and non-negative".into());
+                }
+            }
+            IntensityTrace::Steps { steps } => {
+                if steps.is_empty() {
+                    return Err("steps must have at least one segment".into());
+                }
+                for w in steps.windows(2) {
+                    if w[1].0 <= w[0].0 {
+                        return Err("step starts must strictly increase".into());
+                    }
+                }
+                if steps.iter().any(|&(_, r)| !(r.is_finite() && r >= 0.0)) {
+                    return Err("step rates must be finite and non-negative".into());
+                }
+            }
+            IntensityTrace::Diurnal {
+                base,
+                amplitude,
+                period_secs,
+                phase_secs,
+            } => {
+                if !(base.is_finite() && amplitude.is_finite() && phase_secs.is_finite()) {
+                    return Err("diurnal parameters must be finite".into());
+                }
+                if !(period_secs.is_finite() && *period_secs > 0.0) {
+                    return Err("diurnal period must be positive".into());
+                }
+            }
+            IntensityTrace::Spiky {
+                base,
+                surge,
+                period_secs,
+                spike_secs,
+                phase_secs,
+            } => {
+                if !(base.is_finite() && *base >= 0.0 && surge.is_finite() && *surge >= 0.0) {
+                    return Err("spiky base and surge must be finite and non-negative".into());
+                }
+                if !phase_secs.is_finite() {
+                    return Err("spike phase must be finite".into());
+                }
+                if !(period_secs.is_finite() && *period_secs > 0.0) {
+                    return Err("spike period must be positive".into());
+                }
+                if !(*spike_secs >= 0.0 && spike_secs <= period_secs) {
+                    return Err("spike duration must lie within the period".into());
+                }
+            }
+            IntensityTrace::Sum { parts } => {
+                for p in parts {
+                    p.validate()?;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Mean rate over `[from, to]` by midpoint sampling with `n` panels —
@@ -136,6 +243,92 @@ mod tests {
         // Trough clamped at zero.
         assert_eq!(t.lambda(SimTime::from_secs(64_800.0)), 0.0);
         assert_eq!(t.lambda(SimTime::ZERO), 10.0);
+    }
+
+    #[test]
+    fn spiky_surges_inside_the_window_only() {
+        let t = IntensityTrace::Spiky {
+            base: 10.0,
+            surge: 40.0,
+            period_secs: 3600.0,
+            spike_secs: 300.0,
+            phase_secs: 600.0,
+        };
+        assert_eq!(t.lambda(SimTime::ZERO), 10.0);
+        assert_eq!(t.lambda(SimTime::from_secs(600.0)), 50.0);
+        assert_eq!(t.lambda(SimTime::from_secs(899.0)), 50.0);
+        assert_eq!(t.lambda(SimTime::from_secs(900.0)), 10.0);
+        // Recurs every period.
+        assert_eq!(t.lambda(SimTime::from_secs(3600.0 + 700.0)), 50.0);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn sum_composes_pointwise() {
+        let t = IntensityTrace::Sum {
+            parts: vec![
+                IntensityTrace::constant(5.0),
+                IntensityTrace::Spiky {
+                    base: 0.0,
+                    surge: 20.0,
+                    period_secs: 1000.0,
+                    spike_secs: 100.0,
+                    phase_secs: 0.0,
+                },
+            ],
+        };
+        assert_eq!(t.lambda(SimTime::from_secs(50.0)), 25.0);
+        assert_eq!(t.lambda(SimTime::from_secs(500.0)), 5.0);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_shapes() {
+        assert!(IntensityTrace::Spiky {
+            base: 1.0,
+            surge: 1.0,
+            period_secs: 100.0,
+            spike_secs: 200.0,
+            phase_secs: 0.0,
+        }
+        .validate()
+        .is_err());
+        assert!(IntensityTrace::Diurnal {
+            base: 1.0,
+            amplitude: 1.0,
+            period_secs: 0.0,
+            phase_secs: 0.0,
+        }
+        .validate()
+        .is_err());
+        assert!(IntensityTrace::Steps {
+            steps: vec![(SimTime::from_secs(10.0), 1.0), (SimTime::ZERO, 2.0)],
+        }
+        .validate()
+        .is_err());
+        assert!(IntensityTrace::Sum {
+            parts: vec![IntensityTrace::constant(f64::NAN)],
+        }
+        .validate()
+        .is_err());
+        // Sign typos and empty traces are what spec authors actually
+        // fat-finger: a silently zero-load app must not pass validation.
+        assert!(IntensityTrace::constant(-24.0).validate().is_err());
+        assert!(IntensityTrace::Steps { steps: vec![] }.validate().is_err());
+        assert!(IntensityTrace::Steps {
+            steps: vec![(SimTime::ZERO, -5.0)],
+        }
+        .validate()
+        .is_err());
+        assert!(IntensityTrace::Spiky {
+            base: -1.0,
+            surge: 10.0,
+            period_secs: 100.0,
+            spike_secs: 10.0,
+            phase_secs: 0.0,
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -1,20 +1,31 @@
-//! # slaq-workloads — synthetic workload generation
+//! # slaq-workloads — composable, reproducible workload generation
 //!
-//! Stand-in for the authors' lab load drivers (DESIGN.md §2, S7): seeded,
-//! reproducible generators for both workload classes of the paper.
+//! The generator library behind the scenario corpus: every workload shape
+//! a [`ScenarioSpec`](../slaq_core/spec) references by name+params lives
+//! here as plain serde-round-trippable data, and materializes into
+//! concrete streams with explicit seeds so every figure regenerates
+//! bit-identically.
 //!
-//! * [`RateSchedule`] + [`PoissonArrivals`] — exponential inter-arrival
-//!   streams whose mean can change over time. The paper's evaluation
-//!   submits 800 identical jobs at a mean spacing of 260 s, with the rate
-//!   "slightly decreased" near the end of the experiment.
-//! * [`JobTemplate`] / [`generate_job_stream`] — turn an arrival stream
-//!   into concrete [`JobSpec`]s with SLAs anchored at each submission.
-//! * [`IntensityTrace`] — transactional request-intensity λ(t): constant,
-//!   stepped, or diurnal, mirroring the constant transactional load the
-//!   experiment applies throughout.
+//! Three generator families:
 //!
-//! Everything is driven by `ChaCha12Rng` with explicit seeds so that every
-//! figure regenerates bit-identically.
+//! * **Intensity traces** ([`IntensityTrace`]) — transactional request
+//!   intensity λ(t): constant (the paper's evaluation), stepped, diurnal,
+//!   spiky (periodic flash crowds), and pointwise sums of any of these.
+//! * **Arrival processes** ([`ArrivalProcess`]) — job submission
+//!   instants: Poisson streams over a piecewise-constant
+//!   [`RateSchedule`] (the paper submits 800 jobs at a mean spacing of
+//!   260 s, "slightly decreased" near the end), bursty ON–OFF sources,
+//!   and periodic batch drops. [`PoissonArrivals`] is the underlying
+//!   iterator form.
+//! * **Job mixes** ([`JobMix`] of weighted [`TemplateClass`]es) — turn
+//!   arrival instants into concrete [`slaq_jobs::JobSpec`]s: short vs
+//!   long jobs, small vs large memory footprints, and differentiated
+//!   importance tiers, with SLAs anchored at each submission via
+//!   [`JobTemplate`]. [`generate_job_stream`] remains the single-template
+//!   fast path.
+//!
+//! Everything random is driven by `ChaCha12Rng` with explicit seeds;
+//! determinism is pinned by property tests in each module.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -22,7 +33,9 @@
 pub mod arrivals;
 pub mod intensity;
 pub mod jobstream;
+pub mod mix;
 
-pub use arrivals::{PoissonArrivals, RateSchedule};
+pub use arrivals::{ArrivalProcess, PoissonArrivals, RateSchedule};
 pub use intensity::IntensityTrace;
 pub use jobstream::{generate_job_stream, JobTemplate};
+pub use mix::{GeneratedJob, JobMix, TemplateClass};

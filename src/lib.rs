@@ -12,6 +12,7 @@
 //! cargo run --release --example mixed_datacenter
 //! cargo run --example job_scheduler
 //! cargo run --release --example capacity_planning
+//! cargo run --release --example run_scenario -- --preset paper-small
 //! ```
 //!
 //! Layer map (bottom-up):
@@ -44,8 +45,9 @@ pub use slaq_workloads as workloads;
 pub mod prelude {
     pub use slaq_core::scenario::PaperParams;
     pub use slaq_core::{
-        Scenario, ScenarioApp, StaticPartitionController, TransactionalFirstController,
-        UtilityController,
+        AppSpec, ClusterTopology, ControllerSpec, JobStreamSpec, NodePoolSpec, OutageSpec,
+        Scenario, ScenarioApp, ScenarioSpec, StaticPartitionController, TimingSpec,
+        TransactionalFirstController, UtilityController,
     };
     pub use slaq_jobs::{Job, JobManager, JobSpec, JobState, JobUtility};
     pub use slaq_perfmodel::{PsQueue, TransactionalModel, TransactionalSpec};
@@ -62,5 +64,8 @@ pub mod prelude {
         equalize_bisection, equalize_steal, CompletionGoal, EqEntity, EqualizeOptions,
         PiecewiseLinear, ResponseTimeGoal, UtilityOfCpu,
     };
-    pub use slaq_workloads::{generate_job_stream, IntensityTrace, JobTemplate, RateSchedule};
+    pub use slaq_workloads::{
+        generate_job_stream, ArrivalProcess, IntensityTrace, JobMix, JobTemplate, RateSchedule,
+        TemplateClass,
+    };
 }

@@ -1,0 +1,126 @@
+//! The scenario-corpus CI gate: every named preset must round-trip
+//! through serde JSON unchanged, reproduce its pinned workload stream
+//! bit-identically, and survive a brief end-to-end run — so spec drift
+//! (a renamed field, a reordered variant, a changed generator draw)
+//! fails loudly instead of silently shifting the regression corpus.
+
+use slaq::core::spec::ScenarioSpec;
+
+/// Golden pins per preset: (name, generated job count, first submission
+/// instant, first job name). The instants are exact ChaCha12 draws —
+/// any change to seeding, stream order, or schedule handling shows up
+/// here as a bit-level diff.
+const GOLDEN: &[(&str, usize, f64, &str)] = &[
+    ("paper", 238, 223.83663736626536, "batch-0"),
+    ("paper-small", 60, 206.61843449193728, "batch-0"),
+    ("hetero-pool", 98, 189.40023161760917, "batch-0"),
+    ("diurnal", 70, 258.27304311492156, "batch-0"),
+    ("bursty-batch", 96, 94.70011580880458, "burst-0"),
+    (
+        "differentiation-mix",
+        70,
+        180.79113018044512,
+        "gold-short-0",
+    ),
+];
+
+#[test]
+fn corpus_and_golden_table_cover_the_same_presets() {
+    let names: Vec<&str> = GOLDEN.iter().map(|&(n, ..)| n).collect();
+    assert_eq!(names, ScenarioSpec::preset_names());
+}
+
+#[test]
+fn every_preset_round_trips_through_json_unchanged() {
+    for spec in ScenarioSpec::corpus() {
+        let json = spec.to_json().expect("serialize");
+        let back = ScenarioSpec::from_json(&json)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", spec.name));
+        assert_eq!(back, spec, "{} drifted through JSON", spec.name);
+        // And the re-parsed spec still validates and serializes to the
+        // same text (fixed-point, not just equality).
+        back.validate().expect("round-tripped spec stays valid");
+        assert_eq!(back.to_json().unwrap(), json);
+    }
+}
+
+#[test]
+fn every_preset_reproduces_its_pinned_workload() {
+    for &(name, count, first_secs, first_name) in GOLDEN {
+        let spec = ScenarioSpec::preset(name).expect("named preset");
+        let scenario = spec.materialize().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(scenario.jobs.len(), count, "{name}: job count drifted");
+        let (t, job) = &scenario.jobs[0];
+        // Exact equality on purpose: these are deterministic seeded
+        // draws, and approximate matches would hide generator changes.
+        assert_eq!(t.as_secs(), first_secs, "{name}: first arrival drifted");
+        assert_eq!(job.name, first_name, "{name}: first job name drifted");
+        // Twice-materialized must be bit-identical.
+        let again = spec.materialize().unwrap();
+        assert_eq!(scenario.jobs.len(), again.jobs.len());
+        for (a, b) in scenario.jobs.iter().zip(&again.jobs) {
+            assert_eq!(a.0, b.0, "{name}: submission instants drifted");
+            assert_eq!(a.1.name, b.1.name);
+        }
+    }
+}
+
+#[test]
+fn every_preset_runs_one_control_cycle_end_to_end() {
+    for name in ScenarioSpec::preset_names() {
+        // Specs are data: cap the horizon to a single control cycle and
+        // run the full generation → placement → measurement path.
+        let mut spec = ScenarioSpec::preset(name).expect("named preset");
+        spec.timing.horizon_secs = spec.timing.control_period_secs;
+        let report = spec.run().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(report.cycles >= 1, "{name}: no control cycle ran");
+        assert!(
+            !report.metrics.names().is_empty(),
+            "{name}: no series recorded"
+        );
+    }
+}
+
+#[test]
+fn importance_map_matches_the_simulators_actual_job_ids() {
+    // `ScenarioSpec::materialize` predicts dense job ids by replicating
+    // the simulator's arrival ordering. This pins the two against each
+    // other through the *authoritative* path: run the simulator, then
+    // check that exactly the gold-tier jobs (by name) carry weights.
+    use slaq::prelude::EntityId;
+    let spec = ScenarioSpec::preset("differentiation-mix").expect("named preset");
+    let scenario = spec.materialize().expect("valid preset");
+    let mut sim = scenario.build().expect("builds");
+    let mut controller = scenario.controller();
+    sim.run(&mut controller).expect("runs");
+    let mut weighted = 0usize;
+    for job in sim.jobs().jobs() {
+        let has_weight = scenario
+            .controller
+            .importance
+            .contains_key(&EntityId::Job(job.id));
+        assert_eq!(
+            has_weight,
+            job.spec.name.starts_with("gold-short"),
+            "importance drifted from the simulator's id assignment at {} ({})",
+            job.id,
+            job.spec.name
+        );
+        weighted += usize::from(has_weight);
+    }
+    assert!(weighted > 0, "preset must exercise the gold tier");
+    assert_eq!(weighted, scenario.controller.importance.len());
+}
+
+#[test]
+fn spec_errors_name_their_section_for_file_authors() {
+    // A file author who fat-fingers a field gets pointed at it.
+    let mut spec = ScenarioSpec::preset("paper-small").unwrap();
+    spec.timing.control_period_secs = -600.0;
+    let e = spec.run().unwrap_err();
+    assert!(e.to_string().contains("timing"), "{e}");
+
+    let garbled = "{\"name\": \"x\", \"seed\": []}";
+    let e = ScenarioSpec::from_json(garbled).unwrap_err();
+    assert!(e.to_string().contains("scenario spec"), "{e}");
+}
