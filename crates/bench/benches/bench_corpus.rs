@@ -18,7 +18,7 @@ fn bench_corpus(c: &mut Criterion) {
             b.iter(|| {
                 let scenario = black_box(&spec).materialize().expect("valid preset");
                 let mut controller = scenario.controller();
-                let report = scenario.run(&mut controller).expect("one cycle runs");
+                let report = scenario.run(controller.as_mut()).expect("one cycle runs");
                 black_box(report.cycles)
             })
         });

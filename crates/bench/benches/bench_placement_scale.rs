@@ -3,17 +3,22 @@
 //! three jobs per node by memory), at cluster sizes up to 500 nodes /
 //! 3000 jobs.
 //!
-//! Three series per shape:
+//! Four series per shape:
 //! * `cold`  — empty previous placement, fresh [`Solver`] per call;
 //! * `warm`  — steady-state re-solve (previous placement = the cold
 //!   solution with jobs marked running), fresh `Solver` per call;
 //! * `warm_reused` — same re-solve through one long-lived [`Solver`],
 //!   the controller's real steady-state path (dense scratch + allocation
-//!   network reuse).
+//!   network reuse);
+//! * `warm_sharded{k}` (large shapes) — same re-solve through a
+//!   long-lived [`ShardedSolver`] with `k` shards: per-shard scan width
+//!   drops ~`k×`, which beats the global warm solve at 500 nodes even
+//!   under the *sequential* rayon stand-in, and by more with real
+//!   parallelism.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use slaq_experiments::sweeps::synthetic_problem;
-use slaq_placement::{solve, Placement, Solver};
+use slaq_placement::{solve, Placement, ShardPlan, ShardedSolver, Solver};
 use std::hint::black_box;
 
 fn bench_placement(c: &mut Criterion) {
@@ -26,6 +31,7 @@ fn bench_placement(c: &mut Criterion) {
         (100, 600),
         (250, 1500),
         (500, 3000),
+        (1000, 6000),
     ] {
         let problem = synthetic_problem(nodes, jobs, 1);
         group.bench_with_input(
@@ -52,9 +58,25 @@ fn bench_placement(c: &mut Criterion) {
         solver.solve(&warm_problem, &cold.placement); // prime the caches
         group.bench_with_input(
             BenchmarkId::new("warm_reused", format!("{nodes}n_{jobs}j")),
-            &(warm_problem, cold.placement),
+            &(warm_problem.clone(), cold.placement.clone()),
             |b, (p, prev)| b.iter(|| black_box(solver.solve(black_box(p), prev).changes.len())),
         );
+        // Sharded-vs-global scaling: the same warm re-solve through the
+        // zone-partitioned engine (running jobs pin to their node's
+        // shard, so the per-shard problems stay stable and warm).
+        if nodes >= 500 {
+            for k in [4u32, 8] {
+                let mut sharded = ShardedSolver::new(ShardPlan::Fixed(k), 16);
+                sharded.solve(&warm_problem, &cold.placement); // prime the lanes
+                group.bench_with_input(
+                    BenchmarkId::new(format!("warm_sharded{k}"), format!("{nodes}n_{jobs}j")),
+                    &(warm_problem.clone(), cold.placement.clone()),
+                    |b, (p, prev)| {
+                        b.iter(|| black_box(sharded.solve(black_box(p), prev).changes.len()))
+                    },
+                );
+            }
+        }
     }
     group.finish();
 }

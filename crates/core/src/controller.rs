@@ -2,7 +2,7 @@
 
 use slaq_perfmodel::TransactionalModel;
 use slaq_placement::problem::{AppRequest, JobRequest, PlacementConfig, PlacementProblem};
-use slaq_placement::{Placement, Solver};
+use slaq_placement::{Placement, PlacementOutcome, ShardPlan, ShardedSolver, Solver};
 use slaq_sim::{ControlInputs, Controller, MetricsSink};
 use slaq_types::{AppId, CpuMhz, EntityId};
 use slaq_utility::{equalize_bisection, EqEntity, EqualizeOptions, UtilityOfCpu};
@@ -21,6 +21,14 @@ pub struct ControllerConfig {
     /// absent from the map weigh 1.0; with the map empty the controller
     /// uses plain (unweighted) utility equalization.
     pub importance: std::collections::BTreeMap<EntityId, f64>,
+    /// Node partition handed to the placement engine. With the default
+    /// [`ShardPlan::Single`] the controller keeps the exact global
+    /// solver; any multi-shard plan switches it to the zone-partitioned
+    /// [`ShardedSolver`].
+    pub sharding: ShardPlan,
+    /// Cross-shard migrations allowed per cycle when sharded (ignored by
+    /// the global solver).
+    pub rebalance_budget: usize,
 }
 
 impl Default for ControllerConfig {
@@ -37,6 +45,34 @@ impl Default for ControllerConfig {
                 ..PlacementConfig::default()
             },
             importance: std::collections::BTreeMap::new(),
+            sharding: ShardPlan::Single,
+            rebalance_budget: 8,
+        }
+    }
+}
+
+/// The placement engine a controller drives: the exact global solver or
+/// the zone-partitioned sharded engine (same interface, chosen from
+/// [`ControllerConfig::sharding`]).
+#[derive(Debug, Clone)]
+enum PlacementEngine {
+    /// One global solve per cycle (the paper's algorithm, bit for bit).
+    Global(Box<Solver>),
+    /// Per-shard parallel solves plus a cross-shard rebalance pass.
+    Sharded(Box<ShardedSolver>),
+}
+
+impl Default for PlacementEngine {
+    fn default() -> Self {
+        PlacementEngine::Global(Box::new(Solver::new()))
+    }
+}
+
+impl PlacementEngine {
+    fn solve(&mut self, problem: &PlacementProblem, prev: &Placement) -> PlacementOutcome {
+        match self {
+            PlacementEngine::Global(s) => s.solve(problem, prev),
+            PlacementEngine::Sharded(s) => s.solve(problem, prev),
         }
     }
 }
@@ -47,9 +83,10 @@ impl Default for ControllerConfig {
 pub struct UtilityController {
     /// Configuration in force.
     pub config: ControllerConfig,
-    /// Long-lived placement solver: reuses its dense scratch and the
-    /// allocation flow network across cycles (warm re-solve path).
-    solver: Solver,
+    /// Long-lived placement engine: a global [`Solver`] or a
+    /// [`ShardedSolver`], both reusing dense scratch and allocation flow
+    /// networks across cycles (warm re-solve path).
+    engine: PlacementEngine,
     /// Interned per-app metric keys: `control` runs every cycle for the
     /// life of the experiment, so the `format!` for each per-app series
     /// name is paid once here instead of once per cycle per app.
@@ -57,13 +94,26 @@ pub struct UtilityController {
 }
 
 impl UtilityController {
-    /// Controller with the given config.
+    /// Controller with the given config. A non-[`ShardPlan::Single`]
+    /// sharding plan selects the sharded placement engine.
     pub fn new(config: ControllerConfig) -> Self {
+        let engine = match &config.sharding {
+            ShardPlan::Single => PlacementEngine::Global(Box::new(Solver::new())),
+            plan => PlacementEngine::Sharded(Box::new(ShardedSolver::new(
+                plan.clone(),
+                config.rebalance_budget,
+            ))),
+        };
         UtilityController {
             config,
-            solver: Solver::new(),
+            engine,
             pred_utility_keys: std::collections::BTreeMap::new(),
         }
+    }
+
+    /// `true` when placement runs through the sharded engine.
+    pub fn is_sharded(&self) -> bool {
+        matches!(self.engine, PlacementEngine::Sharded(_))
     }
 }
 
@@ -221,7 +271,7 @@ impl Controller for UtilityController {
             jobs,
             config: self.config.placement,
         };
-        let outcome = self.solver.solve(&problem, inputs.current);
+        let outcome = self.engine.solve(&problem, inputs.current);
         metrics.record("placement_changes", now, outcome.changes.len() as f64);
         metrics.record("jobs_unplaced", now, outcome.unplaced_jobs.len() as f64);
         outcome.placement

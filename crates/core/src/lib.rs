@@ -43,6 +43,6 @@ pub use baselines::{StaticPartitionController, TransactionalFirstController};
 pub use controller::{ControllerConfig, UtilityController};
 pub use scenario::{Scenario, ScenarioApp};
 pub use spec::{
-    AppSpec, ClusterTopology, ControllerSpec, JobStreamSpec, NodePoolSpec, OutageSpec,
-    ScenarioSpec, TimingSpec,
+    AppSpec, ClusterTopology, ControllerKind, ControllerSpec, JobStreamSpec, NodePoolSpec,
+    OutageSpec, ScenarioSpec, ShardingSpec, TimingSpec,
 };

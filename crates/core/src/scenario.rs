@@ -16,9 +16,11 @@
 //! `"paper-small"` corpus presets are exactly these parameters. Sweeps
 //! mutate the struct, everything downstream goes through the spec.
 
+use crate::baselines::{StaticPartitionController, TransactionalFirstController};
 use crate::controller::{ControllerConfig, UtilityController};
 use crate::spec::{
-    AppSpec, ClusterTopology, ControllerSpec, JobStreamSpec, ScenarioSpec, TimingSpec,
+    AppSpec, ClusterTopology, ControllerKind, ControllerSpec, JobStreamSpec, ScenarioSpec,
+    TimingSpec,
 };
 use slaq_jobs::JobSpec;
 use slaq_perfmodel::TransactionalSpec;
@@ -54,9 +56,12 @@ pub struct Scenario {
     pub jobs: Vec<(SimTime, JobSpec)>,
     /// Planned node outages.
     pub outages: Vec<NodeOutage>,
-    /// Controller configuration (placement knobs + importance tiers from
-    /// the job mix).
+    /// Controller configuration (placement knobs, sharding plan, and
+    /// importance tiers from the job mix).
     pub controller: ControllerConfig,
+    /// Which controller runs this scenario (`utility` | `fcfs` |
+    /// `static`), named in the spec.
+    pub kind: ControllerKind,
 }
 
 impl Scenario {
@@ -89,9 +94,26 @@ impl Scenario {
         Ok(sim)
     }
 
-    /// The scenario's own controller (placement knobs and importance
-    /// tiers from the spec).
-    pub fn controller(&self) -> UtilityController {
+    /// The scenario's own controller: the spec-named kind (`utility` |
+    /// `fcfs` | `static`), carrying the spec's placement knobs and — for
+    /// the utility controller — its sharding plan and importance tiers.
+    pub fn controller(&self) -> Box<dyn Controller> {
+        match self.kind {
+            ControllerKind::Utility => Box::new(UtilityController::new(self.controller.clone())),
+            ControllerKind::Fcfs => Box::new(TransactionalFirstController {
+                placement: self.controller.placement,
+            }),
+            ControllerKind::Static { trans_fraction } => Box::new(StaticPartitionController {
+                trans_fraction,
+                placement: self.controller.placement,
+            }),
+        }
+    }
+
+    /// The scenario's configuration lowered onto the paper's utility
+    /// controller, regardless of [`Scenario::kind`] — for callers that
+    /// need the concrete type (warm-solver benchmarks, engine probes).
+    pub fn utility_controller(&self) -> UtilityController {
         UtilityController::new(self.controller.clone())
     }
 

@@ -26,10 +26,11 @@ use crate::scenario::{Scenario, ScenarioApp};
 use serde::{Deserialize, Serialize};
 use slaq_perfmodel::TransactionalSpec;
 use slaq_placement::problem::PlacementConfig;
+use slaq_placement::ShardPlan;
 use slaq_sim::{NodeOutage, OverheadConfig, SimConfig, SimReport};
 use slaq_types::{
     ClusterSpec, CpuMhz, EntityId, JobId, MemMb, NodeId, Result, SimDuration, SimTime, SlaqError,
-    Work,
+    Work, ZoneId,
 };
 use slaq_utility::ResponseTimeGoal;
 use slaq_workloads::{ArrivalProcess, GeneratedJob, IntensityTrace, JobMix, JobTemplate};
@@ -47,6 +48,13 @@ pub struct NodePoolSpec {
     pub core_mhz: f64,
     /// Memory per node available to workload VMs.
     pub node_mem_mb: u64,
+    /// Optional zone label (rack / availability zone / edge site). Pools
+    /// sharing a label share a zone; unlabeled pools share one implicit
+    /// default zone. With [`ShardingSpec::Zones`] (the default controller
+    /// setting) two or more distinct zones switch placement to the
+    /// sharded engine; a single zone preserves the global solver bit for
+    /// bit.
+    pub zone: Option<String>,
 }
 
 /// Cluster topology: ordered node pools; node ids are assigned
@@ -66,6 +74,7 @@ impl ClusterTopology {
                 cpus_per_node,
                 core_mhz,
                 node_mem_mb,
+                zone: None,
             }],
         }
     }
@@ -73,6 +82,43 @@ impl ClusterTopology {
     /// Total node count across pools.
     pub fn node_count(&self) -> u32 {
         self.pools.iter().map(|p| p.count).sum()
+    }
+
+    /// Number of distinct zones across pools (unlabeled pools share one
+    /// implicit zone).
+    pub fn zone_count(&self) -> usize {
+        let mut labels: Vec<Option<&str>> = self.pools.iter().map(|p| p.zone.as_deref()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels.len()
+    }
+
+    /// Per-node zone table, indexed by node id (ids are assigned densely
+    /// across pools). Distinct labels map to [`ZoneId`]s in sorted label
+    /// order, after the implicit `ZoneId(0)` of unlabeled pools.
+    pub fn zone_table(&self) -> Vec<ZoneId> {
+        let mut labels: Vec<&str> = self
+            .pools
+            .iter()
+            .filter_map(|p| p.zone.as_deref())
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        let zone_of = |pool: &NodePoolSpec| -> ZoneId {
+            match pool.zone.as_deref() {
+                None => ZoneId::new(0),
+                Some(label) => {
+                    let rank = labels.binary_search(&label).expect("label collected");
+                    ZoneId::new(rank as u32 + 1)
+                }
+            }
+        };
+        let mut table = Vec::with_capacity(self.node_count() as usize);
+        for pool in &self.pools {
+            let z = zone_of(pool);
+            table.extend((0..pool.count).map(|_| z));
+        }
+        table
     }
 
     /// Materialize the concrete [`ClusterSpec`].
@@ -281,21 +327,110 @@ pub struct OutageSpec {
     pub to_secs: f64,
 }
 
+/// Which controller runs the scenario — the paper's utility-driven
+/// manager or one of the E3 baselines, named in the spec so corpus rows
+/// can compare controllers per scenario instead of hard-coding one.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum ControllerKind {
+    /// [`UtilityController`]: utility equalization + constrained
+    /// placement (the paper's algorithm; default).
+    #[default]
+    Utility,
+    /// [`crate::TransactionalFirstController`]: apps take their full
+    /// demand, jobs queue FCFS for the scraps.
+    Fcfs,
+    /// [`crate::StaticPartitionController`]: a fixed node fence between
+    /// the tiers.
+    Static {
+        /// Fraction of nodes reserved for the transactional tier,
+        /// in (0, 1).
+        trans_fraction: f64,
+    },
+}
+
+impl ControllerKind {
+    /// Short lowercase label for report rows (`utility` | `fcfs` |
+    /// `static`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ControllerKind::Utility => "utility",
+            ControllerKind::Fcfs => "fcfs",
+            ControllerKind::Static { .. } => "static",
+        }
+    }
+}
+
+/// How the placement engine partitions nodes into shards.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum ShardingSpec {
+    /// Derive shards from the pools' `zone` labels: one shard per
+    /// distinct zone, falling back to the exact global solver when the
+    /// fleet has at most one zone (default — unlabeled specs keep
+    /// today's behavior bit for bit).
+    #[default]
+    Zones,
+    /// Always solve globally, ignoring zone labels.
+    Global,
+    /// Partition into a fixed number of contiguous shards regardless of
+    /// labels (`count = 1` exercises the sharded engine's global-
+    /// equivalent path).
+    Count {
+        /// Number of shards (≥ 1; capped at the node count).
+        count: u32,
+    },
+}
+
 /// Controller tuning carried by the spec (the knobs experiments sweep).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct ControllerSpec {
+    /// Which controller to run (`Utility` | `Fcfs` | `Static`).
+    pub kind: ControllerKind,
     /// Cap on placement changes per cycle (`None` = unbounded).
     pub max_changes: Option<usize>,
     /// Eviction hysteresis (see [`PlacementConfig::evict_priority_gap`]).
     pub evict_priority_gap: f64,
+    /// Node partitioning for the placement engine (utility controller
+    /// only).
+    pub shards: ShardingSpec,
+    /// Cross-shard migrations allowed per cycle when sharded.
+    pub rebalance_budget: usize,
+}
+
+// Hand-rolled so spec files written before the `kind`/`shards`/
+// `rebalance_budget` knobs existed still parse: absent keys take the
+// defaults instead of failing the whole file.
+impl serde::Deserialize for ControllerSpec {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let d = ControllerSpec::default();
+        let opt = |key: &str| serde::obj_get(v, key);
+        Ok(ControllerSpec {
+            kind: match opt("kind")? {
+                serde::Value::Null => d.kind,
+                other => serde::Deserialize::from_value(other)?,
+            },
+            max_changes: serde::Deserialize::from_value(opt("max_changes")?)?,
+            evict_priority_gap: serde::Deserialize::from_value(opt("evict_priority_gap")?)?,
+            shards: match opt("shards")? {
+                serde::Value::Null => d.shards,
+                other => serde::Deserialize::from_value(other)?,
+            },
+            rebalance_budget: match opt("rebalance_budget")? {
+                serde::Value::Null => d.rebalance_budget,
+                other => serde::Deserialize::from_value(other)?,
+            },
+        })
+    }
 }
 
 impl Default for ControllerSpec {
     fn default() -> Self {
         let d = ControllerConfig::default();
         ControllerSpec {
+            kind: ControllerKind::Utility,
             max_changes: d.placement.max_changes,
             evict_priority_gap: d.placement.evict_priority_gap,
+            shards: ShardingSpec::Zones,
+            rebalance_budget: d.rebalance_budget,
         }
     }
 }
@@ -344,6 +479,20 @@ impl ScenarioSpec {
                 "controller",
                 "evict_priority_gap must be non-negative",
             ));
+        }
+        if let ShardingSpec::Count { count: 0 } = self.controller.shards {
+            return Err(SlaqError::spec(
+                "controller",
+                "shard count must be at least 1",
+            ));
+        }
+        if let ControllerKind::Static { trans_fraction } = self.controller.kind {
+            if !(trans_fraction.is_finite() && trans_fraction > 0.0 && trans_fraction < 1.0) {
+                return Err(SlaqError::spec(
+                    "controller",
+                    "static partition trans_fraction must lie in (0, 1)",
+                ));
+            }
         }
         if self.apps.is_empty() && self.job_streams.is_empty() {
             return Err(SlaqError::spec(
@@ -418,6 +567,21 @@ impl ScenarioSpec {
             jobs.push((g.submit, g.spec));
         }
 
+        // Lower the sharding knob onto a concrete plan: zone labels (or a
+        // fixed count) activate the sharded engine; a single effective
+        // zone keeps the exact global solver.
+        let sharding = match self.controller.shards {
+            ShardingSpec::Global => ShardPlan::Single,
+            ShardingSpec::Count { count } => ShardPlan::Fixed(count),
+            ShardingSpec::Zones => {
+                if self.cluster.zone_count() <= 1 {
+                    ShardPlan::Single
+                } else {
+                    ShardPlan::Zones(self.cluster.zone_table())
+                }
+            }
+        };
+
         let controller = ControllerConfig {
             placement: PlacementConfig {
                 max_changes: self.controller.max_changes,
@@ -425,6 +589,8 @@ impl ScenarioSpec {
                 ..PlacementConfig::default()
             },
             importance,
+            sharding,
+            rebalance_budget: self.controller.rebalance_budget,
             ..ControllerConfig::default()
         };
 
@@ -446,6 +612,7 @@ impl ScenarioSpec {
             jobs,
             outages,
             controller,
+            kind: self.controller.kind,
         })
     }
 
@@ -453,7 +620,7 @@ impl ScenarioSpec {
     pub fn run(&self) -> Result<SimReport> {
         let scenario = self.materialize()?;
         let mut controller = scenario.controller();
-        scenario.run(&mut controller)
+        scenario.run(controller.as_mut())
     }
 
     /// Pretty JSON rendering of the spec.
@@ -476,6 +643,7 @@ impl ScenarioSpec {
             "diurnal",
             "bursty-batch",
             "differentiation-mix",
+            "consolidation",
         ]
     }
 
@@ -488,6 +656,7 @@ impl ScenarioSpec {
             "diurnal" => Some(diurnal()),
             "bursty-batch" => Some(bursty_batch()),
             "differentiation-mix" => Some(differentiation_mix()),
+            "consolidation" => Some(consolidation()),
             _ => None,
         }
     }
@@ -540,18 +709,21 @@ fn hetero_pool() -> ScenarioSpec {
                     cpus_per_node: 4,
                     core_mhz: 3000.0,
                     node_mem_mb: 4096,
+                    zone: None,
                 },
                 NodePoolSpec {
                     count: 2,
                     cpus_per_node: 8,
                     core_mhz: 2400.0,
                     node_mem_mb: 16_384,
+                    zone: None,
                 },
                 NodePoolSpec {
                     count: 2,
                     cpus_per_node: 2,
                     core_mhz: 3600.0,
                     node_mem_mb: 2048,
+                    zone: None,
                 },
             ],
         },
@@ -705,6 +877,80 @@ fn differentiation_mix() -> ScenarioSpec {
     }
 }
 
+/// Multi-app consolidation over a **zoned** heterogeneous fleet: four
+/// transactional apps on staggered diurnal phases (the regime where
+/// estimator lag matters — every app peaks while another troughs, so the
+/// controller continuously re-trades CPU), with a steady batch stream
+/// underneath. The three zone labels activate the sharded placement
+/// engine, making this the sharding showcase scenario.
+fn consolidation() -> ScenarioSpec {
+    let period = 24_000.0;
+    // One shared diurnal shape, phase-staggered per app and reused
+    // through the trace algebra: scaled per-app, clamped so troughs keep
+    // a floor of traffic and the flash peaks stay under an ingress cap.
+    let staggered = |phase_frac: f64, scale: f64| IntensityTrace::Clamp {
+        min: 2.0,
+        max: 34.0,
+        part: Box::new(IntensityTrace::Scale {
+            factor: scale,
+            part: Box::new(IntensityTrace::Diurnal {
+                base: 14.0,
+                amplitude: 12.0,
+                period_secs: period,
+                phase_secs: period * phase_frac,
+            }),
+        }),
+    };
+    ScenarioSpec {
+        name: "consolidation".into(),
+        seed: 8,
+        cluster: ClusterTopology {
+            pools: vec![
+                NodePoolSpec {
+                    count: 6,
+                    cpus_per_node: 4,
+                    core_mhz: 3000.0,
+                    node_mem_mb: 4096,
+                    zone: Some("core".into()),
+                },
+                NodePoolSpec {
+                    count: 3,
+                    cpus_per_node: 8,
+                    core_mhz: 2400.0,
+                    node_mem_mb: 16_384,
+                    zone: Some("yard".into()),
+                },
+                NodePoolSpec {
+                    count: 3,
+                    cpus_per_node: 2,
+                    core_mhz: 3600.0,
+                    node_mem_mb: 2048,
+                    zone: Some("edge".into()),
+                },
+            ],
+        },
+        timing: TimingSpec {
+            horizon_secs: 24_000.0,
+            ..TimingSpec::default()
+        },
+        controller: ControllerSpec::default(),
+        apps: vec![
+            small_app("storefront", staggered(0.0, 1.0), 8),
+            small_app("ledger", staggered(0.25, 0.8), 6),
+            small_app("search", staggered(0.5, 1.2), 8),
+            small_app("reports", staggered(0.75, 0.6), 5),
+        ],
+        job_streams: vec![JobStreamSpec {
+            name: "batch".into(),
+            arrivals: ArrivalProcess::poisson_constant(240.0).expect("positive mean"),
+            max_jobs: 90,
+            mix: JobMix::uniform(batch_template("batch", 3500.0, 1280)),
+            seed_offset: 0,
+        }],
+        outages: vec![],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -809,6 +1055,125 @@ mod tests {
                 .copied();
             assert_eq!(w, Some(2.0), "job {i} should be gold-weighted");
         }
+    }
+
+    #[test]
+    fn zone_table_maps_pools_to_sorted_zone_ids() {
+        let spec = ScenarioSpec::preset("consolidation").unwrap();
+        assert_eq!(spec.cluster.zone_count(), 3);
+        let table = spec.cluster.zone_table();
+        assert_eq!(table.len(), 12);
+        // Labels rank alphabetically after the implicit zone 0:
+        // core=1, edge=2, yard=3; pools are core×6, yard×3, edge×3.
+        assert!(table[..6].iter().all(|&z| z == ZoneId::new(1)));
+        assert!(table[6..9].iter().all(|&z| z == ZoneId::new(3)));
+        assert!(table[9..].iter().all(|&z| z == ZoneId::new(2)));
+        // Unlabeled fleets collapse to the single implicit zone.
+        let plain = ScenarioSpec::preset("paper-small").unwrap();
+        assert_eq!(plain.cluster.zone_count(), 1);
+        assert!(plain
+            .cluster
+            .zone_table()
+            .iter()
+            .all(|&z| z == ZoneId::new(0)));
+    }
+
+    #[test]
+    fn sharding_knob_lowers_onto_the_right_plan() {
+        // Zones + labels → sharded; Zones without labels → global;
+        // Global always global; Count{k} always fixed.
+        let zoned = ScenarioSpec::preset("consolidation").unwrap();
+        assert_eq!(
+            zoned.materialize().unwrap().controller.sharding,
+            ShardPlan::Zones(zoned.cluster.zone_table())
+        );
+        let mut forced = zoned.clone();
+        forced.controller.shards = ShardingSpec::Global;
+        assert_eq!(
+            forced.materialize().unwrap().controller.sharding,
+            ShardPlan::Single
+        );
+        let plain = ScenarioSpec::preset("paper-small").unwrap();
+        assert_eq!(
+            plain.materialize().unwrap().controller.sharding,
+            ShardPlan::Single
+        );
+        let mut counted = plain.clone();
+        counted.controller.shards = ShardingSpec::Count { count: 3 };
+        assert_eq!(
+            counted.materialize().unwrap().controller.sharding,
+            ShardPlan::Fixed(3)
+        );
+    }
+
+    #[test]
+    fn pre_sharding_spec_files_still_parse_with_defaults() {
+        // A file dumped before the `kind`/`shards`/`rebalance_budget`
+        // knobs (and pool `zone` labels) existed must keep parsing, with
+        // the new fields at their defaults — users pin spec files on
+        // disk and a format break would rot every one of them.
+        let spec = ScenarioSpec::preset("paper-small").unwrap();
+        let mut json = spec.to_json().unwrap();
+        for stale in [
+            "\"kind\": \"Utility\",",
+            ",\n    \"shards\": \"Zones\",\n    \"rebalance_budget\": 8",
+            ",\n        \"zone\": null",
+        ] {
+            assert!(json.contains(stale), "fixture drifted: {stale}");
+            json = json.replace(stale, "");
+        }
+        let back = ScenarioSpec::from_json(&json)
+            .unwrap_or_else(|e| panic!("legacy spec must parse: {e}"));
+        assert_eq!(back.controller, spec.controller);
+        assert_eq!(back.cluster, spec.cluster);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn controller_section_validation_rejects_bad_knobs() {
+        let mut s = ScenarioSpec::preset("paper-small").unwrap();
+        s.controller.shards = ShardingSpec::Count { count: 0 };
+        let e = s.validate().unwrap_err();
+        assert!(e.to_string().contains("controller"), "{e}");
+
+        let mut s = ScenarioSpec::preset("paper-small").unwrap();
+        s.controller.kind = ControllerKind::Static {
+            trans_fraction: 1.5,
+        };
+        let e = s.validate().unwrap_err();
+        assert!(e.to_string().contains("trans_fraction"), "{e}");
+    }
+
+    #[test]
+    fn spec_named_baselines_run_and_differ_from_utility() {
+        // The controller is spec data: the same scenario under fcfs must
+        // run end to end through `ScenarioSpec::run` and (being
+        // SLA-blind) not beat the utility controller on goals met.
+        let mut spec = ScenarioSpec::preset("paper-small").unwrap();
+        spec.timing.horizon_secs = spec.timing.control_period_secs * 6.0;
+        let utility = spec.run().unwrap();
+        spec.controller.kind = ControllerKind::Fcfs;
+        let fcfs = spec.run().unwrap();
+        assert_eq!(
+            utility.job_stats.submitted, fcfs.job_stats.submitted,
+            "same workload"
+        );
+        assert!(fcfs.cycles >= 6);
+        // The kinds must actually select different controllers: only the
+        // utility controller equalizes (and records the water level), and
+        // SLA-blind FCFS cannot beat it on goals met.
+        assert!(!utility.metrics.series("water_level").is_empty());
+        assert!(
+            fcfs.metrics.series("water_level").is_empty(),
+            "fcfs must not run the utility equalizer"
+        );
+        assert!(fcfs.job_stats.goals_met <= utility.job_stats.goals_met);
+        spec.controller.kind = ControllerKind::Static {
+            trans_fraction: 0.4,
+        };
+        let fenced = spec.run().unwrap();
+        assert!(fenced.cycles >= 6);
+        assert_eq!(spec.controller.kind.name(), "static");
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! Solver bench gate: measure the warm-solve hot paths, persist the
+//! numbers to a tracked baseline file, and fail CI on regressions.
+//!
+//! ```text
+//! # measure and print
+//! cargo run --release -p slaq-experiments --bin bench_gate
+//!
+//! # (re)write the tracked baseline
+//! cargo run --release -p slaq-experiments --bin bench_gate -- --update BENCH_baseline.json
+//!
+//! # CI: fail when any warm solve regresses by more than the tolerance
+//! cargo run --release -p slaq-experiments --bin bench_gate -- --check BENCH_baseline.json
+//! ```
+//!
+//! The gate compares medians (robust against scheduler noise) with
+//! `BENCH_GATE_TOLERANCE` (default 0.25 = +25 %) of slack, judged both
+//! raw and after dividing out the run's geometric-mean ratio to the
+//! baseline — a machine-speed normalizer, so a uniformly slower CI
+//! runner passes while a single series regressing against its siblings
+//! fails. A same-run hardware-independent invariant (sharded beats
+//! global at 500n+) backs the absolute numbers up.
+
+use serde::{Deserialize, Serialize};
+use slaq_experiments::sweeps::synthetic_problem;
+use slaq_placement::{Placement, PlacementProblem, ShardPlan, ShardedSolver, Solver};
+use std::time::Instant;
+
+/// One measured series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchEntry {
+    /// Series name (shape + engine).
+    name: String,
+    /// Median wall time of one warm solve, microseconds.
+    micros: f64,
+}
+
+/// The tracked baseline file's schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchBaseline {
+    /// All gated series.
+    entries: Vec<BenchEntry>,
+}
+
+/// Prepare the steady-state re-solve inputs for a shape: the cold
+/// solution with every job marked running becomes the previous placement.
+fn warm_inputs(nodes: u32, jobs: u32) -> (PlacementProblem, Placement) {
+    let problem = synthetic_problem(nodes, jobs, 1);
+    let cold = slaq_placement::solve(&problem, &Placement::empty());
+    let mut warm = problem;
+    for j in &mut warm.jobs {
+        j.running_on = cold.placement.job_node(j.id);
+    }
+    (warm, cold.placement)
+}
+
+/// Median wall time (µs) of `solve` after `warmup` priming calls.
+fn measure(mut solve: impl FnMut() -> usize, warmup: usize, samples: usize) -> f64 {
+    for _ in 0..warmup {
+        std::hint::black_box(solve());
+    }
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(solve());
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn run_benches() -> Vec<BenchEntry> {
+    let shapes: &[(u32, u32)] = &[(100, 600), (500, 3000), (1000, 6000)];
+    let mut entries = Vec::new();
+    for &(nodes, jobs) in shapes {
+        let (warm, prev) = warm_inputs(nodes, jobs);
+        let mut global = Solver::new();
+        global.solve(&warm, &prev);
+        let micros = measure(|| global.solve(&warm, &prev).changes.len(), 3, 30);
+        entries.push(BenchEntry {
+            name: format!("warm_global_{nodes}n_{jobs}j"),
+            micros,
+        });
+        let mut sharded = ShardedSolver::new(ShardPlan::Fixed(8), 16);
+        sharded.solve(&warm, &prev);
+        let micros = measure(|| sharded.solve(&warm, &prev).changes.len(), 3, 30);
+        entries.push(BenchEntry {
+            name: format!("warm_sharded8_{nodes}n_{jobs}j"),
+            micros,
+        });
+    }
+    entries
+}
+
+fn print_table(entries: &[BenchEntry], baseline: Option<&BenchBaseline>) {
+    println!(
+        "{:<32} {:>12} {:>12} {:>8}",
+        "series", "now (µs)", "base (µs)", "ratio"
+    );
+    for e in entries {
+        let base = baseline.and_then(|b| b.entries.iter().find(|x| x.name == e.name));
+        match base {
+            Some(b) if b.micros > 0.0 => println!(
+                "{:<32} {:>12.1} {:>12.1} {:>8.2}",
+                e.name,
+                e.micros,
+                b.micros,
+                e.micros / b.micros
+            ),
+            _ => println!("{:<32} {:>12.1} {:>12} {:>8}", e.name, e.micros, "-", "-"),
+        }
+    }
+}
+
+/// Hardware-independent invariants, compared within the *same* run on
+/// the *same* machine (unlike the baseline medians, which were recorded
+/// on whatever box last ran `--update`): at the large shapes the sharded
+/// warm solve must beat the global warm solve — the whole point of the
+/// engine. This holds regardless of how fast the runner is, so it keeps
+/// teeth even when absolute numbers drift with hardware.
+fn relative_invariants_hold(entries: &[BenchEntry]) -> bool {
+    let find = |name: &str| entries.iter().find(|e| e.name == name).map(|e| e.micros);
+    let mut ok = true;
+    for (nodes, jobs) in [(500u32, 3000u32), (1000, 6000)] {
+        let global = find(&format!("warm_global_{nodes}n_{jobs}j"));
+        let sharded = find(&format!("warm_sharded8_{nodes}n_{jobs}j"));
+        if let (Some(g), Some(s)) = (global, sharded) {
+            if s >= g {
+                eprintln!(
+                    "FAIL sharded8 {nodes}n_{jobs}j: {s:.1} µs not faster than global {g:.1} µs"
+                );
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let entries = run_benches();
+    match (args.first().map(String::as_str), args.get(1)) {
+        (Some("--update"), Some(path)) => {
+            let baseline = BenchBaseline {
+                entries: entries.clone(),
+            };
+            let json = serde_json::to_string_pretty(&baseline).expect("serializes");
+            std::fs::write(path, json + "\n").unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            print_table(&entries, None);
+            println!("baseline written to {path}");
+        }
+        (Some("--check"), Some(path)) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read baseline {path}: {e} (run --update first)");
+                std::process::exit(1);
+            });
+            let baseline: BenchBaseline = serde_json::from_str(&text).unwrap_or_else(|e| {
+                eprintln!("cannot parse baseline {path}: {e}");
+                std::process::exit(1);
+            });
+            let tolerance: f64 = std::env::var("BENCH_GATE_TOLERANCE")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.25);
+            print_table(&entries, Some(&baseline));
+            // Machine-speed normalizer: the geometric mean of now/base
+            // across all series. A slower (or faster) runner inflates
+            // every series together, moving the geomean with them; a
+            // genuine regression moves one series *against* the rest. A
+            // series fails only when it exceeds the tolerance both
+            // absolutely and after dividing out the geomean, so the gate
+            // survives hardware churn without losing its teeth.
+            let ratios: Vec<f64> = entries
+                .iter()
+                .filter_map(|e| {
+                    baseline
+                        .entries
+                        .iter()
+                        .find(|b| b.name == e.name && b.micros > 0.0)
+                        .map(|b| e.micros / b.micros)
+                })
+                .collect();
+            let geomean = if ratios.is_empty() {
+                1.0
+            } else {
+                (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp()
+            };
+            let mut failed = false;
+            // A high geomean is either slower hardware or a regression in
+            // the shared solver core that inflated every series together
+            // — indistinguishable from wall time alone. Warn by default
+            // so hardware churn doesn't hard-fail; BENCH_GATE_STRICT=1
+            // (for baselines known to come from this machine class) turns
+            // it into a failure.
+            if geomean > 1.0 + tolerance {
+                let strict = std::env::var("BENCH_GATE_STRICT").is_ok_and(|v| v == "1");
+                eprintln!(
+                    "{} run is uniformly {:.2}x the baseline: slower hardware, or a \
+                     regression in the shared solver core (re-record with --update on \
+                     this machine to tell them apart)",
+                    if strict { "FAIL" } else { "WARN" },
+                    geomean
+                );
+                failed |= strict;
+            }
+            for e in &entries {
+                match baseline.entries.iter().find(|b| b.name == e.name) {
+                    None => {
+                        eprintln!("FAIL {}: not in baseline (run --update)", e.name);
+                        failed = true;
+                    }
+                    Some(b)
+                        if e.micros > b.micros * (1.0 + tolerance)
+                            && e.micros / b.micros > geomean * (1.0 + tolerance) =>
+                    {
+                        eprintln!(
+                            "FAIL {}: {:.1} µs vs baseline {:.1} µs (> +{:.0}% raw and \
+                             machine-normalized; run geomean ratio {:.2})",
+                            e.name,
+                            e.micros,
+                            b.micros,
+                            tolerance * 100.0,
+                            geomean
+                        );
+                        failed = true;
+                    }
+                    Some(_) => {}
+                }
+            }
+            if !relative_invariants_hold(&entries) {
+                failed = true;
+            }
+            if failed {
+                std::process::exit(1);
+            }
+            println!("bench gate passed (tolerance +{:.0}%)", tolerance * 100.0);
+        }
+        (None, _) => print_table(&entries, None),
+        _ => {
+            eprintln!("usage: bench_gate [--update <baseline.json> | --check <baseline.json>]");
+            std::process::exit(2);
+        }
+    }
+}

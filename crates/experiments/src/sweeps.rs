@@ -130,6 +130,10 @@ pub fn seed_sweep(base: &PaperParams, seeds: &[u64]) -> Vec<SeedOutcome> {
 pub struct CorpusOutcome {
     /// Preset name.
     pub scenario: String,
+    /// Controller the spec names (`utility` | `fcfs` | `static`) —
+    /// corpus rows compare controllers per scenario, not a hard-coded
+    /// one.
+    pub controller: String,
     /// Cluster size.
     pub nodes: usize,
     /// Transactional applications.
@@ -150,7 +154,29 @@ pub struct CorpusOutcome {
 /// `max_cycles` control cycles — scenarios are data, so the cap is one
 /// field write on the spec. `None` runs each preset's full horizon.
 pub fn corpus_sweep(max_cycles: Option<usize>) -> Result<Vec<CorpusOutcome>> {
-    let specs = ScenarioSpec::corpus();
+    sweep_specs(ScenarioSpec::corpus(), max_cycles)
+}
+
+/// Cross the corpus with controller kinds: every preset re-run under
+/// each requested controller (`utility` | `fcfs` | `static`), so one
+/// table answers "which controller wins on which scenario". The
+/// controller is spec data, so each cell is a single field write.
+pub fn corpus_controller_sweep(
+    kinds: &[slaq_core::ControllerKind],
+    max_cycles: Option<usize>,
+) -> Result<Vec<CorpusOutcome>> {
+    let mut specs = Vec::new();
+    for spec in ScenarioSpec::corpus() {
+        for &kind in kinds {
+            let mut s = spec.clone();
+            s.controller.kind = kind;
+            specs.push(s);
+        }
+    }
+    sweep_specs(specs, max_cycles)
+}
+
+fn sweep_specs(specs: Vec<ScenarioSpec>, max_cycles: Option<usize>) -> Result<Vec<CorpusOutcome>> {
     let rows: Vec<Result<CorpusOutcome>> = specs
         .par_iter()
         .map(|spec| {
@@ -164,9 +190,10 @@ pub fn corpus_sweep(max_cycles: Option<usize>) -> Result<Vec<CorpusOutcome>> {
             let horizon = SimTime::from_secs(spec.timing.horizon_secs);
             let scenario = spec.materialize()?;
             let mut controller = scenario.controller();
-            let report = scenario.run(&mut controller)?;
+            let report = scenario.run(controller.as_mut())?;
             Ok(CorpusOutcome {
                 scenario: spec.name.clone(),
+                controller: spec.controller.kind.name().to_string(),
                 nodes: scenario.cluster.len(),
                 apps: scenario.apps.len(),
                 jobs_submitted: report.job_stats.submitted,
@@ -189,12 +216,13 @@ pub fn corpus_sweep(max_cycles: Option<usize>) -> Result<Vec<CorpusOutcome>> {
 /// Text table for the corpus sweep.
 pub fn format_corpus(rows: &[CorpusOutcome]) -> String {
     let mut out = String::from(
-        "scenario              nodes  apps  submitted  cycles  done   mean u_T   outlook\n",
+        "scenario              ctrl     nodes  apps  submitted  cycles  done   mean u_T   outlook\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{:<21} {:<6} {:<5} {:<10} {:<7} {:<6} {:<10.3} {:.3}\n",
+            "{:<21} {:<8} {:<6} {:<5} {:<10} {:<7} {:<6} {:<10.3} {:.3}\n",
             r.scenario,
+            r.controller,
             r.nodes,
             r.apps,
             r.jobs_submitted,
@@ -246,6 +274,31 @@ mod tests {
         // 40 nodes × 12 000 = 480 000 MHz vs ~30 jobs × ≤3000: trivial fit.
         let cells = placement_scalability(&[(40, 30)], 1);
         assert!(cells[0].satisfaction > 0.99, "{}", cells[0].satisfaction);
+    }
+
+    #[test]
+    fn controller_sweep_crosses_presets_with_kinds() {
+        use slaq_core::ControllerKind;
+        // One small preset × all three controllers: the kind column must
+        // reflect the spec, and the baselines must actually run.
+        let kinds = [
+            ControllerKind::Utility,
+            ControllerKind::Fcfs,
+            ControllerKind::Static {
+                trans_fraction: 0.5,
+            },
+        ];
+        let rows = corpus_controller_sweep(&kinds, Some(2)).unwrap();
+        assert_eq!(rows.len(), ScenarioSpec::corpus().len() * kinds.len());
+        let small: Vec<&CorpusOutcome> = rows
+            .iter()
+            .filter(|r| r.scenario == "paper-small")
+            .collect();
+        let names: Vec<&str> = small.iter().map(|r| r.controller.as_str()).collect();
+        assert_eq!(names, vec!["utility", "fcfs", "static"]);
+        for r in &small {
+            assert!(r.cycles >= 2, "{}/{}", r.scenario, r.controller);
+        }
     }
 
     #[test]

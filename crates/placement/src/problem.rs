@@ -94,7 +94,7 @@ impl Default for PlacementConfig {
 }
 
 /// A full placement problem instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PlacementProblem {
     /// Node capacities.
     pub nodes: Vec<NodeCapacity>,

@@ -62,6 +62,19 @@ id_newtype!(
     JobId,
     "job"
 );
+id_newtype!(
+    /// A failure/locality zone (rack, availability zone, edge site). Nodes
+    /// sharing a zone are solved together by the sharded placement engine.
+    ZoneId,
+    "zone"
+);
+id_newtype!(
+    /// One shard of a partitioned placement problem. Shard ids are dense
+    /// (`0..shard_count`), assigned per solve from zone labels or a fixed
+    /// shard count by the sharded placement engine.
+    ShardId,
+    "shard"
+);
 
 /// An *entity* competing for CPU power in the utility equalizer.
 ///

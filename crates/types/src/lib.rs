@@ -32,7 +32,7 @@ pub mod units;
 
 pub use cluster::{ClusterSpec, ClusterSpecBuilder, NodeSpec};
 pub use error::SlaqError;
-pub use ids::{AppId, EntityId, JobId, NodeId};
+pub use ids::{AppId, EntityId, JobId, NodeId, ShardId, ZoneId};
 pub use intern::Interner;
 pub use time::{SimDuration, SimTime};
 pub use units::{fcmp, CpuMhz, MemMb, Work};

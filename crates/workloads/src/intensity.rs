@@ -59,6 +59,24 @@ pub enum IntensityTrace {
         /// The component traces.
         parts: Vec<IntensityTrace>,
     },
+    /// `factor · part(t)` — scale a child trace (e.g. reuse one diurnal
+    /// shape across apps of different sizes).
+    Scale {
+        /// Non-negative multiplier.
+        factor: f64,
+        /// The trace being scaled.
+        part: Box<IntensityTrace>,
+    },
+    /// `part(t)` clamped into `[min, max]` — cap a flash crowd at an
+    /// ingress limit or keep a trough above a floor.
+    Clamp {
+        /// Lower bound (≥ 0).
+        min: f64,
+        /// Upper bound (≥ `min`).
+        max: f64,
+        /// The trace being clamped.
+        part: Box<IntensityTrace>,
+    },
 }
 
 impl IntensityTrace {
@@ -108,6 +126,8 @@ impl IntensityTrace {
                 rate.max(0.0)
             }
             IntensityTrace::Sum { parts } => parts.iter().map(|p| p.lambda(t)).sum(),
+            IntensityTrace::Scale { factor, part } => (factor * part.lambda(t)).max(0.0),
+            IntensityTrace::Clamp { min, max, part } => part.lambda(t).clamp(*min, *max),
         }
     }
 
@@ -170,6 +190,21 @@ impl IntensityTrace {
                 for p in parts {
                     p.validate()?;
                 }
+            }
+            IntensityTrace::Scale { factor, part } => {
+                if !(factor.is_finite() && *factor >= 0.0) {
+                    return Err("scale factor must be finite and non-negative".into());
+                }
+                part.validate()?;
+            }
+            IntensityTrace::Clamp { min, max, part } => {
+                if !(min.is_finite() && *min >= 0.0) {
+                    return Err("clamp min must be finite and non-negative".into());
+                }
+                if !(max.is_finite() && max >= min) {
+                    return Err("clamp max must be finite and at least the min".into());
+                }
+                part.validate()?;
             }
         }
         Ok(())
@@ -283,6 +318,93 @@ mod tests {
     }
 
     #[test]
+    fn scale_multiplies_and_clamp_bounds() {
+        let diurnal = IntensityTrace::Diurnal {
+            base: 10.0,
+            amplitude: 8.0,
+            period_secs: 24_000.0,
+            phase_secs: 0.0,
+        };
+        let scaled = IntensityTrace::Scale {
+            factor: 2.5,
+            part: Box::new(diurnal.clone()),
+        };
+        let t = SimTime::from_secs(6000.0); // diurnal peak: 18.0
+        assert!((scaled.lambda(t) - 45.0).abs() < 1e-9);
+        assert_eq!(
+            IntensityTrace::Scale {
+                factor: 0.0,
+                part: Box::new(IntensityTrace::constant(50.0)),
+            }
+            .lambda(t),
+            0.0
+        );
+        let clamped = IntensityTrace::Clamp {
+            min: 4.0,
+            max: 12.0,
+            part: Box::new(diurnal),
+        };
+        assert_eq!(clamped.lambda(t), 12.0); // peak capped
+        assert_eq!(clamped.lambda(SimTime::from_secs(18_000.0)), 4.0); // trough floored
+        assert_eq!(clamped.lambda(SimTime::ZERO), 10.0); // passthrough inside
+        assert!(clamped.validate().is_ok());
+        // The wrappers compose with the rest of the algebra.
+        let nested = IntensityTrace::Sum {
+            parts: vec![
+                IntensityTrace::Clamp {
+                    min: 0.0,
+                    max: 5.0,
+                    part: Box::new(IntensityTrace::constant(9.0)),
+                },
+                IntensityTrace::Scale {
+                    factor: 3.0,
+                    part: Box::new(IntensityTrace::constant(2.0)),
+                },
+            ],
+        };
+        assert_eq!(nested.lambda(SimTime::ZERO), 11.0);
+        assert!(nested.validate().is_ok());
+    }
+
+    #[test]
+    fn scale_and_clamp_validate_their_parameters() {
+        let inner = Box::new(IntensityTrace::constant(1.0));
+        assert!(IntensityTrace::Scale {
+            factor: -1.0,
+            part: inner.clone(),
+        }
+        .validate()
+        .is_err());
+        assert!(IntensityTrace::Scale {
+            factor: f64::NAN,
+            part: inner.clone(),
+        }
+        .validate()
+        .is_err());
+        assert!(IntensityTrace::Clamp {
+            min: 5.0,
+            max: 1.0,
+            part: inner.clone(),
+        }
+        .validate()
+        .is_err());
+        assert!(IntensityTrace::Clamp {
+            min: -1.0,
+            max: 1.0,
+            part: inner,
+        }
+        .validate()
+        .is_err());
+        // Invalid children surface through the wrapper.
+        assert!(IntensityTrace::Scale {
+            factor: 1.0,
+            part: Box::new(IntensityTrace::constant(-3.0)),
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
     fn validate_rejects_bad_shapes() {
         assert!(IntensityTrace::Spiky {
             base: 1.0,
@@ -364,6 +486,54 @@ mod tests {
             let trace = IntensityTrace::constant(rate);
             let mean = trace.mean_lambda(SimTime::ZERO, SimTime::from_secs(span), 16);
             prop_assert!((mean - rate).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_scale_clamp_deterministic_and_bounded(
+            base in 0.0..50.0f64,
+            amplitude in 0.0..50.0f64,
+            factor in 0.0..4.0f64,
+            lo in 0.0..10.0f64,
+            width in 0.0..40.0f64,
+            t in 0.0..1e6f64,
+        ) {
+            // Traces are pure functions of time: the same wrapped trace
+            // evaluated twice (and a structural clone) must agree bit for
+            // bit, and the clamp bounds must hold for any t.
+            let hi = lo + width;
+            let trace = IntensityTrace::Clamp {
+                min: lo,
+                max: hi,
+                part: Box::new(IntensityTrace::Scale {
+                    factor,
+                    part: Box::new(IntensityTrace::Diurnal {
+                        base,
+                        amplitude,
+                        period_secs: 3600.0,
+                        phase_secs: 0.0,
+                    }),
+                }),
+            };
+            trace.validate().unwrap();
+            let at = SimTime::from_secs(t);
+            let l1 = trace.lambda(at);
+            let l2 = trace.lambda(at);
+            let l3 = trace.clone().lambda(at);
+            prop_assert_eq!(l1, l2);
+            prop_assert_eq!(l1, l3);
+            prop_assert!((lo..=hi).contains(&l1), "{l1} outside [{lo}, {hi}]");
+            // Scaling commutes with the raw evaluation wherever the clamp
+            // is not binding.
+            let raw = IntensityTrace::Diurnal {
+                base,
+                amplitude,
+                period_secs: 3600.0,
+                phase_secs: 0.0,
+            }
+            .lambda(at);
+            if l1 > lo && l1 < hi {
+                prop_assert!((l1 - factor * raw).abs() < 1e-9);
+            }
         }
     }
 }

@@ -10,20 +10,55 @@
 //! # write a preset's JSON, edit it, run it back
 //! cargo run --release --example run_scenario -- --dump diurnal > my.json
 //! cargo run --release --example run_scenario -- my.json
+//!
+//! # run every pinned spec in a directory (default: ./scenarios)
+//! cargo run --release --example run_scenario -- --dir
+//! cargo run --release --example run_scenario -- --dir my-fleets/
 //! ```
 
 use slaq::core::ScenarioSpec;
+use std::path::Path;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: run_scenario [<spec.json> | --preset <name> | --dump <name> | --list]\n\
-         presets: {}",
+        "usage: run_scenario [<spec.json> | --preset <name> | --dump <name> | --list | --dir [path]]\n\
+         presets: {}\n\
+         --dir runs every *.json spec in the directory (default: scenarios/)",
         ScenarioSpec::preset_names().join(", ")
     );
     std::process::exit(2);
 }
 
-fn load_spec() -> ScenarioSpec {
+/// All `*.json` specs in a directory, sorted by file name for
+/// reproducible report order.
+fn specs_in_dir(dir: &Path) -> Vec<(String, ScenarioSpec)> {
+    let entries = std::fs::read_dir(dir).unwrap_or_else(|e| {
+        eprintln!("cannot read directory {}: {e}", dir.display());
+        std::process::exit(1);
+    });
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|path| {
+            let label = path.display().to_string();
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("cannot read {label}: {e}");
+                std::process::exit(1);
+            });
+            let spec = ScenarioSpec::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("cannot parse {label}: {e}");
+                std::process::exit(1);
+            });
+            (label, spec)
+        })
+        .collect()
+}
+
+fn load_specs() -> Vec<(String, ScenarioSpec)> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("--list") => {
@@ -47,26 +82,36 @@ fn load_spec() -> ScenarioSpec {
         }
         Some("--preset") => {
             let name = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
-            ScenarioSpec::preset(name).unwrap_or_else(|| usage())
+            let spec = ScenarioSpec::preset(name).unwrap_or_else(|| usage());
+            vec![(name.to_string(), spec)]
+        }
+        Some("--dir") => {
+            let dir = args.get(1).map(String::as_str).unwrap_or("scenarios");
+            let specs = specs_in_dir(Path::new(dir));
+            if specs.is_empty() {
+                eprintln!("no *.json specs under {dir}");
+                std::process::exit(1);
+            }
+            specs
         }
         Some(path) if !path.starts_with("--") => {
             let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
                 eprintln!("cannot read {path}: {e}");
                 std::process::exit(1);
             });
-            ScenarioSpec::from_json(&text).unwrap_or_else(|e| {
+            let spec = ScenarioSpec::from_json(&text).unwrap_or_else(|e| {
                 eprintln!("cannot parse {path}: {e}");
                 std::process::exit(1);
-            })
+            });
+            vec![(path.to_string(), spec)]
         }
         _ => usage(),
     }
 }
 
-fn main() {
-    let spec = load_spec();
+fn run_one(label: &str, spec: &ScenarioSpec) {
     if let Err(e) = spec.validate() {
-        eprintln!("invalid spec: {e}");
+        eprintln!("{label}: invalid spec: {e}");
         std::process::exit(1);
     }
     eprintln!(
@@ -78,12 +123,13 @@ fn main() {
         spec.timing.horizon_secs
     );
     let report = spec.run().unwrap_or_else(|e| {
-        eprintln!("run failed: {e}");
+        eprintln!("{label}: run failed: {e}");
         std::process::exit(1);
     });
 
     let s = report.job_stats;
     println!("scenario          : {}", spec.name);
+    println!("controller        : {}", spec.controller.kind.name());
     println!("control cycles    : {}", report.cycles);
     println!("placement changes : {}", report.total_changes);
     println!(
@@ -107,4 +153,14 @@ fn main() {
         }
     }
     println!("series recorded   : {}", report.metrics.names().len());
+}
+
+fn main() {
+    let specs = load_specs();
+    for (i, (label, spec)) in specs.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        run_one(label, spec);
+    }
 }

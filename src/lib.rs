@@ -45,14 +45,15 @@ pub use slaq_workloads as workloads;
 pub mod prelude {
     pub use slaq_core::scenario::PaperParams;
     pub use slaq_core::{
-        AppSpec, ClusterTopology, ControllerSpec, JobStreamSpec, NodePoolSpec, OutageSpec,
-        Scenario, ScenarioApp, ScenarioSpec, StaticPartitionController, TimingSpec,
-        TransactionalFirstController, UtilityController,
+        AppSpec, ClusterTopology, ControllerKind, ControllerSpec, JobStreamSpec, NodePoolSpec,
+        OutageSpec, Scenario, ScenarioApp, ScenarioSpec, ShardingSpec, StaticPartitionController,
+        TimingSpec, TransactionalFirstController, UtilityController,
     };
     pub use slaq_jobs::{Job, JobManager, JobSpec, JobState, JobUtility};
     pub use slaq_perfmodel::{PsQueue, TransactionalModel, TransactionalSpec};
     pub use slaq_placement::{
         AppRequest, JobRequest, NodeCapacity, Placement, PlacementConfig, PlacementProblem,
+        ShardMap, ShardPlan, ShardedSolver, Solver,
     };
     pub use slaq_sim::{
         Controller, MetricsSink, OverheadConfig, SimConfig, Simulator, TransactionalRuntime,

@@ -29,7 +29,33 @@ impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
     }
 }
 
+/// Mutably-borrowing parallel-iterator entry point (sequential fallback).
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The iterator type (a plain sequential iterator here).
+    type Iter: Iterator<Item = Self::Item>;
+    /// Element type.
+    type Item: 'data;
+    /// "Parallel" iteration over `&mut self`.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Iter = std::slice::IterMut<'data, T>;
+    type Item = &'data mut T;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.iter_mut()
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Iter = std::slice::IterMut<'data, T>;
+    type Item = &'data mut T;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.iter_mut()
+    }
+}
+
 pub mod prelude {
     //! Drop-in for `rayon::prelude::*`.
-    pub use crate::IntoParallelRefIterator;
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator};
 }

@@ -22,6 +22,7 @@ const GOLDEN: &[(&str, usize, f64, &str)] = &[
         180.79113018044512,
         "gold-short-0",
     ),
+    ("consolidation", 90, 206.61843449193728, "batch-0"),
 ];
 
 #[test]
@@ -92,7 +93,7 @@ fn importance_map_matches_the_simulators_actual_job_ids() {
     let scenario = spec.materialize().expect("valid preset");
     let mut sim = scenario.build().expect("builds");
     let mut controller = scenario.controller();
-    sim.run(&mut controller).expect("runs");
+    sim.run(controller.as_mut()).expect("runs");
     let mut weighted = 0usize;
     for job in sim.jobs().jobs() {
         let has_weight = scenario
@@ -110,6 +111,44 @@ fn importance_map_matches_the_simulators_actual_job_ids() {
     }
     assert!(weighted > 0, "preset must exercise the gold tier");
     assert_eq!(weighted, scenario.controller.importance.len());
+}
+
+#[test]
+fn external_scenarios_dir_specs_round_trip_and_run() {
+    // Users pin their own fleet specs under `scenarios/*.json`; the gate
+    // globs the directory so a stale spec (field rename, variant
+    // reorder) fails CI instead of silently rotting. Absent directory =
+    // nothing pinned = pass.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios");
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return;
+    };
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    assert!(
+        !paths.is_empty(),
+        "scenarios/ exists but holds no *.json specs"
+    );
+    for path in paths {
+        let label = path.display().to_string();
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{label}: {e}"));
+        let spec = ScenarioSpec::from_json(&text).unwrap_or_else(|e| panic!("{label}: parse: {e}"));
+        spec.validate()
+            .unwrap_or_else(|e| panic!("{label}: validate: {e}"));
+        // Round-trip fixed point, same as the built-in corpus.
+        let json = spec.to_json().unwrap();
+        let back = ScenarioSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec, "{label} drifted through JSON");
+        // And one control cycle end to end (specs are data: the horizon
+        // cap is a field write).
+        let mut brief = spec.clone();
+        brief.timing.horizon_secs = brief.timing.control_period_secs;
+        let report = brief.run().unwrap_or_else(|e| panic!("{label}: run: {e}"));
+        assert!(report.cycles >= 1, "{label}: no control cycle ran");
+    }
 }
 
 #[test]
