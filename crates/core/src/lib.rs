@@ -23,6 +23,13 @@
 //! without utility awareness, and a static cluster partitioning in the
 //! spirit of the paper's reference [6].
 //!
+//! The `pipeline` module is the **pipelined control plane**: a
+//! [`PipelinedController`] adapter that splits the cycle into snapshot →
+//! solve → actuate stages, overlapping solves with simulation so a plan
+//! computed from cycle *k*'s snapshot is enacted — reconciled against
+//! the live world — at cycle *k + latency* (spec knob
+//! `controller.pipeline`).
+//!
 //! Scenarios are **data**: the `spec` module defines the declarative,
 //! serde-round-trippable [`ScenarioSpec`] (cluster pools, timing,
 //! outages, apps with composable intensity traces, job streams with
@@ -36,13 +43,18 @@
 
 pub mod baselines;
 pub mod controller;
+pub mod pipeline;
 pub mod scenario;
 pub mod spec;
 
 pub use baselines::{StaticPartitionController, TransactionalFirstController};
 pub use controller::{ControllerConfig, UtilityController};
+pub use pipeline::{
+    reconcile, CompletedSolve, InlineSolveWorker, PipelinedController, ReconcileOutcome, SolveTask,
+    SolveWorker,
+};
 pub use scenario::{Scenario, ScenarioApp};
 pub use spec::{
     AppSpec, ClusterTopology, ControllerKind, ControllerSpec, JobStreamSpec, NodePoolSpec,
-    OutageSpec, ScenarioSpec, ShardingSpec, TimingSpec,
+    OutageSpec, PipelineSpec, ScenarioSpec, ShardingSpec, TimingSpec,
 };

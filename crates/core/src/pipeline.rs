@@ -1,0 +1,1036 @@
+//! The pipelined control plane: **snapshot → solve → actuate** with
+//! overlapped placement solves.
+//!
+//! The paper's controller is synchronous: sense demand, solve placement,
+//! enact — all inside one 600 s cycle, with the whole world waiting on
+//! the solve. Real SLA-driven placers decouple the stages: observation is
+//! cheap and frequent, solving is expensive and runs *beside* the system,
+//! and enactment applies a plan that is necessarily a little stale. This
+//! module models that decoupling on top of the simulator's control
+//! interface:
+//!
+//! 1. **Snapshot** — at cycle *k* the live
+//!    [`ControlInputs`](slaq_sim::ControlInputs) are captured into an
+//!    owned, `Send` [`SensingSnapshot`] (the `slaq-sim` sensing layer)
+//!    and wrapped in a [`SolveTask`].
+//! 2. **Solve** — the task goes to a [`SolveWorker`]. The in-tree
+//!    [`InlineSolveWorker`] executes the wrapped controller immediately
+//!    (the offline `rayon` stand-in is sequential, so there is no thread
+//!    to hand it to), records the wall-clock solve latency, and buffers
+//!    the controller's model-side metric series; a threaded worker would
+//!    implement the same two-method contract (`dispatch`/`drain`) over
+//!    `rayon::spawn` and a channel — the snapshot, the task and the
+//!    completed solve are all `Send` already.
+//! 3. **Actuate** — at cycle *k + latency* the plan is **reconciled**
+//!    against the *current* world ([`reconcile`]): assignments of jobs
+//!    that completed meanwhile are dropped, assignments on nodes that
+//!    died are dropped, running jobs the stale plan never knew about are
+//!    kept where they are instead of being suspended or migrated by
+//!    omission, allocations are clamped to live node capacities, and the
+//!    per-cycle change budget is re-enforced against the live placement.
+//!
+//! ### Staleness semantics
+//!
+//! [`PipelinedController`] wraps any [`Controller`] and implements
+//! [`Controller`] itself, so `Simulator::run` needs no special mode: with
+//! `latency_cycles = L`, the placement returned at cycle *k* is the
+//! reconciled plan solved from cycle *k − L*'s snapshot (the first *L*
+//! cycles keep the placement unchanged while the pipeline fills). Jobs
+//! that arrive inside the staleness window wait one extra plan for their
+//! first placement; demand shifts are acted on *L* cycles late; the
+//! reconciliation guarantees the stale plan can never violate liveness
+//! (completed jobs, dead nodes) or capacity feasibility, and re-enforces
+//! the change budget best-effort (see [`reconcile`] for the two corners
+//! where forced repairs can exceed it).
+//! With `L = 0` the pipeline degenerates to the synchronous path — same
+//! snapshot, same solve, a no-op reconciliation — and is pinned
+//! bit-identical to it by the corpus differential gate.
+//!
+//! Every enacted plan records pipeline series into the run's
+//! [`MetricsSink`]: `pipeline_solve_micros` (wall-clock solve latency),
+//! `pipeline_staleness_secs` / `pipeline_staleness_cycles` (age of the
+//! enacted plan), and `pipeline_reconciled` (how many assignments the
+//! reconciliation had to touch).
+
+use slaq_placement::{Placement, PlacementChange};
+use slaq_sim::{ControlInputs, Controller, MetricsSink, SensingSnapshot};
+use slaq_types::{AppId, CpuMhz, JobId, MemMb, NodeId, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Instant;
+
+/// One dispatched solve: a sequence number and the frozen world to solve
+/// against.
+#[derive(Debug, Clone)]
+pub struct SolveTask {
+    /// Control-cycle index the snapshot was taken at.
+    pub seq: u64,
+    /// The frozen world.
+    pub snapshot: SensingSnapshot,
+}
+
+/// A finished solve, ready for (possibly deferred) actuation.
+#[derive(Debug, Clone)]
+pub struct CompletedSolve {
+    /// Control-cycle index of the originating snapshot.
+    pub seq: u64,
+    /// Instant the snapshot was taken.
+    pub snapshot_time: SimTime,
+    /// Placement that was in force at snapshot time — the reconciler uses
+    /// it to tell deliberate plan decisions from mere ignorance of events
+    /// inside the staleness window.
+    pub snapshot_placement: Placement,
+    /// The plan the controller produced from the snapshot.
+    pub plan: Placement,
+    /// Model-side series the controller recorded during the solve,
+    /// buffered for merging into the run's sink when the solve lands in
+    /// the pipeline's completion queue.
+    pub metrics: MetricsSink,
+    /// Wall-clock latency of the solve stage, microseconds.
+    pub solve_micros: f64,
+}
+
+/// The solve stage's worker abstraction: accepts [`SolveTask`]s and hands
+/// back [`CompletedSolve`]s in dispatch order.
+///
+/// The contract is deliberately asynchronous-shaped (`dispatch` may
+/// return before the solve ran; `drain` returns whatever finished) even
+/// though the in-tree implementation solves inline — the offline `rayon`
+/// stand-in has no threads to offer. Swapping in the real crate makes a
+/// spawning worker a drop-in: every type crossing this boundary is `Send`.
+pub trait SolveWorker {
+    /// Accept a task. May solve it inline or hand it to a worker thread.
+    fn dispatch(&mut self, task: SolveTask);
+    /// Solves finished since the last call, in dispatch order.
+    fn drain(&mut self) -> Vec<CompletedSolve>;
+}
+
+/// A [`SolveWorker`] that executes the wrapped controller synchronously
+/// at dispatch time (the sequential stand-in path), measuring the
+/// wall-clock solve latency the pipeline reports.
+pub struct InlineSolveWorker {
+    controller: Box<dyn Controller>,
+    done: Vec<CompletedSolve>,
+}
+
+impl InlineSolveWorker {
+    /// Worker around the controller whose solves are being pipelined.
+    pub fn new(controller: Box<dyn Controller>) -> Self {
+        InlineSolveWorker {
+            controller,
+            done: Vec::new(),
+        }
+    }
+}
+
+impl SolveWorker for InlineSolveWorker {
+    fn dispatch(&mut self, task: SolveTask) {
+        let started = Instant::now();
+        let mut sink = MetricsSink::new();
+        let plan = self.controller.control(&task.snapshot.inputs(), &mut sink);
+        let solve_micros = started.elapsed().as_secs_f64() * 1e6;
+        let snapshot = task.snapshot;
+        self.done.push(CompletedSolve {
+            seq: task.seq,
+            snapshot_time: snapshot.now,
+            snapshot_placement: snapshot.current,
+            plan,
+            metrics: sink,
+            solve_micros,
+        });
+    }
+
+    fn drain(&mut self) -> Vec<CompletedSolve> {
+        std::mem::take(&mut self.done)
+    }
+}
+
+/// What the reconciliation had to do to make a stale plan safe against
+/// the live world.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReconcileOutcome {
+    /// Assignments dropped because their job completed (or is unknown).
+    pub dropped_inactive: usize,
+    /// Assignments (job or instance) dropped because their node is down.
+    pub dropped_dead: usize,
+    /// Live running jobs the plan never knew about, re-grafted onto their
+    /// current node.
+    pub grafted: usize,
+    /// Live running jobs the plan would have moved out of ignorance, kept
+    /// in place instead.
+    pub kept_in_place: usize,
+    /// Node-level allocation clamps applied (overcommitted CPU scaled
+    /// down, overcommitted memory relieved).
+    pub clamped: usize,
+    /// Placement starts cancelled to stay inside the change budget.
+    pub cancelled: usize,
+}
+
+impl ReconcileOutcome {
+    /// Total number of plan edits the reconciliation made.
+    pub fn total(&self) -> usize {
+        self.dropped_inactive
+            + self.dropped_dead
+            + self.grafted
+            + self.kept_in_place
+            + self.clamped
+            + self.cancelled
+    }
+}
+
+/// Reconcile a possibly stale `plan` against the **current** world so it
+/// can be enacted safely: see the module docs for the rule set. A fresh
+/// plan (solved from the very inputs it is enacted against) passes
+/// through untouched — that is what makes the zero-latency pipeline
+/// bit-identical to the synchronous path.
+///
+/// `snapshot_placement` is the placement that was in force when the plan
+/// was solved: a running job absent from it is one the plan could not
+/// have deliberately suspended or migrated, so its live assignment wins.
+/// `max_changes` re-enforces the per-cycle change budget against the
+/// live placement: drift-induced changes are cancelled cheapest-first —
+/// migrations revert to the job's live node, then placement starts,
+/// newest entities first. Suspensions and stops are never cancelled, so
+/// the cap can still be exceeded in two corners, both involving a job
+/// whose live node no longer fits it under this plan: a drift migration
+/// that cannot revert, and a drift suspend of a running job the plan
+/// never saw and could not keep (its eviction is forced either way).
+/// The `pipeline_reconciled` series counts every such repair, so budget
+/// overshoot is observable.
+pub fn reconcile(
+    plan: &mut Placement,
+    snapshot_placement: &Placement,
+    inputs: &ControlInputs<'_>,
+    max_changes: Option<usize>,
+) -> ReconcileOutcome {
+    let mut out = ReconcileOutcome::default();
+    let live: BTreeMap<NodeId, (CpuMhz, MemMb)> = inputs
+        .nodes
+        .iter()
+        .map(|n| (n.id, (n.cpu, n.mem)))
+        .collect();
+    let dead = |id: NodeId| live.get(&id).is_none_or(|&(cpu, _)| cpu.is_zero());
+
+    // 1. Jobs that completed (or are unknown) hold no assignment.
+    plan.jobs.retain(|&j, _| {
+        let active = inputs
+            .jobs
+            .job(j)
+            .map(|job| job.is_active())
+            .unwrap_or(false);
+        if !active {
+            out.dropped_inactive += 1;
+        }
+        active
+    });
+
+    // 2. Nothing lands on a dead node.
+    plan.jobs.retain(|_, &mut (node, _)| {
+        if dead(node) {
+            out.dropped_dead += 1;
+            false
+        } else {
+            true
+        }
+    });
+    for slices in plan.apps.values_mut() {
+        slices.retain(|&node, _| {
+            if dead(node) {
+                out.dropped_dead += 1;
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    // Residual capacities of the live nodes under the plan.
+    let mut cpu_free: BTreeMap<NodeId, f64> = BTreeMap::new();
+    let mut mem_free: BTreeMap<NodeId, MemMb> = BTreeMap::new();
+    for (&id, &(cpu, mem)) in &live {
+        if !dead(id) {
+            cpu_free.insert(id, cpu.as_f64());
+            mem_free.insert(id, mem);
+        }
+    }
+    let app_mem = |app: AppId| -> MemMb {
+        inputs
+            .apps
+            .iter()
+            .find(|a| a.id == app)
+            .map(|a| a.spec.mem_per_instance)
+            .unwrap_or(MemMb::ZERO)
+    };
+    let job_mem = |job: JobId| -> MemMb {
+        inputs
+            .jobs
+            .job(job)
+            .map(|j| j.spec.mem)
+            .unwrap_or(MemMb::ZERO)
+    };
+    for (&app, slices) in &plan.apps {
+        let mem = app_mem(app);
+        for (&node, &cpu) in slices {
+            if let Some(f) = cpu_free.get_mut(&node) {
+                *f -= cpu.as_f64();
+            }
+            if let Some(f) = mem_free.get_mut(&node) {
+                *f = f.saturating_sub(mem);
+            }
+        }
+    }
+    for (&job, &(node, cpu)) in &plan.jobs {
+        if let Some(f) = cpu_free.get_mut(&node) {
+            *f -= cpu.as_f64();
+        }
+        if let Some(f) = mem_free.get_mut(&node) {
+            *f = f.saturating_sub(job_mem(job));
+        }
+    }
+
+    // 3. Continuity: a job running *now* that the plan's snapshot did not
+    // know as placed was placed by an interim plan — the stale plan's
+    // omission (or relocation) of it is ignorance, not a decision. Keep
+    // it where it runs whenever the capacity still allows.
+    for (&job, &(node, live_alloc)) in &inputs.current.jobs {
+        if snapshot_placement.jobs.contains_key(&job) || dead(node) {
+            continue;
+        }
+        let mem = job_mem(job);
+        match plan.jobs.get(&job).copied() {
+            // The plan moved a job it never saw running: keep it put.
+            // Memory is the hard gate; the CPU grant clamps to whatever
+            // residual remains (possibly zero — a running job at a zero
+            // guarantee still draws work-conserving spare and dodges a
+            // suspend/resume round trip).
+            Some((planned, alloc)) if planned != node => {
+                if mem_free.get(&node).is_some_and(|f| f.fits(mem)) {
+                    if let Some(f) = cpu_free.get_mut(&planned) {
+                        *f += alloc.as_f64();
+                    }
+                    if let Some(f) = mem_free.get_mut(&planned) {
+                        *f += mem;
+                    }
+                    let grant = alloc.as_f64().min(cpu_free[&node]).max(0.0);
+                    *cpu_free.get_mut(&node).expect("alive node") -= grant;
+                    let mf = mem_free.get_mut(&node).expect("alive node");
+                    *mf = mf.saturating_sub(mem);
+                    plan.jobs.insert(job, (node, CpuMhz::new(grant)));
+                    out.kept_in_place += 1;
+                }
+            }
+            // The plan omitted a job it never saw running: graft it back.
+            None => {
+                if mem_free.get(&node).is_some_and(|f| f.fits(mem)) {
+                    let grant = live_alloc.as_f64().min(cpu_free[&node]).max(0.0);
+                    *cpu_free.get_mut(&node).expect("alive node") -= grant;
+                    let mf = mem_free.get_mut(&node).expect("alive node");
+                    *mf = mf.saturating_sub(mem);
+                    plan.jobs.insert(job, (node, CpuMhz::new(grant)));
+                    out.grafted += 1;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+
+    // 4. Clamp guard: a plan that still overcommits a live node (it
+    // should not, after the steps above) gets its CPU scaled down
+    // proportionally and its newest jobs shed until memory fits.
+    let mut nodes_over: Vec<NodeId> = Vec::new();
+    for (&node, &(cap, mem_cap)) in &live {
+        if dead(node) {
+            continue;
+        }
+        let mut cpu_used = 0.0;
+        let mut mem_used = MemMb::ZERO;
+        for slices in plan.apps.values() {
+            if let Some(c) = slices.get(&node) {
+                cpu_used += c.as_f64();
+            }
+        }
+        for (&app, slices) in &plan.apps {
+            if slices.contains_key(&node) {
+                mem_used += app_mem(app);
+            }
+        }
+        for (&job, &(n, c)) in &plan.jobs {
+            if n == node {
+                cpu_used += c.as_f64();
+                mem_used += job_mem(job);
+            }
+        }
+        if cpu_used > cap.as_f64() + 1e-6 || !mem_cap.fits(mem_used) {
+            nodes_over.push(node);
+        }
+    }
+    for node in nodes_over {
+        let (cap, mem_cap) = live[&node];
+        // Shed newest jobs until memory fits.
+        loop {
+            let mem_used: MemMb = plan
+                .apps
+                .iter()
+                .filter(|(_, s)| s.contains_key(&node))
+                .map(|(&a, _)| app_mem(a))
+                .sum::<MemMb>()
+                + plan
+                    .jobs
+                    .iter()
+                    .filter(|&(_, &(n, _))| n == node)
+                    .map(|(&j, _)| job_mem(j))
+                    .sum::<MemMb>();
+            if mem_cap.fits(mem_used) {
+                break;
+            }
+            let Some(&victim) = plan
+                .jobs
+                .iter()
+                .filter(|&(_, &(n, _))| n == node)
+                .map(|(j, _)| j)
+                .next_back()
+            else {
+                break;
+            };
+            plan.jobs.remove(&victim);
+            out.clamped += 1;
+        }
+        // Scale CPU down proportionally.
+        let total: f64 = plan
+            .apps
+            .values()
+            .filter_map(|s| s.get(&node))
+            .map(|c| c.as_f64())
+            .sum::<f64>()
+            + plan
+                .jobs
+                .values()
+                .filter(|&&(n, _)| n == node)
+                .map(|&(_, c)| c.as_f64())
+                .sum::<f64>();
+        if total > cap.as_f64() + 1e-6 {
+            let scale = cap.as_f64() / total;
+            for slices in plan.apps.values_mut() {
+                if let Some(c) = slices.get_mut(&node) {
+                    *c = *c * scale;
+                }
+            }
+            for (n, c) in plan.jobs.values_mut() {
+                if *n == node {
+                    *c = *c * scale;
+                }
+            }
+            out.clamped += 1;
+        }
+    }
+
+    // 5. Re-enforce the change budget against the live placement. Drift
+    // inside the staleness window adds changes the solver never
+    // budgeted: placement starts of entities the world dropped,
+    // migrations of jobs an interim plan relocated, and suspends of
+    // running jobs the plan never saw and step 3 could not keep. Cancel
+    // the cheapest first — migrations revert to the job's live node (it
+    // keeps running, zero disruption), then job starts newest-id first,
+    // then instance starts. Suspensions and stops are never cancelled
+    // (re-placing the job is exactly what failed in step 3), so the cap
+    // can still be exceeded by unrevertable migrations and forced
+    // suspends — see the function docs.
+    if let Some(cap) = max_changes {
+        let diff = plan.diff(inputs.current);
+        if diff.len() > cap {
+            let mut excess = diff.len() - cap;
+            // Migrations first: keep the job at its live node when the
+            // residual capacity there (conservatively tracked — clamps
+            // and cancellations only free more) still fits it.
+            let mut migrations: Vec<(JobId, NodeId, NodeId)> = diff
+                .iter()
+                .filter_map(|c| match c {
+                    PlacementChange::MigrateJob { job, from, to } => Some((*job, *from, *to)),
+                    _ => None,
+                })
+                .collect();
+            migrations.sort_unstable_by_key(|m| std::cmp::Reverse(m.0));
+            for (job, from, to) in migrations {
+                if excess == 0 {
+                    break;
+                }
+                let mem = job_mem(job);
+                if dead(from) || !mem_free.get(&from).is_some_and(|f| f.fits(mem)) {
+                    continue;
+                }
+                let alloc = plan.job_alloc(job);
+                if let Some(f) = cpu_free.get_mut(&to) {
+                    *f += alloc.as_f64();
+                }
+                if let Some(f) = mem_free.get_mut(&to) {
+                    *f += mem;
+                }
+                let grant = alloc.as_f64().min(cpu_free[&from]).max(0.0);
+                *cpu_free.get_mut(&from).expect("alive node") -= grant;
+                let mf = mem_free.get_mut(&from).expect("alive node");
+                *mf = mf.saturating_sub(mem);
+                plan.jobs.insert(job, (from, CpuMhz::new(grant)));
+                out.cancelled += 1;
+                excess -= 1;
+            }
+            let mut job_starts: Vec<JobId> = diff
+                .iter()
+                .filter_map(|c| match c {
+                    PlacementChange::StartJob { job, .. } => Some(*job),
+                    _ => None,
+                })
+                .collect();
+            job_starts.sort_unstable_by(|a, b| b.cmp(a));
+            for job in job_starts {
+                if excess == 0 {
+                    break;
+                }
+                plan.jobs.remove(&job);
+                out.cancelled += 1;
+                excess -= 1;
+            }
+            let mut inst_starts: Vec<(AppId, NodeId)> = diff
+                .iter()
+                .filter_map(|c| match c {
+                    PlacementChange::StartInstance { app, node } => Some((*app, *node)),
+                    _ => None,
+                })
+                .collect();
+            inst_starts.sort_unstable_by(|a, b| b.cmp(a));
+            for (app, node) in inst_starts {
+                if excess == 0 {
+                    break;
+                }
+                if let Some(slices) = plan.apps.get_mut(&app) {
+                    slices.remove(&node);
+                    out.cancelled += 1;
+                    excess -= 1;
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// A [`Controller`] adapter that pipelines another controller's solves:
+/// the plan solved from cycle *k*'s snapshot is enacted at cycle
+/// *k + latency_cycles*, reconciled against the live world (see the
+/// module docs for the staleness semantics).
+pub struct PipelinedController {
+    worker: Box<dyn SolveWorker>,
+    latency_cycles: u64,
+    max_changes: Option<usize>,
+    cycle: u64,
+    pending: VecDeque<CompletedSolve>,
+}
+
+impl PipelinedController {
+    /// Pipeline `inner` behind an [`InlineSolveWorker`] with the given
+    /// enactment latency. `max_changes` is the per-cycle change budget
+    /// the reconciliation re-enforces against the live placement (pass
+    /// the same value the inner controller's placement config uses).
+    pub fn new(
+        inner: Box<dyn Controller>,
+        latency_cycles: u32,
+        max_changes: Option<usize>,
+    ) -> Self {
+        Self::with_worker(
+            Box::new(InlineSolveWorker::new(inner)),
+            latency_cycles,
+            max_changes,
+        )
+    }
+
+    /// Pipeline over a custom [`SolveWorker`] (e.g. a threaded one once
+    /// the real `rayon` is available).
+    pub fn with_worker(
+        worker: Box<dyn SolveWorker>,
+        latency_cycles: u32,
+        max_changes: Option<usize>,
+    ) -> Self {
+        PipelinedController {
+            worker,
+            latency_cycles: latency_cycles as u64,
+            max_changes,
+            cycle: 0,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// The configured enactment latency, in control cycles.
+    pub fn latency_cycles(&self) -> u32 {
+        self.latency_cycles as u32
+    }
+}
+
+impl Controller for PipelinedController {
+    fn control(&mut self, inputs: &ControlInputs<'_>, metrics: &mut MetricsSink) -> Placement {
+        let k = self.cycle;
+        self.cycle += 1;
+
+        // Snapshot + dispatch this cycle's solve. A solve's buffered
+        // model-side series merges into the run's sink as soon as it
+        // completes (drain order = dispatch order, so each series stays
+        // time-sorted) — not when its plan lands — so no series samples
+        // are lost even for plans still in flight at the horizon.
+        let snapshot = SensingSnapshot::capture(inputs);
+        self.worker.dispatch(SolveTask { seq: k, snapshot });
+        for mut done in self.worker.drain() {
+            metrics.merge(std::mem::take(&mut done.metrics));
+            self.pending.push_back(done);
+        }
+
+        // Pop every plan whose enactment cycle has arrived; later plans
+        // supersede earlier ones.
+        let mut chosen: Option<CompletedSolve> = None;
+        let mut superseded = 0usize;
+        while self
+            .pending
+            .front()
+            .is_some_and(|c| c.seq + self.latency_cycles <= k)
+        {
+            let done = self.pending.pop_front().expect("checked non-empty");
+            if chosen.replace(done).is_some() {
+                superseded += 1;
+            }
+        }
+        let Some(done) = chosen else {
+            // Pipeline still filling: keep the current placement.
+            return inputs.current.clone();
+        };
+
+        metrics.record("pipeline_solve_micros", inputs.now, done.solve_micros);
+        metrics.record(
+            "pipeline_staleness_secs",
+            inputs.now,
+            (inputs.now - done.snapshot_time).as_secs(),
+        );
+        metrics.record(
+            "pipeline_staleness_cycles",
+            inputs.now,
+            (k - done.seq) as f64,
+        );
+        if superseded > 0 {
+            metrics.record("pipeline_superseded", inputs.now, superseded as f64);
+        }
+
+        let mut plan = done.plan;
+        let outcome = reconcile(
+            &mut plan,
+            &done.snapshot_placement,
+            inputs,
+            self.max_changes,
+        );
+        metrics.record("pipeline_reconciled", inputs.now, outcome.total() as f64);
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use slaq_jobs::{JobManager, JobSpec};
+    use slaq_placement::problem::NodeCapacity;
+    use slaq_types::{SimDuration, Work};
+    use slaq_utility::CompletionGoal;
+
+    fn node(id: u32, cpu: f64, mem: u64) -> NodeCapacity {
+        NodeCapacity {
+            id: NodeId::new(id),
+            cpu: CpuMhz::new(cpu),
+            mem: MemMb::new(mem),
+        }
+    }
+
+    fn job_spec(work_secs: f64) -> JobSpec {
+        JobSpec {
+            name: "recon".into(),
+            total_work: Work::from_power_secs(CpuMhz::new(3000.0), work_secs),
+            max_speed: CpuMhz::new(3000.0),
+            mem: MemMb::new(1280),
+            goal: CompletionGoal::relative(
+                SimTime::ZERO,
+                SimDuration::from_secs(work_secs),
+                1.25,
+                2.0,
+            )
+            .unwrap(),
+        }
+    }
+
+    /// A manager with `n` jobs; indices in `completed` are run to
+    /// completion, indices in `running` (node per entry) are running.
+    fn world(n: u32, completed: &[u32], running: &[(u32, u32)]) -> JobManager {
+        let mut mgr = JobManager::new();
+        for _ in 0..n {
+            mgr.submit(job_spec(1000.0), SimTime::ZERO).unwrap();
+        }
+        for &i in completed {
+            let j = mgr.job_mut(JobId::new(i)).unwrap();
+            j.start(NodeId::new(0), SimTime::ZERO).unwrap();
+            j.advance(
+                CpuMhz::new(3000.0),
+                SimTime::ZERO,
+                SimDuration::from_secs(2000.0),
+            );
+        }
+        for &(i, node) in running {
+            mgr.job_mut(JobId::new(i))
+                .unwrap()
+                .start(NodeId::new(node), SimTime::ZERO)
+                .unwrap();
+        }
+        mgr
+    }
+
+    fn place_jobs(entries: &[(u32, u32, f64)]) -> Placement {
+        let mut p = Placement::empty();
+        for &(j, n, c) in entries {
+            p.jobs
+                .insert(JobId::new(j), (NodeId::new(n), CpuMhz::new(c)));
+        }
+        p
+    }
+
+    #[test]
+    fn reconcile_drops_completed_jobs_and_dead_nodes() {
+        // Job 0 completed; node 1 died (zero capacity). The plan still
+        // references both.
+        let jobs = world(3, &[0], &[(1, 0)]);
+        let nodes = vec![node(0, 12_000.0, 4096), node(1, 0.0, 0)];
+        let current = place_jobs(&[(1, 0, 3000.0)]);
+        let mut plan = place_jobs(&[(0, 0, 3000.0), (1, 0, 3000.0), (2, 1, 3000.0)]);
+        plan.apps
+            .entry(AppId::new(0))
+            .or_default()
+            .insert(NodeId::new(1), CpuMhz::new(1000.0));
+        let inputs = ControlInputs {
+            now: SimTime::from_secs(1200.0),
+            nodes: &nodes,
+            current: &current,
+            jobs: &jobs,
+            apps: &[],
+        };
+        let out = reconcile(&mut plan, &current, &inputs, None);
+        assert_eq!(out.dropped_inactive, 1);
+        assert_eq!(out.dropped_dead, 2); // job 2 and the app slice
+        assert!(!plan.jobs.contains_key(&JobId::new(0)));
+        assert!(!plan.jobs.contains_key(&JobId::new(2)));
+        assert!(plan.apps[&AppId::new(0)].is_empty());
+        assert_eq!(
+            plan.jobs[&JobId::new(1)],
+            (NodeId::new(0), CpuMhz::new(3000.0))
+        );
+    }
+
+    #[test]
+    fn reconcile_grafts_unknown_running_jobs_back() {
+        // Snapshot saw job 1 pending and left it unplaced; an interim
+        // plan started it on node 1. The stale plan must not suspend it.
+        let jobs = world(2, &[], &[(0, 0), (1, 1)]);
+        let nodes = vec![node(0, 12_000.0, 4096), node(1, 12_000.0, 4096)];
+        let snapshot_placement = place_jobs(&[(0, 0, 3000.0)]);
+        let current = place_jobs(&[(0, 0, 3000.0), (1, 1, 2000.0)]);
+        let mut plan = place_jobs(&[(0, 0, 3000.0)]);
+        let inputs = ControlInputs {
+            now: SimTime::from_secs(1200.0),
+            nodes: &nodes,
+            current: &current,
+            jobs: &jobs,
+            apps: &[],
+        };
+        let out = reconcile(&mut plan, &snapshot_placement, &inputs, None);
+        assert_eq!(out.grafted, 1);
+        assert_eq!(
+            plan.jobs[&JobId::new(1)],
+            (NodeId::new(1), CpuMhz::new(2000.0))
+        );
+    }
+
+    #[test]
+    fn reconcile_keeps_unknown_running_jobs_in_place() {
+        // Snapshot saw job 1 pending; the plan placed it on node 0, but
+        // meanwhile it started on node 1. Keep it put — no migration out
+        // of ignorance.
+        let jobs = world(2, &[], &[(0, 0), (1, 1)]);
+        let nodes = vec![node(0, 12_000.0, 4096), node(1, 12_000.0, 4096)];
+        let snapshot_placement = place_jobs(&[(0, 0, 3000.0)]);
+        let current = place_jobs(&[(0, 0, 3000.0), (1, 1, 2000.0)]);
+        let mut plan = place_jobs(&[(0, 0, 3000.0), (1, 0, 2500.0)]);
+        let inputs = ControlInputs {
+            now: SimTime::from_secs(1200.0),
+            nodes: &nodes,
+            current: &current,
+            jobs: &jobs,
+            apps: &[],
+        };
+        let out = reconcile(&mut plan, &snapshot_placement, &inputs, None);
+        assert_eq!(out.kept_in_place, 1);
+        assert_eq!(
+            plan.jobs[&JobId::new(1)],
+            (NodeId::new(1), CpuMhz::new(2500.0))
+        );
+    }
+
+    #[test]
+    fn reconcile_respects_deliberate_suspensions() {
+        // The snapshot had job 0 placed and the plan dropped it — a
+        // deliberate suspension, which reconciliation must keep.
+        let jobs = world(1, &[], &[(0, 0)]);
+        let nodes = vec![node(0, 12_000.0, 4096)];
+        let current = place_jobs(&[(0, 0, 3000.0)]);
+        let mut plan = Placement::empty();
+        let inputs = ControlInputs {
+            now: SimTime::from_secs(1200.0),
+            nodes: &nodes,
+            current: &current,
+            jobs: &jobs,
+            apps: &[],
+        };
+        let out = reconcile(&mut plan, &current, &inputs, None);
+        assert_eq!(out.grafted, 0);
+        assert!(plan.jobs.is_empty());
+    }
+
+    #[test]
+    fn reconcile_cancels_newest_starts_beyond_the_budget() {
+        let jobs = world(4, &[], &[]);
+        let nodes = vec![node(0, 12_000.0, 8192)];
+        let current = Placement::empty();
+        let mut plan = place_jobs(&[
+            (0, 0, 2000.0),
+            (1, 0, 2000.0),
+            (2, 0, 2000.0),
+            (3, 0, 2000.0),
+        ]);
+        let inputs = ControlInputs {
+            now: SimTime::from_secs(600.0),
+            nodes: &nodes,
+            current: &current,
+            jobs: &jobs,
+            apps: &[],
+        };
+        let out = reconcile(&mut plan, &Placement::empty(), &inputs, Some(2));
+        assert_eq!(out.cancelled, 2);
+        assert_eq!(plan.diff(&current).len(), 2);
+        // Oldest submissions keep their start.
+        assert!(plan.jobs.contains_key(&JobId::new(0)));
+        assert!(plan.jobs.contains_key(&JobId::new(1)));
+    }
+
+    #[test]
+    fn reconcile_cancels_drift_migrations_before_starts() {
+        // Snapshot saw job 0 running on node 0 and the plan keeps it
+        // there (no intended change); an interim plan moved it to node 1
+        // meanwhile, so vs. the live world the plan now implies a
+        // migration the solver never budgeted. With the cap at 2, the
+        // drift migration must be cancelled first — job 0 stays at its
+        // live node — so both budgeted starts survive.
+        let jobs = world(3, &[], &[(0, 1)]);
+        let nodes = vec![node(0, 12_000.0, 4096), node(1, 12_000.0, 4096)];
+        let snapshot_placement = place_jobs(&[(0, 0, 3000.0)]);
+        let current = place_jobs(&[(0, 1, 3000.0)]);
+        let mut plan = place_jobs(&[(0, 0, 3000.0), (1, 0, 3000.0), (2, 0, 3000.0)]);
+        let inputs = ControlInputs {
+            now: SimTime::from_secs(1200.0),
+            nodes: &nodes,
+            current: &current,
+            jobs: &jobs,
+            apps: &[],
+        };
+        let out = reconcile(&mut plan, &snapshot_placement, &inputs, Some(2));
+        assert_eq!(out.cancelled, 1);
+        assert_eq!(
+            plan.jobs[&JobId::new(0)],
+            (NodeId::new(1), CpuMhz::new(3000.0)),
+            "drift migration must revert to the live node"
+        );
+        assert!(plan.jobs.contains_key(&JobId::new(1)));
+        assert!(plan.jobs.contains_key(&JobId::new(2)));
+        assert_eq!(plan.diff(&current).len(), 2);
+    }
+
+    #[test]
+    fn reconcile_is_a_no_op_for_fresh_plans() {
+        let jobs = world(2, &[], &[(0, 0)]);
+        let nodes = vec![node(0, 12_000.0, 4096), node(1, 12_000.0, 4096)];
+        let current = place_jobs(&[(0, 0, 3000.0)]);
+        let mut plan = place_jobs(&[(0, 0, 3000.0), (1, 1, 2500.0)]);
+        let expect = plan.clone();
+        let inputs = ControlInputs {
+            now: SimTime::from_secs(600.0),
+            nodes: &nodes,
+            current: &current,
+            jobs: &jobs,
+            apps: &[],
+        };
+        // Fresh = snapshot placement is the live placement.
+        let out = reconcile(&mut plan, &current, &inputs, Some(8));
+        assert_eq!(out, ReconcileOutcome::default());
+        assert_eq!(plan, expect);
+    }
+
+    /// Scripted inner controller: returns the next placement of a fixed
+    /// sequence, recording one model-side sample per solve.
+    struct Scripted {
+        plans: Vec<Placement>,
+        at: usize,
+    }
+
+    impl Controller for Scripted {
+        fn control(&mut self, inputs: &ControlInputs<'_>, m: &mut MetricsSink) -> Placement {
+            m.record("scripted_solves", inputs.now, self.at as f64);
+            let p = self
+                .plans
+                .get(self.at)
+                .cloned()
+                .unwrap_or_else(|| inputs.current.clone());
+            self.at += 1;
+            p
+        }
+    }
+
+    #[test]
+    fn pipelined_controller_enacts_plans_one_latency_late() {
+        let jobs = world(2, &[], &[]);
+        let nodes = vec![node(0, 12_000.0, 4096)];
+        let p0 = place_jobs(&[(0, 0, 3000.0)]);
+        let p1 = place_jobs(&[(0, 0, 3000.0), (1, 0, 3000.0)]);
+        let inner = Scripted {
+            plans: vec![p0.clone(), p1.clone()],
+            at: 0,
+        };
+        let mut piped = PipelinedController::new(Box::new(inner), 1, None);
+        let mut metrics = MetricsSink::new();
+        let empty = Placement::empty();
+
+        // Cycle 0: pipeline filling — placement unchanged.
+        let inputs = ControlInputs {
+            now: SimTime::ZERO,
+            nodes: &nodes,
+            current: &empty,
+            jobs: &jobs,
+            apps: &[],
+        };
+        let got = piped.control(&inputs, &mut metrics);
+        assert_eq!(got, empty);
+        assert!(metrics.series("pipeline_staleness_cycles").is_empty());
+
+        // Cycle 1: cycle 0's plan lands, one cycle stale.
+        let inputs = ControlInputs {
+            now: SimTime::from_secs(600.0),
+            nodes: &nodes,
+            current: &empty,
+            jobs: &jobs,
+            apps: &[],
+        };
+        let got = piped.control(&inputs, &mut metrics);
+        assert_eq!(got, p0);
+        assert_eq!(metrics.last("pipeline_staleness_cycles"), Some(1.0));
+        assert_eq!(metrics.last("pipeline_staleness_secs"), Some(600.0));
+        assert!(metrics.last("pipeline_solve_micros").is_some());
+        // Model-side series merge at solve completion, not enactment:
+        // both cycles' solves have surfaced even though only cycle 0's
+        // plan has landed.
+        assert_eq!(metrics.series("scripted_solves").len(), 2);
+
+        // Cycle 2: cycle 1's plan lands.
+        let inputs = ControlInputs {
+            now: SimTime::from_secs(1200.0),
+            nodes: &nodes,
+            current: &p0,
+            jobs: &jobs,
+            apps: &[],
+        };
+        let got = piped.control(&inputs, &mut metrics);
+        assert_eq!(got, p1);
+        assert_eq!(metrics.series("scripted_solves").len(), 3);
+        assert_eq!(piped.latency_cycles(), 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Under random completion/outage interleavings, a reconciled
+        /// solver plan never assigns a completed job or touches a dead
+        /// node, and a change budget is re-enforced against the live
+        /// placement.
+        #[test]
+        fn prop_reconcile_never_assigns_dead_or_completed(
+            n_nodes in 2u32..6,
+            node_cpu in 6000.0..16_000.0f64,
+            job_demands in proptest::collection::vec(200.0..3000.0f64, 1..14),
+            completed_bits in proptest::collection::vec(0u32..2, 14..15),
+            dead_bits in proptest::collection::vec(0u32..2, 6..7),
+            cap in proptest::option::of(0usize..6),
+        ) {
+            use slaq_placement::problem::{JobRequest, PlacementConfig, PlacementProblem};
+            let completed_mask: Vec<bool> = completed_bits.iter().map(|&b| b == 1).collect();
+            let dead_mask: Vec<bool> = dead_bits.iter().map(|&b| b == 1).collect();
+            // Solve a problem against the snapshot-time world (all nodes
+            // up, all jobs pending).
+            let nodes_up: Vec<NodeCapacity> =
+                (0..n_nodes).map(|i| node(i, node_cpu, 4096)).collect();
+            let problem = PlacementProblem {
+                nodes: nodes_up.clone(),
+                apps: vec![],
+                jobs: job_demands
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &d)| JobRequest {
+                        id: JobId::new(i as u32),
+                        demand: CpuMhz::new(d),
+                        mem: MemMb::new(1280),
+                        running_on: None,
+                        affinity: None,
+                        priority: d,
+                    })
+                    .collect(),
+                config: PlacementConfig::default(),
+            };
+            let mut plan =
+                slaq_placement::solve(&problem, &Placement::empty()).placement;
+
+            // The world moves: some jobs complete, some nodes die.
+            let completed: Vec<u32> = (0..job_demands.len() as u32)
+                .filter(|&i| completed_mask[i as usize])
+                .collect();
+            let jobs = world(job_demands.len() as u32, &completed, &[]);
+            let live_nodes: Vec<NodeCapacity> = (0..n_nodes)
+                .map(|i| {
+                    if dead_mask[i as usize] {
+                        node(i, 0.0, 0)
+                    } else {
+                        node(i, node_cpu, 4096)
+                    }
+                })
+                .collect();
+            let current = Placement::empty();
+            let inputs = ControlInputs {
+                now: SimTime::from_secs(1200.0),
+                nodes: &live_nodes,
+                current: &current,
+                jobs: &jobs,
+                apps: &[],
+            };
+            let out = reconcile(&mut plan, &Placement::empty(), &inputs, cap);
+            // Liveness: no completed job, nothing on a dead node.
+            for (&j, &(n, _)) in &plan.jobs {
+                prop_assert!(jobs.job(j).unwrap().is_active(), "{j} completed but placed");
+                prop_assert!(!dead_mask[n.index()], "{j} placed on dead {n}");
+            }
+            for slices in plan.apps.values() {
+                for &n in slices.keys() {
+                    prop_assert!(!dead_mask[n.index()], "instance on dead {n}");
+                }
+            }
+            // Budget: every change here is a start, so the cap holds
+            // exactly.
+            if let Some(cap) = cap {
+                prop_assert!(plan.diff(&current).len() <= cap, "budget exceeded");
+            }
+            prop_assert!(out.grafted == 0 && out.kept_in_place == 0);
+        }
+    }
+}

@@ -18,9 +18,10 @@
 
 use crate::baselines::{StaticPartitionController, TransactionalFirstController};
 use crate::controller::{ControllerConfig, UtilityController};
+use crate::pipeline::PipelinedController;
 use crate::spec::{
-    AppSpec, ClusterTopology, ControllerKind, ControllerSpec, JobStreamSpec, ScenarioSpec,
-    TimingSpec,
+    AppSpec, ClusterTopology, ControllerKind, ControllerSpec, JobStreamSpec, PipelineSpec,
+    ScenarioSpec, TimingSpec,
 };
 use slaq_jobs::JobSpec;
 use slaq_perfmodel::TransactionalSpec;
@@ -62,6 +63,10 @@ pub struct Scenario {
     /// Which controller runs this scenario (`utility` | `fcfs` |
     /// `static`), named in the spec.
     pub kind: ControllerKind,
+    /// Control-plane scheduling: synchronous solves, or the pipelined
+    /// snapshot → solve → actuate plane enacting each plan
+    /// `latency_cycles` after its snapshot.
+    pub pipeline: PipelineSpec,
 }
 
 impl Scenario {
@@ -97,8 +102,12 @@ impl Scenario {
     /// The scenario's own controller: the spec-named kind (`utility` |
     /// `fcfs` | `static`), carrying the spec's placement knobs and — for
     /// the utility controller — its sharding plan and importance tiers.
+    /// Under a `controller.pipeline = overlap` spec the kind-controller
+    /// comes back wrapped in the pipelined control plane
+    /// ([`PipelinedController`]), so its solves overlap the simulation
+    /// and land `latency_cycles` after their snapshot.
     pub fn controller(&self) -> Box<dyn Controller> {
-        match self.kind {
+        let inner: Box<dyn Controller> = match self.kind {
             ControllerKind::Utility => Box::new(UtilityController::new(self.controller.clone())),
             ControllerKind::Fcfs => Box::new(TransactionalFirstController {
                 placement: self.controller.placement,
@@ -107,6 +116,14 @@ impl Scenario {
                 trans_fraction,
                 placement: self.controller.placement,
             }),
+        };
+        match self.pipeline {
+            PipelineSpec::Sync => inner,
+            PipelineSpec::Overlap { latency_cycles } => Box::new(PipelinedController::new(
+                inner,
+                latency_cycles,
+                self.controller.placement.max_changes,
+            )),
         }
     }
 

@@ -190,6 +190,16 @@ impl Default for TimingSpec {
 }
 
 impl TimingSpec {
+    /// Cap the horizon to at most `cycles` control cycles — the one
+    /// idiom behind every "run a preset briefly" sweep, bench and gate
+    /// (specs are data, so the cap is a field write). Never extends a
+    /// shorter horizon.
+    pub fn cap_to_cycles(&mut self, cycles: usize) {
+        self.horizon_secs = self
+            .horizon_secs
+            .min(self.control_period_secs * cycles as f64);
+    }
+
     /// The concrete simulator configuration.
     pub fn materialize(&self) -> SimConfig {
         SimConfig {
@@ -380,6 +390,35 @@ pub enum ShardingSpec {
     },
 }
 
+/// How the control plane schedules placement solves — the knob behind
+/// the pipelined control plane (`crate::pipeline`).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum PipelineSpec {
+    /// Sense, solve and actuate inside one control cycle (the paper's
+    /// synchronous controller; default).
+    #[default]
+    Sync,
+    /// Overlap solves with simulation: the plan solved from cycle *k*'s
+    /// snapshot is enacted — reconciled against the live world — at
+    /// cycle *k + latency_cycles*. `latency_cycles = 0` routes through
+    /// the pipeline machinery but reproduces the synchronous path bit
+    /// for bit (pinned by the corpus differential gate).
+    Overlap {
+        /// Enactment lag, in control cycles.
+        latency_cycles: u32,
+    },
+}
+
+impl PipelineSpec {
+    /// Short lowercase label for report rows (`sync` | `overlapN`).
+    pub fn label(&self) -> String {
+        match self {
+            PipelineSpec::Sync => "sync".into(),
+            PipelineSpec::Overlap { latency_cycles } => format!("overlap{latency_cycles}"),
+        }
+    }
+}
+
 /// Controller tuning carried by the spec (the knobs experiments sweep).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct ControllerSpec {
@@ -394,6 +433,9 @@ pub struct ControllerSpec {
     pub shards: ShardingSpec,
     /// Cross-shard migrations allowed per cycle when sharded.
     pub rebalance_budget: usize,
+    /// Control-plane scheduling: synchronous solves or the pipelined
+    /// snapshot → solve → actuate plane with overlapped solves.
+    pub pipeline: PipelineSpec,
 }
 
 // Hand-rolled so spec files written before the `kind`/`shards`/
@@ -418,6 +460,10 @@ impl serde::Deserialize for ControllerSpec {
                 serde::Value::Null => d.rebalance_budget,
                 other => serde::Deserialize::from_value(other)?,
             },
+            pipeline: match opt("pipeline")? {
+                serde::Value::Null => d.pipeline,
+                other => serde::Deserialize::from_value(other)?,
+            },
         })
     }
 }
@@ -431,6 +477,7 @@ impl Default for ControllerSpec {
             evict_priority_gap: d.placement.evict_priority_gap,
             shards: ShardingSpec::Zones,
             rebalance_budget: d.rebalance_budget,
+            pipeline: PipelineSpec::Sync,
         }
     }
 }
@@ -613,6 +660,7 @@ impl ScenarioSpec {
             outages,
             controller,
             kind: self.controller.kind,
+            pipeline: self.controller.pipeline,
         })
     }
 
@@ -1117,6 +1165,7 @@ mod tests {
         for stale in [
             "\"kind\": \"Utility\",",
             ",\n    \"shards\": \"Zones\",\n    \"rebalance_budget\": 8",
+            ",\n    \"pipeline\": \"Sync\"",
             ",\n        \"zone\": null",
         ] {
             assert!(json.contains(stale), "fixture drifted: {stale}");

@@ -1,5 +1,7 @@
-//! Solver bench gate: measure the warm-solve hot paths, persist the
-//! numbers to a tracked baseline file, and fail CI on regressions.
+//! Solver bench gate: measure the warm-solve hot paths plus the
+//! end-to-end control-cycle latency (snapshot → solve → actuate, sync
+//! vs. overlapped pipeline), persist the numbers to a tracked baseline
+//! file, and fail CI on regressions.
 //!
 //! ```text
 //! # measure and print
@@ -21,6 +23,7 @@
 //! global at 500n+) backs the absolute numbers up.
 
 use serde::{Deserialize, Serialize};
+use slaq_core::{PipelineSpec, ScenarioSpec};
 use slaq_experiments::sweeps::synthetic_problem;
 use slaq_placement::{Placement, PlacementProblem, ShardPlan, ShardedSolver, Solver};
 use std::time::Instant;
@@ -87,6 +90,41 @@ fn run_benches() -> Vec<BenchEntry> {
         entries.push(BenchEntry {
             name: format!("warm_sharded8_{nodes}n_{jobs}j"),
             micros,
+        });
+    }
+    entries.extend(cycle_latency_entries());
+    entries
+}
+
+/// End-to-end control-cycle latency (snapshot → solve → actuate) through
+/// the full simulator, per pipeline mode: median over whole short runs
+/// of `paper-small`, divided by the cycle count. Unlike the warm-solve
+/// medians above, this covers the entire control plane — sensing,
+/// snapshot capture, the solve, reconciliation and enactment — so a
+/// regression anywhere in the cycle path trips the same ±25 % gate.
+fn cycle_latency_entries() -> Vec<BenchEntry> {
+    let mut entries = Vec::new();
+    for (label, mode) in [
+        ("sync", PipelineSpec::Sync),
+        ("overlap1", PipelineSpec::Overlap { latency_cycles: 1 }),
+    ] {
+        let mut spec = ScenarioSpec::preset("paper-small").expect("preset exists");
+        spec.controller.pipeline = mode;
+        spec.timing.cap_to_cycles(10);
+        let scenario = spec.materialize().expect("preset is valid");
+        let mut times: Vec<f64> = (0..7)
+            .map(|_| {
+                let mut controller = scenario.controller();
+                let mut sim = scenario.build().expect("preset builds");
+                let start = Instant::now();
+                let report = sim.run(controller.as_mut()).expect("preset runs");
+                start.elapsed().as_secs_f64() * 1e6 / report.cycles.max(1) as f64
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        entries.push(BenchEntry {
+            name: format!("cycle_{label}_paper_small"),
+            micros: times[times.len() / 2],
         });
     }
     entries

@@ -5,14 +5,25 @@
 //! ```
 
 use slaq_core::scenario::PaperParams;
+use slaq_core::PipelineSpec;
 use slaq_experiments::sweeps::{
-    corpus_sweep, format_corpus, format_scalability, placement_scalability, seed_sweep,
+    corpus_sweep, format_corpus, format_scalability, format_staleness, placement_scalability,
+    seed_sweep, staleness_sweep,
 };
 
 fn main() {
     println!("scenario corpus (each preset, first 12 control cycles):\n");
     let corpus = corpus_sweep(Some(12)).expect("corpus presets must run");
     println!("{}", format_corpus(&corpus));
+
+    println!("control-plane staleness (corpus × pipeline mode, 12 cycles):\n");
+    let modes = [
+        PipelineSpec::Sync,
+        PipelineSpec::Overlap { latency_cycles: 1 },
+        PipelineSpec::Overlap { latency_cycles: 2 },
+    ];
+    let staleness = staleness_sweep(&modes, Some(12)).expect("staleness sweep must run");
+    println!("{}", format_staleness(&staleness));
 
     println!("placement solver scalability (cold placement, jobs-heavy mix):\n");
     let grid: Vec<(u32, u32)> = vec![(10, 30), (25, 120), (50, 300), (100, 600), (200, 1200)];
@@ -48,7 +59,7 @@ fn main() {
     std::fs::create_dir_all("out").expect("create out/");
     std::fs::write(
         "out/sweep.json",
-        serde_json::to_string_pretty(&(corpus, cells, outcomes)).expect("serialize"),
+        serde_json::to_string_pretty(&(corpus, staleness, cells, outcomes)).expect("serialize"),
     )
     .expect("write out/sweep.json");
     println!("wrote out/sweep.json");

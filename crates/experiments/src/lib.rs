@@ -12,8 +12,11 @@
 //! * [`comparison`] — E3: the utility controller vs the two baselines;
 //! * [`churn`] — E9: churn-budget sensitivity of the placement solver;
 //! * [`sweeps`] — E4: placement-solver scalability grids
-//!   (rayon-parallel), seed robustness, and brief runs over the whole
-//!   scenario corpus ([`sweeps::corpus_sweep`]).
+//!   (rayon-parallel), seed robustness, brief runs over the whole
+//!   scenario corpus ([`sweeps::corpus_sweep`]), and the control-plane
+//!   staleness sweep ([`sweeps::staleness_sweep`]: corpus × pipeline
+//!   modes, quantifying what overlapped solves acting on stale
+//!   snapshots cost).
 //!
 //! Binaries: `fig1`, `fig2`, `baselines`, `sweep` (see DESIGN.md §4).
 
@@ -31,4 +34,4 @@ pub use churn::{churn_sweep, ChurnCell};
 pub use comparison::{compare_controllers, ComparisonRow};
 pub use figures::{fig1_csv, fig2_csv, run_paper_experiment};
 pub use shape::{shape_metrics, ShapeMetrics};
-pub use sweeps::{corpus_sweep, CorpusOutcome};
+pub use sweeps::{corpus_sweep, staleness_sweep, CorpusOutcome, StalenessCell};

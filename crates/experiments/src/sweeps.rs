@@ -182,10 +182,7 @@ fn sweep_specs(specs: Vec<ScenarioSpec>, max_cycles: Option<usize>) -> Result<Ve
         .map(|spec| {
             let mut spec = spec.clone();
             if let Some(cycles) = max_cycles {
-                spec.timing.horizon_secs = spec
-                    .timing
-                    .horizon_secs
-                    .min(spec.timing.control_period_secs * cycles as f64);
+                spec.timing.cap_to_cycles(cycles);
             }
             let horizon = SimTime::from_secs(spec.timing.horizon_secs);
             let scenario = spec.materialize()?;
@@ -211,6 +208,96 @@ fn sweep_specs(specs: Vec<ScenarioSpec>, max_cycles: Option<usize>) -> Result<Ve
         })
         .collect();
     rows.into_iter().collect()
+}
+
+/// One cell of the control-plane staleness sweep: a corpus preset run
+/// under one pipeline mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StalenessCell {
+    /// Preset name.
+    pub scenario: String,
+    /// Pipeline mode label (`sync` | `overlapN`).
+    pub mode: String,
+    /// Control cycles executed.
+    pub cycles: usize,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Σ over cycles of the satisfied CPU samples (`trans_alloc` +
+    /// `jobs_alloc`) — the series the staleness gate pins.
+    pub satisfied_cpu: f64,
+    /// Mean wall-clock solve latency (µs) over enacted plans (0 under
+    /// `sync`, which records no pipeline series).
+    pub mean_solve_micros: f64,
+    /// Mean age of the enacted plan in seconds (0 under `sync`).
+    pub mean_staleness_secs: f64,
+}
+
+/// The staleness sweep: every corpus preset × every requested pipeline
+/// mode, horizon-capped to `max_cycles` cycles. Quantifies what acting
+/// on a stale snapshot costs: how much satisfied CPU (and how many job
+/// completions) survive as `latency_cycles` grows. The pipeline is spec
+/// data, so each cell is a single field write.
+pub fn staleness_sweep(
+    modes: &[slaq_core::PipelineSpec],
+    max_cycles: Option<usize>,
+) -> Result<Vec<StalenessCell>> {
+    let mut runs: Vec<(ScenarioSpec, String)> = Vec::new();
+    for spec in ScenarioSpec::corpus() {
+        for &mode in modes {
+            let mut s = spec.clone();
+            s.controller.pipeline = mode;
+            if let Some(cycles) = max_cycles {
+                s.timing.cap_to_cycles(cycles);
+            }
+            runs.push((s, mode.label()));
+        }
+    }
+    let cells: Vec<Result<StalenessCell>> = runs
+        .par_iter()
+        .map(|(spec, label)| {
+            let report = spec.run()?;
+            let sum =
+                |name: &str| -> f64 { report.metrics.series(name).iter().map(|&(_, v)| v).sum() };
+            let mean = |name: &str| -> f64 {
+                let pts = report.metrics.series(name);
+                if pts.is_empty() {
+                    0.0
+                } else {
+                    pts.iter().map(|&(_, v)| v).sum::<f64>() / pts.len() as f64
+                }
+            };
+            Ok(StalenessCell {
+                scenario: spec.name.clone(),
+                mode: label.clone(),
+                cycles: report.cycles,
+                completed: report.job_stats.completed,
+                satisfied_cpu: sum("trans_alloc") + sum("jobs_alloc"),
+                mean_solve_micros: mean("pipeline_solve_micros"),
+                mean_staleness_secs: mean("pipeline_staleness_secs"),
+            })
+        })
+        .collect();
+    cells.into_iter().collect()
+}
+
+/// Text table for the staleness sweep.
+pub fn format_staleness(cells: &[StalenessCell]) -> String {
+    let mut out = String::from(
+        "scenario              mode      cycles  done   satisfied-cpu  solve(us)  staleness(s)\n",
+    );
+    for c in cells {
+        out.push_str(&format!(
+            "{:<21} {:<9} {:<7} {:<6} {:<14.0} {:<10.1} {:.0}\n",
+            c.scenario,
+            c.mode,
+            c.cycles,
+            c.completed,
+            c.satisfied_cpu,
+            c.mean_solve_micros,
+            c.mean_staleness_secs,
+        ));
+    }
+    out
 }
 
 /// Text table for the corpus sweep.
@@ -299,6 +386,34 @@ mod tests {
         for r in &small {
             assert!(r.cycles >= 2, "{}/{}", r.scenario, r.controller);
         }
+    }
+
+    #[test]
+    fn staleness_sweep_crosses_corpus_with_pipeline_modes() {
+        use slaq_core::PipelineSpec;
+        let modes = [
+            PipelineSpec::Sync,
+            PipelineSpec::Overlap { latency_cycles: 1 },
+        ];
+        let cells = staleness_sweep(&modes, Some(2)).unwrap();
+        assert_eq!(cells.len(), ScenarioSpec::corpus().len() * modes.len());
+        for pair in cells.chunks(2) {
+            let (sync, overlap) = (&pair[0], &pair[1]);
+            assert_eq!(sync.scenario, overlap.scenario);
+            assert_eq!(sync.mode, "sync");
+            assert_eq!(overlap.mode, "overlap1");
+            // Only the overlapped run records pipeline series; its
+            // enacted plans are exactly one cycle stale.
+            assert_eq!(sync.mean_staleness_secs, 0.0, "{}", sync.scenario);
+            assert!(
+                overlap.mean_staleness_secs > 0.0,
+                "{}: no staleness recorded",
+                overlap.scenario
+            );
+            assert!(overlap.mean_solve_micros > 0.0, "{}", overlap.scenario);
+        }
+        let table = format_staleness(&cells);
+        assert_eq!(table.lines().count(), cells.len() + 1);
     }
 
     #[test]

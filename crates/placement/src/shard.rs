@@ -36,7 +36,7 @@
 //! over-subscribed shard is only rescued by the (budgeted) rebalance
 //! pass. The corpus tests pin that gap.
 
-use crate::placement::Placement;
+use crate::placement::{Placement, PlacementChange};
 use crate::problem::{AppRequest, PlacementProblem};
 use crate::solver::{PlacementOutcome, Solver};
 use rayon::prelude::*;
@@ -361,11 +361,84 @@ impl ShardedSolver {
         // 3. Solve every shard (parallel under real rayon; the offline
         // stand-in degrades to sequential with identical results).
         // ------------------------------------------------------------
-        let outcomes: Vec<PlacementOutcome> = self
+        let mut outcomes: Vec<PlacementOutcome> = self
             .lanes
             .par_iter_mut()
             .map(|lane| lane.solver.solve(&lane.problem, prev))
             .collect();
+
+        // ------------------------------------------------------------
+        // 3b. Work-stealing budget pass: the proportional split can
+        // starve a shard whose churn is concentrated (a burst of
+        // arrivals in one zone) while another shard's share idles. Any
+        // lane that exhausted its budget — or had none and still left
+        // jobs unplaced — steals the pooled headroom the other lanes
+        // left unused and re-solves with it. The global cap holds: the
+        // stolen budget is exactly the unused remainder of the same
+        // split, so Σ per-lane changes can never exceed `max_changes`.
+        // ------------------------------------------------------------
+        if problem.config.max_changes.is_some() {
+            // A lane's outcome diffs against the *global* prev, so it
+            // also lists phantom suspends of foreign lanes' jobs; only
+            // changes touching the lane's own entities spent its budget.
+            // Classify by lane through the dense tables already in hand
+            // (job → lane, node → shard) — no per-lane sets.
+            let job_ix = Interner::new(problem.jobs.iter().map(|j| j.id));
+            let used: Vec<usize> = outcomes
+                .iter()
+                .enumerate()
+                .map(|(s, o)| {
+                    o.changes
+                        .iter()
+                        .filter(|c| match c {
+                            PlacementChange::StartJob { job, .. }
+                            | PlacementChange::SuspendJob { job, .. }
+                            | PlacementChange::MigrateJob { job, .. } => {
+                                job_ix.dense(*job).is_some_and(|ji| self.job_lane[ji] == s)
+                            }
+                            PlacementChange::StartInstance { node, .. }
+                            | PlacementChange::StopInstance { node, .. } => node_ix
+                                .dense(*node)
+                                .is_some_and(|ni| map.shard_of(ni).index() == s),
+                        })
+                        .count()
+                })
+                .collect();
+            let mut surplus = 0usize;
+            let mut starved: Vec<usize> = Vec::new();
+            for s in 0..k {
+                let b = budgets[s].expect("split of Some is Some");
+                // Starved = budget-bound: either the share is exhausted,
+                // or jobs are left unplaced with a leftover too small
+                // for the solver's costliest action (an eviction spends
+                // 2 changes). A lane with ≥ 2 budget left and still-
+                // unplaced jobs is capacity-bound — more budget cannot
+                // help, so it donates instead of re-solving for nothing.
+                // A starved lane keeps its own headroom: only donors
+                // feed the surplus pool.
+                let remaining = b.saturating_sub(used[s]);
+                let pending = !outcomes[s].unplaced_jobs.is_empty();
+                if (b > 0 && used[s] >= b) || (pending && remaining < 2) {
+                    starved.push(s);
+                } else {
+                    surplus += remaining;
+                }
+            }
+            if surplus > 0 && !starved.is_empty() {
+                let weights: Vec<usize> = starved.iter().map(|&s| self.lane_weight[s]).collect();
+                let extras = split_budget(Some(surplus), &weights);
+                for (&s, extra) in starved.iter().zip(extras) {
+                    let extra = extra.expect("split of Some is Some");
+                    if extra == 0 {
+                        continue;
+                    }
+                    let lane = &mut self.lanes[s];
+                    lane.problem.config.max_changes =
+                        Some(budgets[s].expect("split of Some is Some") + extra);
+                    outcomes[s] = lane.solver.solve(&lane.problem, prev);
+                }
+            }
+        }
 
         // ------------------------------------------------------------
         // 4. Merge shard placements (node sets are disjoint).
@@ -827,6 +900,52 @@ mod tests {
         let mut sharded = ShardedSolver::new(ShardPlan::Fixed(2), 4);
         let out = sharded.solve(&p, &prev);
         assert!(out.changes.len() <= 1, "{:?}", out.changes);
+    }
+
+    #[test]
+    fn stolen_budget_rescues_churn_confined_to_one_shard() {
+        // Shard 0 (nodes 0–1) is steady: two running jobs already placed,
+        // zero pending churn. Shard 1 (nodes 2–3) holds all the churn:
+        // four suspended jobs affine to its nodes, each needing a start.
+        // The proportional split of max_changes = 4 gives shard 1 only 2
+        // (weights 4 vs 6, largest remainder favours shard 0), so without
+        // work stealing two jobs starve while shard 0's share idles. The
+        // stealing pass must hand shard 0's unused budget over and start
+        // all four — still within the global cap.
+        let mut prev = Placement::empty();
+        let mut jobs = Vec::new();
+        for i in 0..2 {
+            let mut j = jobr(i, 3000.0);
+            j.running_on = Some(NodeId::new(i));
+            prev.jobs
+                .insert(JobId::new(i), (NodeId::new(i), CpuMhz::new(3000.0)));
+            jobs.push(j);
+        }
+        for i in 2..6 {
+            let mut j = jobr(i, 3000.0);
+            j.affinity = Some(NodeId::new(2 + (i % 2)));
+            jobs.push(j);
+        }
+        let mut p = problem(nodes(4, 12_000.0, 4096), vec![], jobs);
+        p.config.max_changes = Some(4);
+        let mut sharded = ShardedSolver::new(ShardPlan::Fixed(2), 0);
+        let out = sharded.solve(&p, &prev);
+        assert!(
+            out.changes.len() <= 4,
+            "global cap violated: {:?}",
+            out.changes
+        );
+        for i in 2..6 {
+            assert!(
+                out.placement.jobs.contains_key(&JobId::new(i)),
+                "job {i} starved despite idle budget elsewhere: {:?}",
+                out.unplaced_jobs
+            );
+        }
+        // Steady shard stays steady.
+        assert_eq!(out.placement.job_node(JobId::new(0)), Some(NodeId::new(0)));
+        assert_eq!(out.placement.job_node(JobId::new(1)), Some(NodeId::new(1)));
+        out.placement.validate(&p.nodes, &p.apps, &p.jobs).unwrap();
     }
 
     #[test]

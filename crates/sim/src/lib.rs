@@ -23,7 +23,11 @@
 //! The control interface is the [`Controller`] trait: every control cycle
 //! the simulator hands the controller its observations and applies the
 //! returned [`Placement`] — `slaq-core` provides the paper's controller,
-//! and the baselines live alongside it.
+//! and the baselines live alongside it. Each control cycle is staged as
+//! **sense → solve → actuate**; the `snapshot` module's
+//! [`SensingSnapshot`] is the owned, `Send` capture of the sensed inputs
+//! that lets `slaq-core`'s pipelined control plane overlap the solve
+//! stage with simulation instead of solving inline.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -32,6 +36,7 @@ pub mod apps;
 pub mod cluster;
 pub mod metrics;
 pub mod simulator;
+pub mod snapshot;
 
 pub use apps::{AppObservation, TransactionalRuntime};
 pub use cluster::effective_speeds;
@@ -39,3 +44,4 @@ pub use metrics::MetricsSink;
 pub use simulator::{
     ControlInputs, Controller, NodeOutage, OverheadConfig, SimConfig, SimReport, Simulator,
 };
+pub use snapshot::SensingSnapshot;

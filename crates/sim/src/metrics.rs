@@ -30,6 +30,18 @@ impl MetricsSink {
             .push((t.as_secs(), value));
     }
 
+    /// Absorb another sink: every series of `other` is appended onto the
+    /// series of the same name here (created on first use), points in
+    /// `other`'s recorded order. Used by the pipelined control plane to
+    /// fold a solve's buffered model-side series into the run's sink at
+    /// actuation time; merging completed solves in dispatch order keeps
+    /// each series time-sorted.
+    pub fn merge(&mut self, other: MetricsSink) {
+        for (name, mut pts) in other.series {
+            self.series.entry(name).or_default().append(&mut pts);
+        }
+    }
+
     /// All points of one series.
     pub fn series(&self, name: &str) -> &[(f64, f64)] {
         self.series.get(name).map(Vec::as_slice).unwrap_or(&[])
@@ -134,6 +146,20 @@ mod tests {
         assert_eq!(m.last("u"), Some(0.7));
         assert_eq!(m.series("missing"), &[] as &[(f64, f64)]);
         assert_eq!(m.names(), vec!["u"]);
+    }
+
+    #[test]
+    fn merge_appends_series_in_order() {
+        let mut a = MetricsSink::new();
+        a.record("u", t(0.0), 1.0);
+        a.record("only_a", t(0.0), 9.0);
+        let mut b = MetricsSink::new();
+        b.record("u", t(600.0), 2.0);
+        b.record("only_b", t(600.0), 7.0);
+        a.merge(b);
+        assert_eq!(a.series("u"), &[(0.0, 1.0), (600.0, 2.0)]);
+        assert_eq!(a.series("only_a"), &[(0.0, 9.0)]);
+        assert_eq!(a.series("only_b"), &[(600.0, 7.0)]);
     }
 
     #[test]

@@ -379,6 +379,9 @@ impl Simulator {
 
     /// Run to the horizon under `controller`.
     pub fn run(&mut self, controller: &mut dyn Controller) -> Result<SimReport> {
+        // Event tracing is opt-in and rare; resolve the env var once per
+        // run instead of paying a `var_os` syscall on every event.
+        let trace = std::env::var_os("SLAQ_TRACE").is_some();
         loop {
             let blocked = self.blocked_set();
             let caps = self.job_caps();
@@ -410,7 +413,7 @@ impl Simulator {
                 .min(t_unblock)
                 .min(self.next_outage_event(self.now))
                 .min(self.config.horizon);
-            if std::env::var_os("SLAQ_TRACE").is_some() {
+            if trace {
                 eprintln!(
                     "now={} next={} (ctrl={} arr={} done={} unblk={})",
                     self.now, t_next, self.next_control, t_arrival, t_done, t_unblock
@@ -472,19 +475,16 @@ impl Simulator {
         })
     }
 
+    /// One control cycle, staged as the control plane's pipeline:
+    /// **sense** (flush cycle measurements, collect observations),
+    /// **solve** (hand the inputs to the controller — synchronous
+    /// controllers solve inline; a pipelined controller snapshots them
+    /// via [`crate::SensingSnapshot`] and returns an earlier cycle's
+    /// reconciled plan instead), and **actuate** (enact the returned
+    /// placement and record the mechanical series).
     fn run_control(&mut self, controller: &mut dyn Controller) -> Result<()> {
-        // Flush per-app cycle measurements (of the cycle that just ended).
-        for app in &mut self.apps {
-            if let Some((rt, u)) = app.flush_cycle() {
-                self.metrics
-                    .record(app.rt_metric_key(), self.now, rt.as_secs());
-                self.metrics.record(app.utility_metric_key(), self.now, u);
-                self.metrics.record("trans_utility", self.now, u);
-            }
-        }
-
-        let observations: Vec<AppObservation> =
-            self.apps.iter().map(|a| a.observation(self.now)).collect();
+        // --- sense ---
+        let observations = self.sense();
         let live_nodes = self.effective_nodes(self.now);
         let inputs = ControlInputs {
             now: self.now,
@@ -493,12 +493,33 @@ impl Simulator {
             jobs: &self.job_mgr,
             apps: &observations,
         };
+        // --- solve ---
         let next = controller.control(&inputs, &mut self.metrics);
+        // --- actuate ---
         let n_changes = self.enact(next)?;
         self.cycles += 1;
         self.total_changes += n_changes;
+        self.record_cycle_series(n_changes);
+        Ok(())
+    }
 
-        // Mechanical series.
+    /// The sensing stage: flush per-app measurements of the cycle that
+    /// just ended (recording the measured series) and collect the
+    /// observations the controller may see.
+    fn sense(&mut self) -> Vec<AppObservation> {
+        for app in &mut self.apps {
+            if let Some((rt, u)) = app.flush_cycle() {
+                self.metrics
+                    .record(app.rt_metric_key(), self.now, rt.as_secs());
+                self.metrics.record(app.utility_metric_key(), self.now, u);
+                self.metrics.record("trans_utility", self.now, u);
+            }
+        }
+        self.apps.iter().map(|a| a.observation(self.now)).collect()
+    }
+
+    /// Record the mechanical per-cycle series after actuation.
+    fn record_cycle_series(&mut self, n_changes: usize) {
         let t = self.now;
         // Controller-neutral job satisfaction: expected utility of every
         // active job at its *current* effective speed (pending and
@@ -556,7 +577,6 @@ impl Simulator {
             .record("jobs_suspended", t, stats.suspended as f64);
         self.metrics
             .record("jobs_completed", t, stats.completed as f64);
-        Ok(())
     }
 }
 

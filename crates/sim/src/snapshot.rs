@@ -1,0 +1,146 @@
+//! The **snapshot** stage of the control pipeline: an owned, `Send`
+//! capture of everything a controller may observe at a control cycle.
+//!
+//! [`ControlInputs`](crate::ControlInputs) is a bundle of borrows into the
+//! live simulator — perfect for the synchronous path, where the solve
+//! happens inline and the world cannot move underneath it, but useless for
+//! an overlapped solve that must outlive the control cycle it was sensed
+//! in. [`SensingSnapshot`] is the owned counterpart: node capacities, the
+//! placement in force, the whole job manager (states, remaining work,
+//! SLAs) and the per-application observations, cloned once at sensing
+//! time. It is `Send`, so a solve task built from it can cross a worker
+//! boundary (today's worker runs inline under the sequential `rayon`
+//! stand-in; real threads get the same contract for free), and
+//! [`SensingSnapshot::inputs`] lends it back out as `ControlInputs` so
+//! any [`Controller`](crate::Controller) can solve against the frozen
+//! world without knowing it is stale.
+//!
+//! Staleness is the point: a plan computed from a snapshot taken at cycle
+//! *k* describes the world as it *was*; whoever enacts it at cycle
+//! *k + latency* must reconcile it against the world as it *is* (jobs
+//! completed meanwhile, nodes failed, arrivals the plan never saw). The
+//! reconciliation lives with the pipeline driver in `slaq-core`; this
+//! module only guarantees the capture is complete and detached.
+
+use crate::apps::AppObservation;
+use crate::simulator::ControlInputs;
+use slaq_jobs::JobManager;
+use slaq_placement::problem::NodeCapacity;
+use slaq_placement::Placement;
+use slaq_types::SimTime;
+
+/// An owned, detached capture of one control cycle's observations — the
+/// snapshot stage of the snapshot → solve → actuate pipeline.
+#[derive(Debug, Clone)]
+pub struct SensingSnapshot {
+    /// Instant the snapshot was taken (the sensing cycle's `now`).
+    pub now: SimTime,
+    /// Node capacities as sensed (outage-affected nodes read zero).
+    pub nodes: Vec<NodeCapacity>,
+    /// Placement in force at sensing time.
+    pub current: Placement,
+    /// The job population, frozen: states, remaining work, SLAs.
+    pub jobs: JobManager,
+    /// Per-application observations (spec + estimated intensity).
+    pub apps: Vec<AppObservation>,
+}
+
+impl SensingSnapshot {
+    /// Capture the live inputs into an owned snapshot.
+    pub fn capture(inputs: &ControlInputs<'_>) -> Self {
+        SensingSnapshot {
+            now: inputs.now,
+            nodes: inputs.nodes.to_vec(),
+            current: inputs.current.clone(),
+            jobs: inputs.jobs.clone(),
+            apps: inputs.apps.to_vec(),
+        }
+    }
+
+    /// Lend the snapshot back out as controller inputs: any
+    /// [`Controller`](crate::Controller) can solve against the frozen
+    /// world exactly as it would against the live one.
+    pub fn inputs(&self) -> ControlInputs<'_> {
+        ControlInputs {
+            now: self.now,
+            nodes: &self.nodes,
+            current: &self.current,
+            jobs: &self.jobs,
+            apps: &self.apps,
+        }
+    }
+}
+
+// A snapshot must be able to cross a solve-worker boundary.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<SensingSnapshot>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slaq_jobs::JobSpec;
+    use slaq_types::{CpuMhz, JobId, MemMb, NodeId, SimDuration, Work};
+    use slaq_utility::CompletionGoal;
+
+    fn job_spec(work_secs: f64) -> JobSpec {
+        JobSpec {
+            name: "snap".into(),
+            total_work: Work::from_power_secs(CpuMhz::new(3000.0), work_secs),
+            max_speed: CpuMhz::new(3000.0),
+            mem: MemMb::new(1280),
+            goal: CompletionGoal::relative(
+                SimTime::ZERO,
+                SimDuration::from_secs(work_secs),
+                1.25,
+                2.0,
+            )
+            .unwrap(),
+        }
+    }
+
+    #[test]
+    fn capture_is_detached_from_the_live_world() {
+        let nodes = vec![NodeCapacity {
+            id: NodeId::new(0),
+            cpu: CpuMhz::new(12_000.0),
+            mem: MemMb::new(4096),
+        }];
+        let mut jobs = JobManager::new();
+        jobs.submit(job_spec(1000.0), SimTime::ZERO).unwrap();
+        let mut placement = Placement::empty();
+        placement
+            .jobs
+            .insert(JobId::new(0), (NodeId::new(0), CpuMhz::new(3000.0)));
+        let inputs = ControlInputs {
+            now: SimTime::from_secs(600.0),
+            nodes: &nodes,
+            current: &placement,
+            jobs: &jobs,
+            apps: &[],
+        };
+        let snap = SensingSnapshot::capture(&inputs);
+
+        // The live world moves on; the snapshot does not.
+        jobs.job_mut(JobId::new(0))
+            .unwrap()
+            .start(NodeId::new(0), SimTime::from_secs(600.0))
+            .unwrap();
+        placement.jobs.clear();
+
+        assert_eq!(snap.now, SimTime::from_secs(600.0));
+        assert_eq!(snap.jobs.len(), 1);
+        assert!(matches!(
+            snap.jobs.job(JobId::new(0)).unwrap().state,
+            slaq_jobs::JobState::Pending
+        ));
+        assert_eq!(snap.current.jobs.len(), 1);
+
+        // And it lends itself back out as equivalent inputs.
+        let lent = snap.inputs();
+        assert_eq!(lent.now, snap.now);
+        assert_eq!(lent.current.job_node(JobId::new(0)), Some(NodeId::new(0)));
+        assert_eq!(lent.nodes.len(), 1);
+    }
+}

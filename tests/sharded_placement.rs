@@ -17,10 +17,7 @@ use slaq::core::spec::{ScenarioSpec, ShardingSpec};
 fn run_with(spec: &ScenarioSpec, shards: ShardingSpec, cycles: usize) -> slaq::sim::SimReport {
     let mut spec = spec.clone();
     spec.controller.shards = shards;
-    spec.timing.horizon_secs = spec
-        .timing
-        .horizon_secs
-        .min(spec.timing.control_period_secs * cycles as f64);
+    spec.timing.cap_to_cycles(cycles);
     spec.run()
         .unwrap_or_else(|e| panic!("{} ({shards:?}): {e}", spec.name))
 }
