@@ -3,7 +3,7 @@
 //! The paper motivates utility-driven management by contrast with (a)
 //! schedulers that always privilege the interactive tier and queue batch
 //! work FCFS, and (b) static partitioning of the cluster between workload
-//! classes (its reference [6], Solaris Resource Manager-style). These two
+//! classes (its reference \[6\], Solaris Resource Manager-style). These two
 //! controllers make that contrast measurable.
 
 use slaq_placement::problem::{AppRequest, JobRequest, PlacementConfig, PlacementProblem};
@@ -82,7 +82,7 @@ impl Controller for TransactionalFirstController {
 
 /// Static partitioning: the first `⌈fraction·N⌉` nodes belong to the
 /// transactional tier, the rest to jobs; neither side ever crosses the
-/// fence (the paper's reference [6] consolidation model).
+/// fence (the paper's reference \[6\] consolidation model).
 #[derive(Debug, Clone)]
 pub struct StaticPartitionController {
     /// Fraction of nodes reserved for the transactional tier, in (0, 1).

@@ -21,7 +21,7 @@
 //! The `baselines` module provides the two comparison controllers used by
 //! experiment E3 (DESIGN.md): a transactional-first FCFS scheduler
 //! without utility awareness, and a static cluster partitioning in the
-//! spirit of the paper's reference [6].
+//! spirit of the paper's reference \[6\].
 //!
 //! The `pipeline` module is the **pipelined control plane**: a
 //! [`PipelinedController`] adapter that splits the cycle into snapshot →

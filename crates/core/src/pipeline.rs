@@ -10,7 +10,7 @@
 //! interface:
 //!
 //! 1. **Snapshot** — at cycle *k* the live
-//!    [`ControlInputs`](slaq_sim::ControlInputs) are captured into an
+//!    [`ControlInputs`] are captured into an
 //!    owned, `Send` [`SensingSnapshot`] (the `slaq-sim` sensing layer)
 //!    and wrapped in a [`SolveTask`].
 //! 2. **Solve** — the task goes to a [`SolveWorker`]. The in-tree

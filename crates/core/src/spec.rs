@@ -342,7 +342,7 @@ pub struct OutageSpec {
 /// can compare controllers per scenario instead of hard-coding one.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum ControllerKind {
-    /// [`UtilityController`]: utility equalization + constrained
+    /// [`UtilityController`](crate::UtilityController): utility equalization + constrained
     /// placement (the paper's algorithm; default).
     #[default]
     Utility,
@@ -420,6 +420,27 @@ impl PipelineSpec {
 }
 
 /// Controller tuning carried by the spec (the knobs experiments sweep).
+///
+/// Every knob is spec data, so controller variants — which algorithm,
+/// how the placement engine shards, how the control plane pipelines —
+/// are one field write away, and invalid settings are caught by
+/// [`ScenarioSpec::validate`] with the offending section named:
+///
+/// ```
+/// use slaq_core::{PipelineSpec, ScenarioSpec, ShardingSpec};
+///
+/// let mut spec = ScenarioSpec::preset("consolidation").expect("built-in preset");
+/// // Three fixed shards, a cross-shard migration budget, and a
+/// // one-cycle-stale overlapped control plane:
+/// spec.controller.shards = ShardingSpec::Count { count: 3 };
+/// spec.controller.rebalance_budget = 8;
+/// spec.controller.pipeline = PipelineSpec::Overlap { latency_cycles: 1 };
+/// spec.validate().expect("still a valid scenario");
+///
+/// spec.controller.shards = ShardingSpec::Count { count: 0 };
+/// let err = spec.validate().expect_err("zero shards is rejected");
+/// assert!(err.to_string().contains("controller"), "{err}");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct ControllerSpec {
     /// Which controller to run (`Utility` | `Fcfs` | `Static`).
@@ -483,6 +504,23 @@ impl Default for ControllerSpec {
 }
 
 /// A complete, declarative, serde-round-trippable description of one run.
+///
+/// Specs are plain data: look one up from the built-in corpus (or read
+/// it from JSON), tweak fields, and it round-trips losslessly —
+/// [`ScenarioSpec::to_json`] then [`ScenarioSpec::from_json`] is a fixed
+/// point, which is what lets scenarios live in files and CI gates
+/// instead of code:
+///
+/// ```
+/// use slaq_core::ScenarioSpec;
+///
+/// let spec = ScenarioSpec::preset("paper-small").expect("built-in preset");
+/// spec.validate().expect("corpus presets always validate");
+///
+/// let json = spec.to_json().expect("specs serialize");
+/// let back = ScenarioSpec::from_json(&json).expect("and parse back");
+/// assert_eq!(back, spec, "JSON round-trip is a fixed point");
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioSpec {
     /// Scenario name (also the report label).
@@ -572,6 +610,44 @@ impl ScenarioSpec {
     /// Validate and materialize the runnable [`Scenario`]: concrete
     /// cluster, generated job population (with per-job importance tiers
     /// folded into the controller config), and outage plan.
+    ///
+    /// Specs compose from plain struct literals, so a whole scenario —
+    /// cluster, SLAs, workload, controller — builds programmatically and
+    /// runs end to end:
+    ///
+    /// ```
+    /// use slaq_core::{AppSpec, ClusterTopology, ControllerSpec, ScenarioSpec, TimingSpec};
+    /// use slaq_workloads::IntensityTrace;
+    ///
+    /// let mut spec = ScenarioSpec {
+    ///     name: "one-app-demo".into(),
+    ///     seed: 7,
+    ///     cluster: ClusterTopology::homogeneous(4, 4, 3000.0, 4096),
+    ///     timing: TimingSpec::default(),
+    ///     controller: ControllerSpec::default(),
+    ///     apps: vec![AppSpec {
+    ///         name: "storefront".into(),
+    ///         trace: IntensityTrace::Constant { rate: 12.0 },
+    ///         service_mhz_s: 720.0,
+    ///         rt_goal_secs: 0.5,
+    ///         u_cap: 0.9,
+    ///         mem_mb: 1024,
+    ///         min_instances: 1,
+    ///         max_instances: 4,
+    ///         estimator_alpha: 0.4,
+    ///     }],
+    ///     job_streams: vec![],
+    ///     outages: vec![],
+    /// };
+    /// spec.timing.cap_to_cycles(2); // keep the doctest run short
+    ///
+    /// let scenario = spec.materialize().expect("spec is valid");
+    /// let mut controller = scenario.controller();
+    /// let mut sim = scenario.build().expect("scenario builds");
+    /// let report = sim.run(controller.as_mut()).expect("and runs");
+    /// // Control fires at t = 0 s, 600 s and the 1200 s horizon.
+    /// assert_eq!(report.cycles, 3);
+    /// ```
     pub fn materialize(&self) -> Result<Scenario> {
         self.validate()?;
         let cluster = self.cluster.materialize();

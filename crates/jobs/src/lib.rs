@@ -11,7 +11,7 @@
 //!
 //! * [`JobSpec`] / [`Job`] — the job model: total work (MHz·s), maximum
 //!   useful speed (one processor in the paper's testbed), memory
-//!   footprint, and a [`CompletionGoal`] utility function (`job` module);
+//!   footprint, and a [`CompletionGoal`](slaq_utility::CompletionGoal) utility function (`job` module);
 //! * [`JobUtility`] — the utility-of-CPU adapter built on projected
 //!   completion time, the quantity the equalizer consumes
 //!   (`utility` module);

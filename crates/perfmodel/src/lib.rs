@@ -3,7 +3,7 @@
 //! The paper's transactional workloads are clustered web applications
 //! managed to a *response-time* goal. The authors' prototype derives CPU
 //! demand from a performance model fed by a work profiler (WebSphere XD's
-//! flow controller; see references [2] and [5] of the paper). That stack is
+//! flow controller; see references \[2\] and \[5\] of the paper). That stack is
 //! proprietary, so this crate substitutes the standard open
 //! **M/G/1 processor-sharing** model with the same interface:
 //!

@@ -26,6 +26,20 @@
 //! a max-flow (`allocation` module, on top of `slaq-flow`); the discrete
 //! placement search is the greedy-with-improvement heuristic in `solver`.
 //!
+//! ## Candidate-node heap (`heap` module)
+//!
+//! The heuristic's improvement steps pick nodes through a
+//! [`CandidateHeap`]: an indexed tournament heap keyed by residual CPU
+//! (with free-memory and shard-membership summaries for pruning),
+//! updated incrementally as placements land — `O(log N)` per candidate
+//! query instead of the full-node `max_by` scan the solver used through
+//! PR 4, and **bit-identical** to it (the heap reproduces the scan
+//! comparators exactly; differential tests against both the retained
+//! scan engine and the seed `reference` oracle pin this). A job is still
+//! placed "on the node offering it the most residual CPU among those
+//! with memory room" — the heap only changes how that node is found,
+//! turning the placement loop from `O(J·N)` into `O(J log N)`.
+//!
 //! ## Sharded solves (`shard` module)
 //!
 //! For large fleets the crate also offers a **zone-partitioned engine**:
@@ -47,14 +61,18 @@
 //!   validate`); placement *quality* may trail the global solve because
 //!   app demand is split across shards proportionally to capacity and a
 //!   job confined to a crowded shard is only rescued by the budgeted
-//!   rebalance pass. Corpus tests pin the utility gap; the scaling bench
-//!   (`bench_placement_scale`) records the ~k× cut in per-shard scan
-//!   width that buys.
+//!   rebalance pass. Corpus tests pin the utility gap. (With the
+//!   candidate heap the global solve is already `O(J log N)`, so under
+//!   the sequential `rayon` stand-in sharding no longer wins on scan
+//!   width at the bench shapes — its payoff is the `~k×` smaller
+//!   allocation flows, zone isolation, and real thread parallelism once
+//!   the stand-in is swapped for the real crate.)
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod allocation;
+pub mod heap;
 pub mod placement;
 pub mod problem;
 #[doc(hidden)]
@@ -63,7 +81,8 @@ pub mod shard;
 pub mod solver;
 
 pub use allocation::{allocate, Allocator};
+pub use heap::CandidateHeap;
 pub use placement::{Placement, PlacementChange};
 pub use problem::{AppRequest, JobRequest, NodeCapacity, PlacementConfig, PlacementProblem};
 pub use shard::{ShardMap, ShardPlan, ShardedSolver};
-pub use solver::{solve, PlacementOutcome, Solver};
+pub use solver::{solve, CandidateEngine, PlacementOutcome, Solver};

@@ -1,9 +1,10 @@
 //! Zone-partitioned (sharded) placement: parallel per-shard solves with a
 //! cross-shard rebalance pass.
 //!
-//! One global [`Solver`](crate::Solver) run scans every node for every
-//! job in its improvement steps — `O(jobs × nodes)` per cycle, the ceiling
-//! PR 1's measurements hit at 500 nodes / 3000 jobs. Real fleets are
+//! One global [`Solver`] run works the whole fleet in a single lane —
+//! historically `O(jobs × nodes)` scans (the ceiling PR 1's measurements
+//! hit at 500 nodes / 3000 jobs), now `O(jobs · log nodes)` through the
+//! [`CandidateHeap`], but still one sequential problem. Real fleets are
 //! partitioned already (racks, availability zones, edge sites), and the
 //! dense-index solver state makes per-partition problem *slices* cheap to
 //! build. This module exploits that structure:
@@ -16,13 +17,16 @@
 //!    affine jobs follow their node; pending jobs spread across shards by
 //!    residual capacity), builds one sub-problem per shard, and solves
 //!    the shards **in parallel** with per-shard long-lived
-//!    [`Solver`](crate::Solver)s (warm scratch + allocation-network reuse
+//!    [`Solver`]s (warm scratch + allocation-network reuse
 //!    per shard; the `rayon` stand-in degrades to sequential offline, so
 //!    parallelism returns for free on the real-crate swap).
 //! 3. A **cross-shard rebalance pass** then migrates the most unsatisfied
 //!    jobs — unplaced ones first, then running jobs short of their target
 //!    — from over-subscribed shards onto nodes of shards with residual
-//!    capacity, bounded by a configurable migration budget.
+//!    capacity, bounded by a configurable migration budget. Targets are
+//!    selected through a shard-labeled [`CandidateHeap`] whose queries
+//!    exclude the job's home shard (bit-identical to the scan it
+//!    replaced).
 //!
 //! ### Fidelity vs. the global solver
 //!
@@ -30,12 +34,17 @@
 //! rebalance pass has no foreign shard to move anything to, so the
 //! outcome is **bit-identical** to [`Solver::solve`](crate::Solver::solve)
 //! (pinned by differential tests). With `k > 1` shards the engine trades
-//! a bounded amount of placement quality for `~k×` less scan work per
-//! shard: applications split their fluid demand across shards
-//! proportionally to shard capacity, and a job confined to an
-//! over-subscribed shard is only rescued by the (budgeted) rebalance
-//! pass. The corpus tests pin that gap.
+//! a bounded amount of placement quality for `k×` smaller lane problems
+//! (and their allocation flows): applications split their fluid demand
+//! across shards proportionally to shard capacity, and a job confined to
+//! an over-subscribed shard is only rescued by the (budgeted) rebalance
+//! pass. The corpus tests pin that gap. Under the sequential `rayon`
+//! stand-in the lanes run one after another, so at the bench shapes the
+//! heap-backed global solve is currently the faster engine; the sharded
+//! engine's payoff is zone isolation and the thread parallelism that
+//! returns with the real crate.
 
+use crate::heap::CandidateHeap;
 use crate::placement::{Placement, PlacementChange};
 use crate::problem::{AppRequest, PlacementProblem};
 use crate::solver::{PlacementOutcome, Solver};
@@ -197,6 +206,10 @@ pub struct ShardedSolver {
     ordered_jobs: Vec<usize>,
     cpu_free: Vec<f64>,
     mem_free: Vec<MemMb>,
+    /// Rebalance-pass candidate heap over *all* nodes, shard-labeled so
+    /// a job's home shard can be excluded per query (warm-reused like
+    /// the lane solvers' heaps).
+    heap: CandidateHeap,
 }
 
 impl ShardedSolver {
@@ -554,6 +567,17 @@ impl ShardedSolver {
         for f in &mut self.cpu_free {
             *f = f.max(0.0);
         }
+        // Candidate heap over the residual trackers, shard-labeled: the
+        // per-move target query excludes the job's home shard and prunes
+        // by the same memory/CPU filters the scan applied.
+        self.heap.assign((0..n).map(|ni| {
+            (
+                problem.nodes[ni].id,
+                map.shard_of(ni).raw(),
+                self.cpu_free[ni],
+                self.mem_free[ni],
+            )
+        }));
 
         // Candidates: positive-demand jobs, unsatisfied beyond the same
         // 25 % threshold the in-shard rebalance step uses; unplaced jobs
@@ -600,32 +624,28 @@ impl ShardedSolver {
             let deficit = job.demand.as_f64() - got;
             // Target: a foreign-shard node that improves the job by at
             // least half its deficit (hysteresis against churny moves),
-            // best residual CPU first; ties prefer more free memory,
-            // then the lower node id.
-            let target = (0..n)
-                .filter(|&ni| {
-                    Some(map.shard_of(ni)) != home
-                        && self.mem_free[ni].fits(job.mem)
-                        && self.cpu_free[ni] > got + deficit * 0.5
-                })
-                .max_by(|&a, &b| {
-                    fcmp(
-                        self.cpu_free[a].min(job.demand.as_f64()),
-                        self.cpu_free[b].min(job.demand.as_f64()),
-                    )
-                    .then(self.mem_free[a].cmp(&self.mem_free[b]))
-                    .then(problem.nodes[b].id.cmp(&problem.nodes[a].id))
-                });
+            // best residual CPU first (saturating at the job's demand);
+            // ties prefer more free memory, then the lower node id —
+            // the heap's saturating order, bit-identical to the scan it
+            // replaced.
+            let target = self.heap.best_saturating(
+                job.demand.as_f64(),
+                job.mem,
+                got + deficit * 0.5,
+                home.map(ShardId::raw),
+            );
             let Some(t) = target else { continue };
             if let Some((old, alloc)) = current {
                 if let Some(oi) = node_ix.dense(old) {
                     self.cpu_free[oi] += alloc.as_f64();
                     self.mem_free[oi] += job.mem;
+                    self.heap.update(oi, self.cpu_free[oi], self.mem_free[oi]);
                 }
             }
             let grant = job.demand.as_f64().min(self.cpu_free[t]);
             self.cpu_free[t] -= grant;
             self.mem_free[t] = self.mem_free[t].saturating_sub(job.mem);
+            self.heap.update(t, self.cpu_free[t], self.mem_free[t]);
             placement
                 .jobs
                 .insert(job.id, (problem.nodes[t].id, CpuMhz::new(grant)));

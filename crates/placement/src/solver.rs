@@ -37,13 +37,51 @@
 //! cycles, so a steady-state warm re-solve allocates next to nothing.
 //! The public [`PlacementOutcome`] stays id-keyed (`BTreeMap`) for API
 //! stability.
+//!
+//! ### Candidate-node heap
+//!
+//! The "which node?" question of steps 2–4 is answered by a
+//! [`CandidateHeap`] — an indexed tournament heap keyed by residual CPU,
+//! updated point-wise as placements land and capacities clamp — turning
+//! the improvement loop from `O(J·N)` scans into `O(J log N)` queries.
+//! The heap reproduces the scan comparators bit for bit (see its module
+//! docs for the ordering contract); [`CandidateEngine::Scan`] keeps the
+//! original linear scans compilable as the executable specification and
+//! as the bench gate's baseline. Like the allocator, the heap is warm-
+//! reused: values refresh in place every solve and the tree rebuilds
+//! only when the node topology changes. Step 5's victim search (a scan
+//! over *jobs*, not nodes) is bounded instead by a failed-scan memo:
+//! searchers run priority-descending, so one exhaustive failure proves
+//! failure for every later searcher with no easier memory requirement
+//! until an eviction changes the node states.
 
 use crate::allocation::Allocator;
+use crate::heap::CandidateHeap;
 use crate::placement::{Placement, PlacementChange};
 use crate::problem::{JobRequest, PlacementProblem};
 use serde::{Deserialize, Serialize};
 use slaq_types::{fcmp, AppId, CpuMhz, Interner, JobId, MemMb, NodeId};
 use std::collections::BTreeMap;
+
+/// How the solver answers its candidate-node queries (the per-entity
+/// "which node offers the most residual CPU?" question of steps 2–4).
+///
+/// Both engines produce **bit-identical** outcomes — the heap reproduces
+/// the scan comparators exactly (see [`CandidateHeap`]) and differential
+/// proptests pin the equality — they differ only in cost: the scan is
+/// `O(N)` per query, the heap `O(log N)` typical with a point update per
+/// landed placement. [`Scan`](CandidateEngine::Scan) survives as the
+/// measurable baseline for the bench gate and as the executable
+/// specification of the selection order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CandidateEngine {
+    /// Linear `max_by` scans over all nodes (the pre-heap hot path).
+    Scan,
+    /// [`CandidateHeap`]-backed queries, updated incrementally as
+    /// placements land and capacities clamp. The default.
+    #[default]
+    Heap,
+}
 
 /// Result of one placement run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -120,12 +158,36 @@ struct Scratch {
 pub struct Solver {
     alloc: Allocator,
     s: Scratch,
+    engine: CandidateEngine,
+    heap: CandidateHeap,
 }
 
 impl Solver {
-    /// A fresh solver with empty caches.
+    /// A fresh solver with empty caches and the default (heap) candidate
+    /// engine.
     pub fn new() -> Self {
         Solver::default()
+    }
+
+    /// A fresh solver answering candidate-node queries with `engine`.
+    /// Outcomes are bit-identical across engines; only the cost differs.
+    pub fn with_engine(engine: CandidateEngine) -> Self {
+        Solver {
+            engine,
+            ..Solver::default()
+        }
+    }
+
+    /// The candidate engine in force.
+    pub fn engine(&self) -> CandidateEngine {
+        self.engine
+    }
+
+    /// How many times the candidate heap rebuilt its topology
+    /// (diagnostics: warm re-solves over an unchanged node set must not
+    /// rebuild — capacity changes only refresh leaf values in place).
+    pub fn heap_rebuilds(&self) -> usize {
+        self.heap.rebuilds()
     }
 
     /// Solve one cycle. `prev` is the placement currently in force.
@@ -134,6 +196,7 @@ impl Solver {
         let mut budget = cfg.max_changes.unwrap_or(usize::MAX);
         let n_apps = problem.apps.len();
         let n_jobs = problem.jobs.len();
+        let engine = self.engine;
 
         // --------------------------------------------------------------
         // Boundary: intern ids, build dense state. The only id-keyed
@@ -141,6 +204,7 @@ impl Solver {
         // --------------------------------------------------------------
         let node_ix = Interner::new(problem.nodes.iter().map(|n| n.id));
         let s = &mut self.s;
+        let heap = &mut self.heap;
         s.nodes.clear();
         s.nodes.extend(problem.nodes.iter().map(|n| NodeState {
             id: n.id,
@@ -230,6 +294,17 @@ impl Solver {
         }
 
         // --------------------------------------------------------------
+        // Candidate heap: mirror the post-keep node trackers. From here
+        // through step 4 every node mutation is echoed into the heap
+        // (steps 5–6 run no candidate queries, so the heap is allowed to
+        // go stale after step 4 — `assign` refreshes it next solve, and
+        // only a *topology* change makes it rebuild).
+        // --------------------------------------------------------------
+        if engine == CandidateEngine::Heap {
+            heap.assign(s.nodes.iter().map(|n| (n.id, 0, n.cpu_free, n.mem_free)));
+        }
+
+        // --------------------------------------------------------------
         // Step 2: grow/shrink application instance sets. Applications
         // claim nodes *before new jobs are placed* (kept jobs committed
         // above stay senior): the transactional tier is fluid
@@ -240,6 +315,16 @@ impl Solver {
         for k in 0..s.ordered_apps.len() {
             let ai = s.ordered_apps[k];
             let app = &problem.apps[ai];
+            // While this app is being processed its hosts are out of
+            // candidacy (the scan engine's `!hosts.contains(i)` filter);
+            // removing them up front also lets the water-fill mutate
+            // host CPU without heap upkeep. Every leaf removed here is
+            // restored — with its final trackers — when the app is done.
+            if engine == CandidateEngine::Heap {
+                for &hi in &s.app_hosts[ai] {
+                    heap.remove(hi);
+                }
+            }
             // Shrink above max_instances (stop the emptiest nodes first —
             // the flow would starve them anyway). Also shed down to
             // min_instances when the app is idle, releasing memory for
@@ -264,6 +349,10 @@ impl Solver {
                 s.app_hosts[ai].remove(pos);
                 s.app_take[ai].remove(pos);
                 budget -= 1;
+                if engine == CandidateEngine::Heap {
+                    // No longer a host: back into candidacy immediately.
+                    heap.restore(hi, s.nodes[hi].cpu_free, s.nodes[hi].mem_free);
+                }
             }
             // Grow the host set until the reachable capacity covers the
             // target (or instances run out).
@@ -275,23 +364,32 @@ impl Solver {
                 {
                     break;
                 }
-                let hosts = &s.app_hosts[ai];
-                let cand = s
-                    .nodes
-                    .iter()
-                    .enumerate()
-                    .filter(|&(i, n)| {
-                        n.mem_free.fits(app.mem_per_instance)
-                            && n.cpu_free > 1e-9
-                            && !hosts.contains(&i)
-                    })
-                    .max_by(|(_, a), (_, b)| fcmp(a.cpu_free, b.cpu_free).then(b.id.cmp(&a.id)))
-                    .map(|(i, _)| i);
+                let cand = match engine {
+                    CandidateEngine::Scan => {
+                        let hosts = &s.app_hosts[ai];
+                        s.nodes
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, n)| {
+                                n.mem_free.fits(app.mem_per_instance)
+                                    && n.cpu_free > 1e-9
+                                    && !hosts.contains(&i)
+                            })
+                            .max_by(|(_, a), (_, b)| {
+                                fcmp(a.cpu_free, b.cpu_free).then(b.id.cmp(&a.id))
+                            })
+                            .map(|(i, _)| i)
+                    }
+                    CandidateEngine::Heap => heap.best_residual(app.mem_per_instance, 1e-9, None),
+                };
                 let Some(i) = cand else { break };
                 s.nodes[i].mem_free -= app.mem_per_instance;
                 s.app_hosts[ai].push(i);
                 s.app_take[ai].push(0.0);
                 budget -= 1;
+                if engine == CandidateEngine::Heap {
+                    heap.remove(i); // now a host of this app
+                }
             }
             // Spread the target evenly across the hosts (water-fill): a
             // load-balanced cluster divides its traffic, and packing
@@ -326,21 +424,35 @@ impl Solver {
                     s.app_take[ai][pos] += take;
                 }
             }
-            // Honour min_instances even when idle.
+            // Honour min_instances even when idle (no CPU floor here:
+            // a warm-spare instance may sit on an exhausted node).
             while s.app_hosts[ai].len() < app.min_instances as usize && budget > 0 {
-                let hosts = &s.app_hosts[ai];
-                let cand = s
-                    .nodes
-                    .iter()
-                    .enumerate()
-                    .filter(|&(i, n)| n.mem_free.fits(app.mem_per_instance) && !hosts.contains(&i))
-                    .max_by(|(_, a), (_, b)| fcmp(a.cpu_free, b.cpu_free).then(b.id.cmp(&a.id)))
-                    .map(|(i, _)| i);
+                let cand = match engine {
+                    CandidateEngine::Scan => {
+                        let hosts = &s.app_hosts[ai];
+                        s.nodes
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, n)| {
+                                n.mem_free.fits(app.mem_per_instance) && !hosts.contains(&i)
+                            })
+                            .max_by(|(_, a), (_, b)| {
+                                fcmp(a.cpu_free, b.cpu_free).then(b.id.cmp(&a.id))
+                            })
+                            .map(|(i, _)| i)
+                    }
+                    CandidateEngine::Heap => {
+                        heap.best_residual(app.mem_per_instance, f64::NEG_INFINITY, None)
+                    }
+                };
                 let Some(i) = cand else { break };
                 s.nodes[i].mem_free -= app.mem_per_instance;
                 s.app_hosts[ai].push(i);
                 s.app_take[ai].push(0.0);
                 budget -= 1;
+                if engine == CandidateEngine::Heap {
+                    heap.remove(i);
+                }
             }
             // Keep hosts id-sorted (deterministic downstream iteration,
             // matching the seed's `hosts.sort()` on NodeIds).
@@ -353,53 +465,19 @@ impl Solver {
                 s.app_hosts[ai][pos] = i;
                 s.app_take[ai][pos] = take;
             }
+            // The app is done: its hosts re-enter candidacy (for other
+            // apps and for jobs) with their water-filled trackers.
+            if engine == CandidateEngine::Heap {
+                for &i in &s.app_hosts[ai] {
+                    heap.restore(i, s.nodes[i].cpu_free, s.nodes[i].mem_free);
+                }
+            }
         }
 
         // --------------------------------------------------------------
         // Step 3: place unplaced jobs with positive targets, priority
         // order.
         // --------------------------------------------------------------
-        let place_job = |job: &JobRequest,
-                         nodes: &mut [NodeState],
-                         budget: &mut usize,
-                         affinity_dense: Option<usize>|
-         -> Option<usize> {
-            if *budget == 0 || job.demand.is_zero() {
-                return None;
-            }
-            // Affinity first if it can feed the job meaningfully.
-            if let Some(i) = affinity_dense {
-                if nodes[i].mem_free.fits(job.mem) && nodes[i].cpu_free >= job.demand.as_f64() * 0.5
-                {
-                    nodes[i].mem_free -= job.mem;
-                    let got = job.demand.as_f64().min(nodes[i].cpu_free);
-                    nodes[i].cpu_free -= got;
-                    *budget -= 1;
-                    return Some(i);
-                }
-            }
-            // Otherwise, the node offering the most CPU (ties: more free
-            // memory, then lower id).
-            let best = nodes
-                .iter()
-                .enumerate()
-                .filter(|(_, n)| n.mem_free.fits(job.mem) && n.cpu_free > 1e-9)
-                .max_by(|(_, a), (_, b)| {
-                    fcmp(
-                        a.cpu_free.min(job.demand.as_f64()),
-                        b.cpu_free.min(job.demand.as_f64()),
-                    )
-                    .then(a.mem_free.cmp(&b.mem_free))
-                    .then(b.id.cmp(&a.id))
-                })
-                .map(|(i, _)| i)?;
-            nodes[best].mem_free -= job.mem;
-            let got = job.demand.as_f64().min(nodes[best].cpu_free);
-            nodes[best].cpu_free -= got;
-            *budget -= 1;
-            Some(best)
-        };
-
         for k in 0..s.ordered_jobs.len() {
             let ji = s.ordered_jobs[k];
             if s.job_node[ji].is_some() {
@@ -407,7 +485,8 @@ impl Solver {
             }
             let job = &problem.jobs[ji];
             let affinity_dense = job.affinity.and_then(|n| node_ix.dense(n));
-            if let Some(i) = place_job(job, &mut s.nodes, &mut budget, affinity_dense) {
+            if let Some(i) = place_job(job, &mut s.nodes, &mut budget, affinity_dense, engine, heap)
+            {
                 s.job_node[ji] = Some(i);
                 s.committed[ji] = job.demand.as_f64();
             }
@@ -432,15 +511,20 @@ impl Solver {
             if deficit <= job.demand.as_f64() * 0.25 {
                 continue; // close enough; not worth a migration
             }
-            let target = s
-                .nodes
-                .iter()
-                .enumerate()
-                .filter(|&(i, n)| {
-                    i != cur && n.mem_free.fits(job.mem) && n.cpu_free > got + deficit * 0.5
-                })
-                .max_by(|(_, a), (_, b)| fcmp(a.cpu_free, b.cpu_free).then(b.id.cmp(&a.id)))
-                .map(|(i, _)| i);
+            let target = match engine {
+                CandidateEngine::Scan => s
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, n)| {
+                        i != cur && n.mem_free.fits(job.mem) && n.cpu_free > got + deficit * 0.5
+                    })
+                    .max_by(|(_, a), (_, b)| fcmp(a.cpu_free, b.cpu_free).then(b.id.cmp(&a.id)))
+                    .map(|(i, _)| i),
+                CandidateEngine::Heap => {
+                    heap.best_residual(job.mem, got + deficit * 0.5, Some(cur))
+                }
+            };
             if let Some(t) = target {
                 s.nodes[cur].mem_free += job.mem;
                 s.nodes[cur].cpu_free += got;
@@ -450,6 +534,10 @@ impl Solver {
                 s.committed[ji] = newgot;
                 s.job_node[ji] = Some(t);
                 budget -= 1;
+                if engine == CandidateEngine::Heap {
+                    heap.update(cur, s.nodes[cur].cpu_free, s.nodes[cur].mem_free);
+                    heap.update(t, s.nodes[t].cpu_free, s.nodes[t].mem_free);
+                }
             }
         }
 
@@ -458,6 +546,16 @@ impl Solver {
         // strictly lower-priority running jobs (suspend + start = two
         // changes).
         // --------------------------------------------------------------
+        // Failed-scan memo: searchers run in priority-descending order,
+        // so a later searcher's eligible-victim set (priority strictly
+        // below its own minus the gap) is a subset of every earlier
+        // searcher's. If a scan found no victim for a searcher needing
+        // `m` MB, any later searcher needing ≥ `m` must fail too — as
+        // long as no eviction changed the node states in between. This
+        // turns the steady state's O(unplaced × jobs) re-scans into one
+        // failed scan (and is outcome-preserving by that subset
+        // argument, so both candidate engines share it).
+        let mut evict_failed_mem: Option<MemMb> = None;
         for k in 0..s.ordered_jobs.len() {
             if budget < 2 {
                 break;
@@ -466,6 +564,9 @@ impl Solver {
             let job = &problem.jobs[ji];
             if s.job_node[ji].is_some() || job.demand.is_zero() {
                 continue;
+            }
+            if evict_failed_mem.is_some_and(|m| job.mem.fits(m)) {
+                continue; // a no-easier scan already failed
             }
             // Cheapest victim: the lowest-priority placed job whose
             // removal makes room, strictly below this job's priority
@@ -497,6 +598,12 @@ impl Solver {
                 s.committed[ji] = got;
                 s.job_node[ji] = Some(i);
                 budget -= 1; // the start
+                evict_failed_mem = None; // node states changed: memo off
+            } else {
+                evict_failed_mem = Some(match evict_failed_mem {
+                    Some(m) => m.min(job.mem),
+                    None => job.mem,
+                });
             }
         }
 
@@ -582,6 +689,63 @@ impl Solver {
             unplaced_jobs,
         }
     }
+}
+
+/// Step 3's placement move: put one job on the node offering it the most
+/// CPU (saturating at its demand; ties: more free memory, then lower id)
+/// among nodes with memory room, affinity-first for suspended images.
+/// Mutates the chosen node's trackers (and echoes them into the heap
+/// when that engine is active); returns the chosen dense node index.
+fn place_job(
+    job: &JobRequest,
+    nodes: &mut [NodeState],
+    budget: &mut usize,
+    affinity_dense: Option<usize>,
+    engine: CandidateEngine,
+    heap: &mut CandidateHeap,
+) -> Option<usize> {
+    if *budget == 0 || job.demand.is_zero() {
+        return None;
+    }
+    // Affinity first if it can feed the job meaningfully.
+    if let Some(i) = affinity_dense {
+        if nodes[i].mem_free.fits(job.mem) && nodes[i].cpu_free >= job.demand.as_f64() * 0.5 {
+            nodes[i].mem_free -= job.mem;
+            let got = job.demand.as_f64().min(nodes[i].cpu_free);
+            nodes[i].cpu_free -= got;
+            *budget -= 1;
+            if engine == CandidateEngine::Heap {
+                heap.update(i, nodes[i].cpu_free, nodes[i].mem_free);
+            }
+            return Some(i);
+        }
+    }
+    // Otherwise, the node offering the most CPU (ties: more free
+    // memory, then lower id).
+    let best = match engine {
+        CandidateEngine::Scan => nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.mem_free.fits(job.mem) && n.cpu_free > 1e-9)
+            .max_by(|(_, a), (_, b)| {
+                fcmp(
+                    a.cpu_free.min(job.demand.as_f64()),
+                    b.cpu_free.min(job.demand.as_f64()),
+                )
+                .then(a.mem_free.cmp(&b.mem_free))
+                .then(b.id.cmp(&a.id))
+            })
+            .map(|(i, _)| i),
+        CandidateEngine::Heap => heap.best_saturating(job.demand.as_f64(), job.mem, 1e-9, None),
+    }?;
+    nodes[best].mem_free -= job.mem;
+    let got = job.demand.as_f64().min(nodes[best].cpu_free);
+    nodes[best].cpu_free -= got;
+    *budget -= 1;
+    if engine == CandidateEngine::Heap {
+        heap.update(best, nodes[best].cpu_free, nodes[best].mem_free);
+    }
+    Some(best)
 }
 
 /// Solve one cycle with a cold (single-shot) [`Solver`]. `prev` is the
@@ -912,6 +1076,51 @@ mod tests {
     }
 
     #[test]
+    fn warm_resolve_with_capacity_change_never_rebuilds_heap() {
+        // Same node set across cycles — even with capacities and demands
+        // shifting — must keep the candidate heap's topology: one build
+        // at the first solve, zero rebuilds after.
+        let mut warm = Solver::new();
+        let mut prev = Placement::empty();
+        for cycle in 0..5u32 {
+            let mut p = problem(
+                nodes(
+                    4,
+                    9_000.0 + 1500.0 * cycle as f64,
+                    4096 + 512 * cycle as u64,
+                ),
+                vec![appr(0, 8000.0)],
+                (0..6).map(|i| jobr(i, 1200.0 + 300.0 * i as f64)).collect(),
+            );
+            for j in &mut p.jobs {
+                j.running_on = prev.job_node(j.id);
+            }
+            prev = warm.solve(&p, &prev).placement;
+        }
+        assert_eq!(warm.heap_rebuilds(), 1, "capacity-only cycles rebuilt");
+        // A topology change (node lost) does rebuild.
+        let p = problem(nodes(3, 9_000.0, 4096), vec![appr(0, 8000.0)], vec![]);
+        warm.solve(&p, &prev);
+        assert_eq!(warm.heap_rebuilds(), 2);
+    }
+
+    #[test]
+    fn scan_engine_is_available_and_agrees() {
+        let p = problem(
+            nodes(5, 12_000.0, 4096),
+            vec![appr(0, 20_000.0)],
+            (0..9).map(|i| jobr(i, 1000.0 + 400.0 * i as f64)).collect(),
+        );
+        let mut scan = Solver::with_engine(CandidateEngine::Scan);
+        let mut heap = Solver::with_engine(CandidateEngine::Heap);
+        assert_eq!(scan.engine(), CandidateEngine::Scan);
+        assert_eq!(
+            scan.solve(&p, &Placement::empty()),
+            heap.solve(&p, &Placement::empty())
+        );
+    }
+
+    #[test]
     fn sparse_node_ids_work_via_interning() {
         // Node ids far apart and unordered: dense indices must absorb it.
         let caps = vec![
@@ -1004,6 +1213,58 @@ mod tests {
             }
             let second = solve(&p2, &first.placement);
             prop_assert!(second.changes.is_empty(), "churn: {:?}", second.changes);
+        }
+
+        /// The heap engine must be bit-identical to the scan engine on
+        /// random problems, cold and across a warm second cycle — the
+        /// tentpole differential for the candidate-heap rework (the scan
+        /// arm is the pre-heap hot path, kept as the executable spec).
+        #[test]
+        fn prop_heap_engine_matches_scan_engine(
+            n_nodes in 1u32..8,
+            node_cpu in 3000.0..16_000.0f64,
+            node_mem in 1024u64..8192,
+            app_demands in proptest::collection::vec(0.0..40_000.0f64, 0..4),
+            job_demands in proptest::collection::vec(0.0..3000.0f64, 0..14),
+            budget in proptest::option::of(0usize..10),
+            gap in 0.0..500.0f64,
+        ) {
+            let apps: Vec<AppRequest> = app_demands
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| {
+                    let mut a = appr(i as u32, d);
+                    a.min_instances = (i % 3) as u32;
+                    a
+                })
+                .collect();
+            let jobs: Vec<JobRequest> = job_demands
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| {
+                    let mut j = jobr(i as u32, d);
+                    // Quantized priorities manufacture eviction ties and
+                    // exercise the failed-scan memo's reset paths.
+                    j.priority = (d / 250.0).floor();
+                    j
+                })
+                .collect();
+            let mut p = problem(nodes(n_nodes, node_cpu, node_mem), apps, jobs);
+            p.config.max_changes = budget;
+            p.config.evict_priority_gap = gap;
+            let mut scan = Solver::with_engine(CandidateEngine::Scan);
+            let mut heap = Solver::with_engine(CandidateEngine::Heap);
+            let s1 = scan.solve(&p, &Placement::empty());
+            let h1 = heap.solve(&p, &Placement::empty());
+            prop_assert_eq!(&s1, &h1, "cold cycle diverged");
+            let mut p2 = p.clone();
+            for j in &mut p2.jobs {
+                j.running_on = s1.placement.job_node(j.id);
+                j.affinity = j.running_on;
+            }
+            let s2 = scan.solve(&p2, &s1.placement);
+            let h2 = heap.solve(&p2, &h1.placement);
+            prop_assert_eq!(&s2, &h2, "warm cycle diverged");
         }
 
         #[test]

@@ -22,7 +22,7 @@
 //!
 //! The control interface is the [`Controller`] trait: every control cycle
 //! the simulator hands the controller its observations and applies the
-//! returned [`Placement`] — `slaq-core` provides the paper's controller,
+//! returned [`Placement`](slaq_placement::Placement) — `slaq-core` provides the paper's controller,
 //! and the baselines live alongside it. Each control cycle is staged as
 //! **sense → solve → actuate**; the `snapshot` module's
 //! [`SensingSnapshot`] is the owned, `Send` capture of the sensed inputs

@@ -1,7 +1,7 @@
 //! The **snapshot** stage of the control pipeline: an owned, `Send`
 //! capture of everything a controller may observe at a control cycle.
 //!
-//! [`ControlInputs`](crate::ControlInputs) is a bundle of borrows into the
+//! [`ControlInputs`] is a bundle of borrows into the
 //! live simulator — perfect for the synchronous path, where the solve
 //! happens inline and the world cannot move underneath it, but useless for
 //! an overlapped solve that must outlive the control cycle it was sensed

@@ -8,7 +8,7 @@
 //! * [`equalize_bisection`] — exact: bisection on the common utility level
 //!   `u*`, exploiting that aggregate demand `Σᵢ cpuᵢ(u)` is monotone in `u`.
 //! * [`equalize_steal`] — the paper's own description: *"the algorithm
-//!   operates by continuously stealing resources [from] the more satisfied
+//!   operates by continuously stealing resources \[from\] the more satisfied
 //!   applications to later be given to the less satisfied applications"*.
 //!   Implemented as repeated pairwise donor→receiver transfers, each sized
 //!   by bisection so the pair's utilities meet.

@@ -136,7 +136,7 @@ impl CompletionGoal {
 /// Utility of observed (or predicted) mean response time `rt`:
 /// `u = (τ − rt) / τ`, clipped to `[U_MIN, U_MAX]` — the linear
 /// normalized-distance-to-goal form used by the authors' transactional
-/// framework (NOMS'08, reference [2]).
+/// framework (NOMS'08, reference \[2\]).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ResponseTimeGoal {
     /// The response-time objective τ.

@@ -3,7 +3,7 @@
 //! The paper's central mechanism: *"We use monotonic and continuous utility
 //! functions to represent the satisfaction of both transactional and
 //! long-running workloads"*, and the allocation algorithm *"operates by
-//! continuously stealing resources [from] the more satisfied applications to
+//! continuously stealing resources \[from\] the more satisfied applications to
 //! later be given to the less satisfied applications"* until utility is
 //! equalized.
 //!
