@@ -2,7 +2,10 @@
 
 use slaq_perfmodel::TransactionalModel;
 use slaq_placement::problem::{AppRequest, JobRequest, PlacementConfig, PlacementProblem};
-use slaq_placement::{Placement, PlacementOutcome, ShardPlan, ShardedSolver, Solver};
+use slaq_placement::{
+    DeltaStats, Placement, PlacementOutcome, ShardPlan, ShardedSolver, SolveDelta, SolveMode,
+    Solver,
+};
 use slaq_sim::{ControlInputs, Controller, MetricsSink};
 use slaq_types::{AppId, CpuMhz, EntityId};
 use slaq_utility::{equalize_bisection, EqEntity, EqualizeOptions, UtilityOfCpu};
@@ -29,6 +32,11 @@ pub struct ControllerConfig {
     /// Cross-shard migrations allowed per cycle when sharded (ignored by
     /// the global solver).
     pub rebalance_budget: usize,
+    /// Placement engine mode: [`SolveMode::Batch`] recomputes every cycle
+    /// from scratch; [`SolveMode::Delta`] keeps warm solver state and
+    /// re-routes the allocation flow only around the cycle's dirty set,
+    /// bit-identical to batch (the solver self-verifies every reuse).
+    pub solve: SolveMode,
 }
 
 impl Default for ControllerConfig {
@@ -47,6 +55,7 @@ impl Default for ControllerConfig {
             importance: std::collections::BTreeMap::new(),
             sharding: ShardPlan::Single,
             rebalance_budget: 8,
+            solve: SolveMode::Batch,
         }
     }
 }
@@ -69,10 +78,22 @@ impl Default for PlacementEngine {
 }
 
 impl PlacementEngine {
-    fn solve(&mut self, problem: &PlacementProblem, prev: &Placement) -> PlacementOutcome {
+    fn solve_with_delta(
+        &mut self,
+        problem: &PlacementProblem,
+        prev: &Placement,
+        delta: Option<&SolveDelta>,
+    ) -> PlacementOutcome {
         match self {
-            PlacementEngine::Global(s) => s.solve(problem, prev),
-            PlacementEngine::Sharded(s) => s.solve(problem, prev),
+            PlacementEngine::Global(s) => s.solve_with_delta(problem, prev, delta),
+            PlacementEngine::Sharded(s) => s.solve_with_delta(problem, prev, delta),
+        }
+    }
+
+    fn delta_stats(&self) -> DeltaStats {
+        match self {
+            PlacementEngine::Global(s) => s.delta_stats(),
+            PlacementEngine::Sharded(s) => s.delta_stats(),
         }
     }
 }
@@ -98,11 +119,10 @@ impl UtilityController {
     /// sharding plan selects the sharded placement engine.
     pub fn new(config: ControllerConfig) -> Self {
         let engine = match &config.sharding {
-            ShardPlan::Single => PlacementEngine::Global(Box::new(Solver::new())),
-            plan => PlacementEngine::Sharded(Box::new(ShardedSolver::new(
-                plan.clone(),
-                config.rebalance_budget,
-            ))),
+            ShardPlan::Single => PlacementEngine::Global(Box::new(Solver::with_mode(config.solve))),
+            plan => PlacementEngine::Sharded(Box::new(
+                ShardedSolver::new(plan.clone(), config.rebalance_budget).with_mode(config.solve),
+            )),
         };
         UtilityController {
             config,
@@ -115,10 +135,26 @@ impl UtilityController {
     pub fn is_sharded(&self) -> bool {
         matches!(self.engine, PlacementEngine::Sharded(_))
     }
+
+    /// Fast-path diagnostics of the placement engine: how many solves
+    /// rode the incremental re-flow vs. falling back to the full path.
+    /// All zeros under [`SolveMode::Batch`]. Exposed as an accessor (not
+    /// a metric series) so batch and delta runs record bit-identical
+    /// metrics.
+    pub fn delta_stats(&self) -> DeltaStats {
+        self.engine.delta_stats()
+    }
 }
 
-impl Controller for UtilityController {
-    fn control(&mut self, inputs: &ControlInputs<'_>, metrics: &mut MetricsSink) -> Placement {
+impl UtilityController {
+    /// The control cycle body; `delta` is the advisory dirty-set hint
+    /// threaded into the placement engine (ignored in batch mode).
+    fn control_inner(
+        &mut self,
+        inputs: &ControlInputs<'_>,
+        delta: Option<&SolveDelta>,
+        metrics: &mut MetricsSink,
+    ) -> Placement {
         let now = inputs.now;
         let total_cpu: CpuMhz = inputs.nodes.iter().map(|n| n.cpu).sum();
 
@@ -271,10 +307,27 @@ impl Controller for UtilityController {
             jobs,
             config: self.config.placement,
         };
-        let outcome = self.engine.solve(&problem, inputs.current);
+        let outcome = self
+            .engine
+            .solve_with_delta(&problem, inputs.current, delta);
         metrics.record("placement_changes", now, outcome.changes.len() as f64);
         metrics.record("jobs_unplaced", now, outcome.unplaced_jobs.len() as f64);
         outcome.placement
+    }
+}
+
+impl Controller for UtilityController {
+    fn control(&mut self, inputs: &ControlInputs<'_>, metrics: &mut MetricsSink) -> Placement {
+        self.control_inner(inputs, None, metrics)
+    }
+
+    fn control_delta(
+        &mut self,
+        inputs: &ControlInputs<'_>,
+        delta: Option<&SolveDelta>,
+        metrics: &mut MetricsSink,
+    ) -> Placement {
+        self.control_inner(inputs, delta, metrics)
     }
 }
 

@@ -520,6 +520,10 @@ pub struct PipelinedController {
     worker: Box<dyn SolveWorker>,
     latency_cycles: u64,
     max_changes: Option<usize>,
+    /// When several matured plans are due in the same cycle, enact only
+    /// the freshest (`true`, default) or strictly one per cycle in FIFO
+    /// order (`false`), draining the backlog across later cycles.
+    supersede: bool,
     cycle: u64,
     pending: VecDeque<CompletedSolve>,
 }
@@ -552,14 +556,32 @@ impl PipelinedController {
             worker,
             latency_cycles: latency_cycles as u64,
             max_changes,
+            supersede: true,
             cycle: 0,
             pending: VecDeque::new(),
         }
     }
 
+    /// Set the supersede policy (builder form): `true` (default) enacts
+    /// only the freshest of several same-cycle matured plans; `false`
+    /// enacts strictly one plan per cycle in FIFO order. With a worker
+    /// that completes every solve by its enactment cycle (e.g. the
+    /// inline worker) at most one plan matures per cycle, so both
+    /// policies coincide — they only diverge when the worker falls
+    /// behind.
+    pub fn with_supersede(mut self, supersede: bool) -> Self {
+        self.supersede = supersede;
+        self
+    }
+
     /// The configured enactment latency, in control cycles.
     pub fn latency_cycles(&self) -> u32 {
         self.latency_cycles as u32
+    }
+
+    /// The supersede policy in force.
+    pub fn supersede(&self) -> bool {
+        self.supersede
     }
 }
 
@@ -580,8 +602,10 @@ impl Controller for PipelinedController {
             self.pending.push_back(done);
         }
 
-        // Pop every plan whose enactment cycle has arrived; later plans
-        // supersede earlier ones.
+        // Pop matured plans: under the supersede policy every due plan is
+        // consumed and later plans replace earlier ones; under FIFO
+        // exactly one due plan is enacted and the rest stay queued for
+        // the following cycles.
         let mut chosen: Option<CompletedSolve> = None;
         let mut superseded = 0usize;
         while self
@@ -592,6 +616,9 @@ impl Controller for PipelinedController {
             let done = self.pending.pop_front().expect("checked non-empty");
             if chosen.replace(done).is_some() {
                 superseded += 1;
+            }
+            if !self.supersede {
+                break;
             }
         }
         let Some(done) = chosen else {
@@ -691,6 +718,84 @@ mod tests {
                 .insert(JobId::new(j), (NodeId::new(n), CpuMhz::new(c)));
         }
         p
+    }
+
+    /// A worker that withholds every completed solve until `release_after`
+    /// dispatches have happened, then releases the whole backlog at once —
+    /// the "worker fell behind" shape that makes the supersede policy
+    /// observable. Each plan allocates job 0 `1000 + 100·seq` MHz so the
+    /// enacted plan's provenance is readable off the placement.
+    struct StallingWorker {
+        held: Vec<CompletedSolve>,
+        release_after: usize,
+        calls: usize,
+    }
+
+    impl SolveWorker for StallingWorker {
+        fn dispatch(&mut self, task: SolveTask) {
+            let plan = place_jobs(&[(0, 0, 1000.0 + 100.0 * task.seq as f64)]);
+            self.held.push(CompletedSolve {
+                seq: task.seq,
+                snapshot_time: task.snapshot.now,
+                snapshot_placement: task.snapshot.current.clone(),
+                plan,
+                metrics: MetricsSink::new(),
+                solve_micros: 0.0,
+            });
+            self.calls += 1;
+        }
+
+        fn drain(&mut self) -> Vec<CompletedSolve> {
+            if self.calls >= self.release_after {
+                std::mem::take(&mut self.held)
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    #[test]
+    fn supersede_enacts_freshest_fifo_drains_backlog_in_order() {
+        let jobs = world(1, &[], &[(0, 0)]);
+        let nodes = vec![node(0, 12_000.0, 4096)];
+        let current = place_jobs(&[(0, 0, 500.0)]);
+        let run = |supersede: bool| -> Vec<f64> {
+            let mut ctl = PipelinedController::with_worker(
+                Box::new(StallingWorker {
+                    held: Vec::new(),
+                    release_after: 3,
+                    calls: 0,
+                }),
+                0,
+                None,
+            )
+            .with_supersede(supersede);
+            assert_eq!(ctl.supersede(), supersede);
+            let mut metrics = MetricsSink::new();
+            (0..5)
+                .map(|i| {
+                    let inputs = ControlInputs {
+                        now: SimTime::from_secs(600.0 * (i + 1) as f64),
+                        nodes: &nodes,
+                        current: &current,
+                        jobs: &jobs,
+                        apps: &[],
+                    };
+                    let p = ctl.control(&inputs, &mut metrics);
+                    p.jobs
+                        .get(&JobId::new(0))
+                        .map(|&(_, c)| c.as_f64())
+                        .unwrap_or(0.0)
+                })
+                .collect()
+        };
+        // Supersede: the first two cycles stall (placement held), then the
+        // three-plan backlog collapses into the freshest (seq 2 → 1200);
+        // afterwards each cycle's plan lands on time.
+        assert_eq!(run(true), vec![500.0, 500.0, 1200.0, 1300.0, 1400.0]);
+        // FIFO: same stall, then the backlog drains strictly in dispatch
+        // order, one plan per cycle (seq 0, 1, 2 → 1000, 1100, 1200).
+        assert_eq!(run(false), vec![500.0, 500.0, 1000.0, 1100.0, 1200.0]);
     }
 
     #[test]

@@ -119,11 +119,17 @@ impl Scenario {
         };
         match self.pipeline {
             PipelineSpec::Sync => inner,
-            PipelineSpec::Overlap { latency_cycles } => Box::new(PipelinedController::new(
-                inner,
+            PipelineSpec::Overlap {
                 latency_cycles,
-                self.controller.placement.max_changes,
-            )),
+                supersede,
+            } => Box::new(
+                PipelinedController::new(
+                    inner,
+                    latency_cycles,
+                    self.controller.placement.max_changes,
+                )
+                .with_supersede(supersede),
+            ),
         }
     }
 

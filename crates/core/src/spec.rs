@@ -26,7 +26,7 @@ use crate::scenario::{Scenario, ScenarioApp};
 use serde::{Deserialize, Serialize};
 use slaq_perfmodel::TransactionalSpec;
 use slaq_placement::problem::PlacementConfig;
-use slaq_placement::ShardPlan;
+use slaq_placement::{ShardPlan, SolveMode};
 use slaq_sim::{NodeOutage, OverheadConfig, SimConfig, SimReport};
 use slaq_types::{
     ClusterSpec, CpuMhz, EntityId, JobId, MemMb, NodeId, Result, SimDuration, SimTime, SlaqError,
@@ -392,7 +392,7 @@ pub enum ShardingSpec {
 
 /// How the control plane schedules placement solves — the knob behind
 /// the pipelined control plane (`crate::pipeline`).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
 pub enum PipelineSpec {
     /// Sense, solve and actuate inside one control cycle (the paper's
     /// synchronous controller; default).
@@ -406,15 +406,60 @@ pub enum PipelineSpec {
     Overlap {
         /// Enactment lag, in control cycles.
         latency_cycles: u32,
+        /// When several matured plans are due at the same cycle (the
+        /// worker fell behind), enact only the freshest and drop the
+        /// rest (`true`, default) or enact strictly one plan per cycle
+        /// in FIFO order (`false`), letting the backlog drain over the
+        /// following cycles.
+        supersede: bool,
     },
 }
 
+// Hand-rolled so spec files written before the `supersede` knob existed
+// still parse: an `Overlap` object without the key takes the historical
+// behavior (supersede = true) instead of failing the whole file.
+impl serde::Deserialize for PipelineSpec {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        if let serde::Value::Str(s) = v {
+            return match s.as_str() {
+                "Sync" => Ok(PipelineSpec::Sync),
+                other => Err(serde::DeError::msg(format!(
+                    "unknown PipelineSpec variant {other:?}"
+                ))),
+            };
+        }
+        let inner = serde::obj_get(v, "Overlap")?;
+        if matches!(inner, serde::Value::Null) {
+            return Err(serde::DeError::msg("expected PipelineSpec"));
+        }
+        Ok(PipelineSpec::Overlap {
+            latency_cycles: serde::Deserialize::from_value(serde::obj_get(
+                inner,
+                "latency_cycles",
+            )?)?,
+            supersede: match serde::obj_get(inner, "supersede")? {
+                serde::Value::Null => true,
+                other => serde::Deserialize::from_value(other)?,
+            },
+        })
+    }
+}
+
 impl PipelineSpec {
+    /// An overlapped plane with the default supersede policy (the common
+    /// construction in sweeps and tests).
+    pub fn overlap(latency_cycles: u32) -> Self {
+        PipelineSpec::Overlap {
+            latency_cycles,
+            supersede: true,
+        }
+    }
+
     /// Short lowercase label for report rows (`sync` | `overlapN`).
     pub fn label(&self) -> String {
         match self {
             PipelineSpec::Sync => "sync".into(),
-            PipelineSpec::Overlap { latency_cycles } => format!("overlap{latency_cycles}"),
+            PipelineSpec::Overlap { latency_cycles, .. } => format!("overlap{latency_cycles}"),
         }
     }
 }
@@ -434,7 +479,7 @@ impl PipelineSpec {
 /// // one-cycle-stale overlapped control plane:
 /// spec.controller.shards = ShardingSpec::Count { count: 3 };
 /// spec.controller.rebalance_budget = 8;
-/// spec.controller.pipeline = PipelineSpec::Overlap { latency_cycles: 1 };
+/// spec.controller.pipeline = PipelineSpec::overlap(1);
 /// spec.validate().expect("still a valid scenario");
 ///
 /// spec.controller.shards = ShardingSpec::Count { count: 0 };
@@ -457,6 +502,11 @@ pub struct ControllerSpec {
     /// Control-plane scheduling: synchronous solves or the pipelined
     /// snapshot → solve → actuate plane with overlapped solves.
     pub pipeline: PipelineSpec,
+    /// Placement engine mode: `"Batch"` recomputes every cycle from
+    /// scratch; `"Delta"` reuses warm solver state and re-routes the
+    /// allocation flow around each cycle's dirty set (bit-identical to
+    /// batch; utility controller only).
+    pub solve: SolveMode,
 }
 
 // Hand-rolled so spec files written before the `kind`/`shards`/
@@ -485,6 +535,10 @@ impl serde::Deserialize for ControllerSpec {
                 serde::Value::Null => d.pipeline,
                 other => serde::Deserialize::from_value(other)?,
             },
+            solve: match opt("solve")? {
+                serde::Value::Null => d.solve,
+                other => serde::Deserialize::from_value(other)?,
+            },
         })
     }
 }
@@ -499,6 +553,7 @@ impl Default for ControllerSpec {
             shards: ShardingSpec::Zones,
             rebalance_budget: d.rebalance_budget,
             pipeline: PipelineSpec::Sync,
+            solve: d.solve,
         }
     }
 }
@@ -714,6 +769,7 @@ impl ScenarioSpec {
             importance,
             sharding,
             rebalance_budget: self.controller.rebalance_budget,
+            solve: self.controller.solve,
             ..ControllerConfig::default()
         };
 
@@ -1242,6 +1298,7 @@ mod tests {
             "\"kind\": \"Utility\",",
             ",\n    \"shards\": \"Zones\",\n    \"rebalance_budget\": 8",
             ",\n    \"pipeline\": \"Sync\"",
+            ",\n    \"solve\": \"Batch\"",
             ",\n        \"zone\": null",
         ] {
             assert!(json.contains(stale), "fixture drifted: {stale}");

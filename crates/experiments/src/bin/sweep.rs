@@ -19,8 +19,8 @@ fn main() {
     println!("control-plane staleness (corpus × pipeline mode, 12 cycles):\n");
     let modes = [
         PipelineSpec::Sync,
-        PipelineSpec::Overlap { latency_cycles: 1 },
-        PipelineSpec::Overlap { latency_cycles: 2 },
+        PipelineSpec::overlap(1),
+        PipelineSpec::overlap(2),
     ];
     let staleness = staleness_sweep(&modes, Some(12)).expect("staleness sweep must run");
     println!("{}", format_staleness(&staleness));

@@ -391,10 +391,7 @@ mod tests {
     #[test]
     fn staleness_sweep_crosses_corpus_with_pipeline_modes() {
         use slaq_core::PipelineSpec;
-        let modes = [
-            PipelineSpec::Sync,
-            PipelineSpec::Overlap { latency_cycles: 1 },
-        ];
+        let modes = [PipelineSpec::Sync, PipelineSpec::overlap(1)];
         let cells = staleness_sweep(&modes, Some(2)).unwrap();
         assert_eq!(cells.len(), ScenarioSpec::corpus().len() * modes.len());
         for pair in cells.chunks(2) {

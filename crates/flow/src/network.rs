@@ -178,6 +178,39 @@ impl FlowNetwork {
         fwd.orig_cap - fwd.cap
     }
 
+    /// Withdraw `amount` units of flow from a forward edge without
+    /// touching its capacity: the forward residual grows back and the
+    /// paired reverse residual shrinks. The incremental-reflow
+    /// primitive — canceling a dirty entity's arc flow returns those
+    /// units to the shared downstream edges so a delta re-route starts
+    /// from a consistent residual state. Panics when `amount` exceeds
+    /// the flow present (caller bug: flows only come from this network).
+    pub fn cancel_flow(&mut self, e: EdgeId, amount: i64) {
+        assert!(amount >= 0, "negative cancel");
+        assert!(
+            amount <= self.flow_on(e),
+            "canceling more flow than present"
+        );
+        self.edges[e.0].cap += amount;
+        self.edges[e.0 ^ 1].cap -= amount;
+    }
+
+    /// Force `amount` units of flow onto a forward edge (forward residual
+    /// shrinks, reverse residual grows) — the mirror of
+    /// [`FlowNetwork::cancel_flow`], for callers that know the exact
+    /// end-state flow of a re-route and construct it directly instead of
+    /// re-running the solver. Panics when `amount` exceeds the forward
+    /// residual.
+    pub fn push_flow(&mut self, e: EdgeId, amount: i64) {
+        assert!(amount >= 0, "negative push");
+        assert!(
+            amount <= self.edges[e.0].cap,
+            "pushing past residual capacity"
+        );
+        self.edges[e.0].cap -= amount;
+        self.edges[e.0 ^ 1].cap += amount;
+    }
+
     /// Reset all flow (restore residual capacities), keeping the topology.
     pub fn reset_flow(&mut self) {
         for e in &mut self.edges {
@@ -615,6 +648,56 @@ mod tests {
         assert_eq!(g.max_flow(0, 3), 5);
         g.set_cap(gate, 7);
         assert_eq!(g.max_flow(0, 3), 7);
+    }
+
+    #[test]
+    fn cancel_and_push_flow_reroute_exactly() {
+        // Route 5 units along one path, withdraw them, and hand-route the
+        // same units along the other: the end state must be exactly "5
+        // units flowing down the second path".
+        let mut g = FlowNetwork::new(4);
+        let a = g.add_edge(0, 1, 5);
+        let na = g.add_edge(1, 3, 9);
+        let b = g.add_edge(0, 2, 0); // closed gate
+        let nb = g.add_edge(2, 3, 9);
+        assert_eq!(g.max_flow(0, 3), 5); // all via the a-path
+        assert_eq!(g.flow_on(a), 5);
+        assert_eq!(g.flow_on(na), 5);
+        assert_eq!(g.flow_on(nb), 0);
+
+        // Withdraw the a-path flow and hand-route it down the b-path.
+        g.cancel_flow(a, 5);
+        g.cancel_flow(na, 5);
+        g.set_cap(b, 5);
+        g.push_flow(b, 5);
+        g.push_flow(nb, 5);
+        assert_eq!(g.flow_on(a), 0);
+        assert_eq!(g.flow_on(na), 0);
+        assert_eq!(g.flow_on(b), 5);
+        assert_eq!(g.flow_on(nb), 5);
+
+        // A further max-flow from that residual state can only use the
+        // a-path again — the hand-routed flow occupies the b-path.
+        assert_eq!(g.max_flow(0, 3), 5);
+        assert_eq!(g.flow_on(a), 5);
+        assert_eq!(g.flow_on(nb), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "canceling more flow than present")]
+    fn cancel_flow_rejects_overdraw() {
+        let mut g = FlowNetwork::new(2);
+        let e = g.add_edge(0, 1, 3);
+        g.max_flow(0, 1);
+        g.cancel_flow(e, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "pushing past residual capacity")]
+    fn push_flow_rejects_over_capacity() {
+        let mut g = FlowNetwork::new(2);
+        let e = g.add_edge(0, 1, 3);
+        g.push_flow(e, 4);
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Dirty-set plumbing for churn-proportional warm solves.
+//!
+//! Between consecutive control cycles only a small fraction of the fleet
+//! usually changes: a few jobs arrive or complete, a node dies or comes
+//! back, some demands drift. [`SolveDelta`] is the compact record of that
+//! churn, produced by the simulator's snapshot differ
+//! (`slaq_sim::DeltaTracker`) and threaded through the controller into
+//! the solver.
+//!
+//! The delta is **advisory**: the solver's fast path re-verifies every
+//! reuse precondition against the actual problem (topology signatures,
+//! unit-granular demand fingerprints — see
+//! [`crate::allocation::Allocator::try_allocate_delta`]), so a stale or
+//! missing hint can cost a wasted audit but never a wrong placement. The
+//! hint's job is to skip that audit when the cycle is known-structural.
+
+use slaq_types::{AppId, JobId, NodeId};
+
+/// What changed between two consecutive sensing snapshots.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SolveDelta {
+    /// Jobs present now that were absent (or not yet active) last cycle.
+    pub arrived_jobs: Vec<JobId>,
+    /// Jobs active last cycle that are gone (completed or cancelled).
+    pub completed_jobs: Vec<JobId>,
+    /// Jobs whose placement-relevant state moved: lifecycle transition,
+    /// node change, or demand drift beyond the tracker's tolerance.
+    pub resized_jobs: Vec<JobId>,
+    /// Nodes sensed last cycle but missing now (outage began).
+    pub dead_nodes: Vec<NodeId>,
+    /// Nodes missing last cycle but sensed now (outage ended).
+    pub recovered_nodes: Vec<NodeId>,
+    /// Nodes present both cycles whose capacity changed.
+    pub capacity_changed_nodes: Vec<NodeId>,
+    /// Apps whose observed intensity drifted beyond the tolerance.
+    pub drifted_apps: Vec<AppId>,
+}
+
+impl SolveDelta {
+    /// `true` when nothing at all changed between the snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of dirty entries across all categories.
+    pub fn len(&self) -> usize {
+        self.arrived_jobs.len()
+            + self.completed_jobs.len()
+            + self.resized_jobs.len()
+            + self.dead_nodes.len()
+            + self.recovered_nodes.len()
+            + self.capacity_changed_nodes.len()
+            + self.drifted_apps.len()
+    }
+
+    /// `true` when the problem *shape* changed — the job set or the node
+    /// set — so the allocator's topology signature cannot possibly match
+    /// and an incremental re-flow attempt would be a guaranteed miss.
+    pub fn is_structural(&self) -> bool {
+        !self.arrived_jobs.is_empty()
+            || !self.completed_jobs.is_empty()
+            || !self.dead_nodes.is_empty()
+            || !self.recovered_nodes.is_empty()
+    }
+
+    /// Drop every entry, keeping allocations for reuse.
+    pub fn clear(&mut self) {
+        self.arrived_jobs.clear();
+        self.completed_jobs.clear();
+        self.resized_jobs.clear();
+        self.dead_nodes.clear();
+        self.recovered_nodes.clear();
+        self.capacity_changed_nodes.clear();
+        self.drifted_apps.clear();
+    }
+}
+
+/// Fast-path diagnostics of a `Delta`-mode solver: how many solves took
+/// the incremental re-flow versus falling back to the full path. Exposed
+/// through an accessor (not the metrics sink) so a delta run's recorded
+/// metric series stay bit-identical to a batch run's.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Solves answered by the incremental allocation re-flow.
+    pub hits: usize,
+    /// Delta-mode solves that ran the full allocation path.
+    pub fallbacks: usize,
+}
+
+impl DeltaStats {
+    /// Merge another counter pair in (shard lanes aggregate this way).
+    pub fn absorb(&mut self, other: DeltaStats) {
+        self.hits += other.hits;
+        self.fallbacks += other.fallbacks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structural_flags_follow_the_shape_changing_fields() {
+        let mut d = SolveDelta::default();
+        assert!(d.is_empty());
+        assert!(!d.is_structural());
+        d.resized_jobs.push(JobId::new(1));
+        d.drifted_apps.push(AppId::new(2));
+        d.capacity_changed_nodes.push(NodeId::new(3));
+        assert!(!d.is_structural(), "in-place churn is not structural");
+        assert_eq!(d.len(), 3);
+        d.arrived_jobs.push(JobId::new(9));
+        assert!(d.is_structural());
+        d.clear();
+        assert!(d.is_empty());
+    }
+}

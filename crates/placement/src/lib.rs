@@ -72,6 +72,7 @@
 #![warn(clippy::all)]
 
 pub mod allocation;
+pub mod delta;
 pub mod heap;
 pub mod placement;
 pub mod problem;
@@ -81,8 +82,9 @@ pub mod shard;
 pub mod solver;
 
 pub use allocation::{allocate, Allocator};
+pub use delta::{DeltaStats, SolveDelta};
 pub use heap::CandidateHeap;
 pub use placement::{Placement, PlacementChange};
 pub use problem::{AppRequest, JobRequest, NodeCapacity, PlacementConfig, PlacementProblem};
 pub use shard::{ShardMap, ShardPlan, ShardedSolver};
-pub use solver::{solve, CandidateEngine, PlacementOutcome, Solver};
+pub use solver::{solve, CandidateEngine, PlacementOutcome, SolveMode, Solver};

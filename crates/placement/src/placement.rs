@@ -225,23 +225,55 @@ impl Placement {
                 }
             }
         }
-        // Jobs.
-        for (&job, &(node, _)) in &self.jobs {
-            match prev.jobs.get(&job) {
-                None => changes.push(PlacementChange::StartJob { job, node }),
-                Some(&(old, _)) if old != node => changes.push(PlacementChange::MigrateJob {
-                    job,
-                    from: old,
-                    to: node,
-                }),
-                Some(_) => {}
+        // Jobs: both maps iterate id-sorted, so one lockstep merge
+        // replaces the 2·J point lookups a naive double scan would pay —
+        // the diff is a hot-path cost on every control cycle. Suspends
+        // are buffered so the output order (starts/migrations in new-map
+        // order, then suspends in old-map order) matches the lookup
+        // formulation exactly.
+        let mut suspends = Vec::new();
+        let mut new_it = self.jobs.iter().peekable();
+        let mut old_it = prev.jobs.iter().peekable();
+        loop {
+            match (new_it.peek(), old_it.peek()) {
+                (Some(&(&job, &(node, _))), None) => {
+                    changes.push(PlacementChange::StartJob { job, node });
+                    new_it.next();
+                }
+                (None, Some(&(&job, &(node, _)))) => {
+                    suspends.push(PlacementChange::SuspendJob { job, node });
+                    old_it.next();
+                }
+                (Some(&(&job, &(node, _))), Some(&(&old_job, &(old_node, _)))) => {
+                    match job.cmp(&old_job) {
+                        std::cmp::Ordering::Less => {
+                            changes.push(PlacementChange::StartJob { job, node });
+                            new_it.next();
+                        }
+                        std::cmp::Ordering::Greater => {
+                            suspends.push(PlacementChange::SuspendJob {
+                                job: old_job,
+                                node: old_node,
+                            });
+                            old_it.next();
+                        }
+                        std::cmp::Ordering::Equal => {
+                            if node != old_node {
+                                changes.push(PlacementChange::MigrateJob {
+                                    job,
+                                    from: old_node,
+                                    to: node,
+                                });
+                            }
+                            new_it.next();
+                            old_it.next();
+                        }
+                    }
+                }
+                (None, None) => break,
             }
         }
-        for (&job, &(node, _)) in &prev.jobs {
-            if !self.jobs.contains_key(&job) {
-                changes.push(PlacementChange::SuspendJob { job, node });
-            }
-        }
+        changes.extend(suspends);
         changes
     }
 }

@@ -44,10 +44,11 @@
 //! engine's payoff is zone isolation and the thread parallelism that
 //! returns with the real crate.
 
+use crate::delta::{DeltaStats, SolveDelta};
 use crate::heap::CandidateHeap;
 use crate::placement::{Placement, PlacementChange};
 use crate::problem::{AppRequest, PlacementProblem};
-use crate::solver::{PlacementOutcome, Solver};
+use crate::solver::{PlacementOutcome, SolveMode, Solver};
 use rayon::prelude::*;
 use slaq_types::{fcmp, AppId, CpuMhz, Interner, JobId, MemMb, NodeId, ShardId, ZoneId};
 use std::collections::BTreeMap;
@@ -198,6 +199,9 @@ pub struct ShardedSolver {
     /// Max cross-shard migrations/placements per cycle (the rebalance
     /// pass's change budget, on top of the per-shard budgets).
     rebalance_budget: usize,
+    /// Solve mode applied to every lane solver (lanes are created lazily
+    /// as the shard count settles, so the mode is re-asserted per solve).
+    mode: SolveMode,
     lanes: Vec<Lane>,
     // ---- per-cycle scratch ----
     job_lane: Vec<usize>,
@@ -228,20 +232,69 @@ impl ShardedSolver {
         &self.plan
     }
 
+    /// Same sharded solver, in the given [`SolveMode`] (builder form).
+    pub fn with_mode(mut self, mode: SolveMode) -> Self {
+        self.set_mode(mode);
+        self
+    }
+
+    /// Switch the solve mode; applied to every lane solver, including
+    /// lanes created later when the shard count changes.
+    pub fn set_mode(&mut self, mode: SolveMode) {
+        self.mode = mode;
+        for lane in &mut self.lanes {
+            lane.solver.set_mode(mode);
+        }
+    }
+
+    /// The mode in force.
+    pub fn mode(&self) -> SolveMode {
+        self.mode
+    }
+
+    /// Aggregated fast-path diagnostics across all lane solvers.
+    pub fn delta_stats(&self) -> DeltaStats {
+        let mut stats = DeltaStats::default();
+        for lane in &self.lanes {
+            stats.absorb(lane.solver.delta_stats());
+        }
+        stats
+    }
+
     /// Solve one cycle. Same contract as [`Solver::solve`]; with a
     /// single-shard plan the outcome is bit-identical to it.
     pub fn solve(&mut self, problem: &PlacementProblem, prev: &Placement) -> PlacementOutcome {
+        self.solve_with_delta(problem, prev, None)
+    }
+
+    /// [`ShardedSolver::solve`] with an advisory churn hint (see
+    /// [`Solver::solve_with_delta`]): the hint is forwarded to every lane
+    /// — each lane's own reuse audit decides whether its sub-problem can
+    /// actually ride the incremental path, so a hint describing foreign
+    /// lanes' churn costs at most a wasted audit, never a wrong placement.
+    pub fn solve_with_delta(
+        &mut self,
+        problem: &PlacementProblem,
+        prev: &Placement,
+        delta: Option<&SolveDelta>,
+    ) -> PlacementOutcome {
         let node_ids: Vec<NodeId> = problem.nodes.iter().map(|n| n.id).collect();
         let map = ShardMap::build(&self.plan, &node_ids);
         let k = map.len();
 
         self.lanes.resize_with(k, Lane::default);
+        // `resize_with` may have minted fresh Batch-mode lanes: re-assert
+        // the engine mode on every lane before any of them solves.
+        let mode = self.mode;
+        for lane in &mut self.lanes {
+            lane.solver.set_mode(mode);
+        }
 
         if k == 1 {
             // The global path, through the lane's warm solver, on the
             // caller's problem directly: the outcome is bit-identical to
             // an unsharded `Solver` with zero partitioning overhead.
-            return self.lanes[0].solver.solve(problem, prev);
+            return self.lanes[0].solver.solve_with_delta(problem, prev, delta);
         }
 
         let node_ix = Interner::new(node_ids.iter().copied());
@@ -377,7 +430,7 @@ impl ShardedSolver {
         let mut outcomes: Vec<PlacementOutcome> = self
             .lanes
             .par_iter_mut()
-            .map(|lane| lane.solver.solve(&lane.problem, prev))
+            .map(|lane| lane.solver.solve_with_delta(&lane.problem, prev, delta))
             .collect();
 
         // ------------------------------------------------------------
@@ -448,7 +501,13 @@ impl ShardedSolver {
                     let lane = &mut self.lanes[s];
                     lane.problem.config.max_changes =
                         Some(budgets[s].expect("split of Some is Some") + extra);
-                    outcomes[s] = lane.solver.solve(&lane.problem, prev);
+                    // Same-cycle re-solve with a bigger budget: if the
+                    // budget changes the discrete outcome the signature
+                    // audit falls back to the full path; if it doesn't,
+                    // the dirty set is empty and the stored placement is
+                    // exactly the recompute. Either way the result stays
+                    // exact, so the hint can ride along.
+                    outcomes[s] = lane.solver.solve_with_delta(&lane.problem, prev, delta);
                 }
             }
         }
@@ -1007,6 +1066,54 @@ mod tests {
             second.changes
         );
         assert_eq!(second.placement.jobs, first.placement.jobs);
+    }
+
+    #[test]
+    fn delta_mode_lanes_match_batch_lanes_across_churn() {
+        // Two solvers with identical plans, one per mode, driven through
+        // drifting jobs-only cycles: outcomes must stay bit-identical and
+        // the delta lanes must actually take the fast path once the
+        // placements settle.
+        for plan in [ShardPlan::Fixed(1), ShardPlan::Fixed(2)] {
+            let mut batch = ShardedSolver::new(plan.clone(), 4);
+            let mut delta = ShardedSolver::new(plan.clone(), 4).with_mode(SolveMode::Delta);
+            assert_eq!(delta.mode(), SolveMode::Delta);
+            let fleet = nodes(6, 12_000.0, 4096);
+            let n_jobs = 18usize;
+            let mut demands: Vec<f64> = (0..n_jobs)
+                .map(|i| 900.0 + ((i * 769) % 1800) as f64)
+                .collect();
+            let mut running: Vec<Option<NodeId>> = vec![None; n_jobs];
+            let mut prev_b = Placement::empty();
+            let mut prev_d = Placement::empty();
+            for cycle in 0..8usize {
+                if cycle > 0 {
+                    demands[(cycle * 5) % n_jobs] = 700.0 + ((cycle * 431) % 1900) as f64;
+                }
+                let jobs: Vec<JobRequest> = (0..n_jobs)
+                    .map(|i| JobRequest {
+                        running_on: running[i],
+                        affinity: running[i],
+                        ..jobr(i as u32, demands[i])
+                    })
+                    .collect();
+                let p = problem(fleet.clone(), vec![], jobs);
+                let out_b = batch.solve(&p, &prev_b);
+                let out_d = delta.solve(&p, &prev_d);
+                assert_eq!(out_b, out_d, "plan {plan:?} diverged at cycle {cycle}");
+                for (i, j) in p.jobs.iter().enumerate() {
+                    running[i] = out_b.placement.job_node(j.id);
+                }
+                prev_b = out_b.placement;
+                prev_d = out_d.placement;
+            }
+            let stats = delta.delta_stats();
+            assert!(
+                stats.hits > 0,
+                "plan {plan:?}: lanes never hit the fast path: {stats:?}"
+            );
+            assert_eq!(batch.delta_stats(), DeltaStats::default());
+        }
     }
 
     proptest! {

@@ -56,11 +56,13 @@
 //! until an eviction changes the node states.
 
 use crate::allocation::Allocator;
+use crate::delta::{DeltaStats, SolveDelta};
 use crate::heap::CandidateHeap;
 use crate::placement::{Placement, PlacementChange};
-use crate::problem::{JobRequest, PlacementProblem};
+use crate::problem::{JobRequest, NodeCapacity, PlacementConfig, PlacementProblem};
 use serde::{Deserialize, Serialize};
 use slaq_types::{fcmp, AppId, CpuMhz, Interner, JobId, MemMb, NodeId};
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
 
 /// How the solver answers its candidate-node queries (the per-entity
@@ -81,6 +83,28 @@ pub enum CandidateEngine {
     /// placements land and capacities clamp. The default.
     #[default]
     Heap,
+}
+
+/// How [`Solver::solve`] treats consecutive cycles.
+///
+/// Both modes produce **bit-identical** outcomes — the delta path only
+/// engages after verifying, against the actual problem, that its answer
+/// is forced to equal the batch path's (see
+/// [`crate::allocation::Allocator::try_allocate_delta`] and the
+/// differential oracle in `tests/delta_solve.rs`). They differ in cost:
+/// `Delta` makes the warm-cycle price churn-proportional.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SolveMode {
+    /// Every cycle pays the full pipeline: boundary sorts, discrete
+    /// steps, and a complete two-phase allocation flow. The default.
+    #[default]
+    Batch,
+    /// Churn-proportional warm cycles: the node interner and boundary
+    /// sort orders are reused when still valid, and the allocation flow
+    /// is patched incrementally around dirty jobs instead of re-solved —
+    /// falling back to the batch path whenever any reuse precondition
+    /// fails.
+    Delta,
 }
 
 /// Result of one placement run.
@@ -138,8 +162,6 @@ struct Scratch {
     committed: Vec<f64>,
     /// Per job: `running_on` translated to a dense index.
     running_dense: Vec<Option<usize>>,
-    /// Per job: whether `prev` had it running.
-    prev_has: Vec<bool>,
     /// Job dense indices, priority-descending (ties: id ascending).
     ordered_jobs: Vec<usize>,
     /// App dense indices, demand-descending (ties: id ascending).
@@ -148,6 +170,50 @@ struct Scratch {
     open: Vec<usize>,
     /// Host-sort temporary.
     host_sort: Vec<(NodeId, usize, f64)>,
+    /// Step-0/1 kept jobs committed below their demand, in priority
+    /// order: the only jobs step 4's rebalance can act on.
+    deficit_jobs: Vec<usize>,
+    /// Jobs still unplaced after step 3, in priority order: the only
+    /// jobs steps 5/6 can act on (they re-check placement — step 5's
+    /// evictions place some mid-iteration).
+    unplaced: Vec<usize>,
+}
+
+/// Delta mode's discrete-phase certificate: the conditions under which
+/// a warm cycle may skip steps 0–6 outright and go straight to the
+/// allocator's incremental re-flow, with the previous cycle's discrete
+/// decisions (`Scratch::job_node`, `Scratch::app_hosts`) *re-validated
+/// rather than recomputed*.
+///
+/// Armed at the end of a full delta-mode solve only when that cycle
+/// **proves** the discrete phase sits at a demand-insensitive fixed
+/// point (see the capture site in [`Solver::solve_with_delta`] for the
+/// exact conditions). A later cycle may then reuse the scratch
+/// decisions verbatim if everything the discrete phase reads — node
+/// capacities, job identity/membership/affinity/memory/priority, the
+/// config — is bit-equal to this capture, and each drifted demand
+/// leaves its node's f64 demand sum under capacity (so keep commits
+/// stay saturated and no rebalance deficit can appear). Demand drift
+/// on *unplaced* jobs is free: the capture's memory-blocked condition
+/// makes every step-3/5/6 probe fail on memory alone, independent of
+/// residual CPU. Any condition that cannot be re-verified refuses to
+/// the full path, which re-arms or invalidates the capture — reuse is
+/// never trusted across a refusal.
+#[derive(Debug, Clone, Default)]
+struct DiscreteCapture {
+    /// Whether the capture describes the solver's current scratch.
+    valid: bool,
+    /// The node set (ids + exact capacities) of the captured cycle.
+    nodes: Vec<NodeCapacity>,
+    /// The job set of the captured cycle; `demand` is updated in place
+    /// as skip cycles absorb drift (all other fields must stay
+    /// bit-equal for the capture to hold).
+    jobs: Vec<JobRequest>,
+    /// The config of the captured cycle (budget, gaps, unit).
+    cfg: PlacementConfig,
+    /// Per dense node: Σ demand of jobs placed there — the running sum
+    /// behind the f64 headroom check that keeps keep-commits saturated.
+    node_demand: Vec<f64>,
 }
 
 /// A long-lived placement solver: reuses its dense scratch state and the
@@ -160,6 +226,19 @@ pub struct Solver {
     s: Scratch,
     engine: CandidateEngine,
     heap: CandidateHeap,
+    mode: SolveMode,
+    stats: DeltaStats,
+    /// Delta mode's cached problem boundary: node ids of the interner
+    /// below, for the O(N) id-stability check that licenses its reuse.
+    node_ids: Vec<NodeId>,
+    node_ix: Interner<NodeId>,
+    /// Delta mode's cached `running_on` per job slot, licensing reuse of
+    /// the slot's `running_dense` translation while the interner holds:
+    /// the dense index depends only on the node id and the interner, so
+    /// an unchanged `running_on` keeps its translation with no search.
+    cached_running: Vec<Option<NodeId>>,
+    /// Delta mode's discrete fixed-point certificate (see its docs).
+    disc: DiscreteCapture,
 }
 
 impl Solver {
@@ -178,9 +257,41 @@ impl Solver {
         }
     }
 
+    /// A fresh solver in the given [`SolveMode`].
+    pub fn with_mode(mode: SolveMode) -> Self {
+        let mut s = Solver::default();
+        s.set_mode(mode);
+        s
+    }
+
     /// The candidate engine in force.
     pub fn engine(&self) -> CandidateEngine {
         self.engine
+    }
+
+    /// The solve mode in force.
+    pub fn mode(&self) -> SolveMode {
+        self.mode
+    }
+
+    /// Switch solve modes. A no-op when the mode is unchanged; an actual
+    /// switch drops the delta caches (they describe solves the other
+    /// mode never audited).
+    pub fn set_mode(&mut self, mode: SolveMode) {
+        if self.mode == mode {
+            return;
+        }
+        self.mode = mode;
+        self.node_ids.clear();
+        self.node_ix = Interner::default();
+        self.disc = DiscreteCapture::default();
+        self.alloc.set_track_delta(mode == SolveMode::Delta);
+    }
+
+    /// Fast-path diagnostics: how many delta-mode solves were answered
+    /// incrementally vs. fell back to the full path.
+    pub fn delta_stats(&self) -> DeltaStats {
+        self.stats
     }
 
     /// How many times the candidate heap rebuilt its topology
@@ -192,17 +303,71 @@ impl Solver {
 
     /// Solve one cycle. `prev` is the placement currently in force.
     pub fn solve(&mut self, problem: &PlacementProblem, prev: &Placement) -> PlacementOutcome {
+        self.solve_with_delta(problem, prev, None)
+    }
+
+    /// [`Solver::solve`], with an optional churn hint. The hint is purely
+    /// advisory — a known-structural delta skips the fast-path audit that
+    /// could not succeed — and never trusted for correctness: every reuse
+    /// the solver performs is re-verified against the problem itself.
+    pub fn solve_with_delta(
+        &mut self,
+        problem: &PlacementProblem,
+        prev: &Placement,
+        delta: Option<&SolveDelta>,
+    ) -> PlacementOutcome {
         let cfg = &problem.config;
         let mut budget = cfg.max_changes.unwrap_or(usize::MAX);
         let n_apps = problem.apps.len();
         let n_jobs = problem.jobs.len();
         let engine = self.engine;
+        let mode = self.mode;
+
+        // --------------------------------------------------------------
+        // Delta fixed-point skip: when the previous full cycle certified
+        // that the discrete phase is at a demand-insensitive fixed point
+        // (see `DiscreteCapture`), re-validate the certificate against
+        // this cycle's problem and — if it holds and the allocator's own
+        // audit accepts — reuse the scratch decisions verbatim. This is
+        // the "prior placements are re-validated, not recomputed" leg of
+        // delta mode: a hit costs O(N + J) field compares plus O(dirty)
+        // flow surgery instead of the full discrete pipeline. Any
+        // mismatch falls through to the full path below.
+        // --------------------------------------------------------------
+        if mode == SolveMode::Delta && delta.is_none_or(|d| !d.is_structural()) {
+            if let Some(placement) = self.try_discrete_skip(problem) {
+                self.stats.hits += 1;
+                return assemble_outcome(problem, prev, placement, &self.s.job_node);
+            }
+        }
 
         // --------------------------------------------------------------
         // Boundary: intern ids, build dense state. The only id-keyed
-        // lookups of the whole solve happen here.
+        // lookups of the whole solve happen here. Delta mode reuses the
+        // interner while the node set is id-stable (an O(N) check versus
+        // an O(N log N) rebuild); batch mode rebuilds every cycle,
+        // keeping its baseline cost honest.
         // --------------------------------------------------------------
-        let node_ix = Interner::new(problem.nodes.iter().map(|n| n.id));
+        let owned_ix: Interner<NodeId>;
+        let mut interner_reused = false;
+        let node_ix: &Interner<NodeId> = if mode == SolveMode::Delta {
+            let id_stable = self.node_ids.len() == problem.nodes.len()
+                && self
+                    .node_ids
+                    .iter()
+                    .zip(&problem.nodes)
+                    .all(|(a, n)| *a == n.id);
+            if !id_stable {
+                self.node_ids.clear();
+                self.node_ids.extend(problem.nodes.iter().map(|n| n.id));
+                self.node_ix = Interner::new(self.node_ids.iter().copied());
+            }
+            interner_reused = id_stable;
+            &self.node_ix
+        } else {
+            owned_ix = Interner::new(problem.nodes.iter().map(|n| n.id));
+            &owned_ix
+        };
         let s = &mut self.s;
         let heap = &mut self.heap;
         s.nodes.clear();
@@ -231,29 +396,69 @@ impl Solver {
         s.job_node.resize(n_jobs, None);
         s.committed.clear();
         s.committed.resize(n_jobs, 0.0);
-        s.running_dense.clear();
-        s.running_dense.extend(
-            problem
-                .jobs
-                .iter()
-                .map(|j| j.running_on.and_then(|n| node_ix.dense(n))),
-        );
-        s.prev_has.clear();
-        s.prev_has
-            .extend(problem.jobs.iter().map(|j| prev.jobs.contains_key(&j.id)));
-
-        s.ordered_jobs.clear();
-        s.ordered_jobs.extend(0..n_jobs);
-        s.ordered_jobs.sort_by(|&a, &b| {
+        // `running_on → dense`. Delta mode caches the translation per
+        // slot: the dense index depends only on the node id and the
+        // (reused) interner, so in the steady state an O(1) equality
+        // check replaces a binary search per job; only slots whose
+        // `running_on` actually moved re-translate.
+        let running_cache_ok = interner_reused
+            && self.cached_running.len() == n_jobs
+            && s.running_dense.len() == n_jobs;
+        if running_cache_ok {
+            for (ji, j) in problem.jobs.iter().enumerate() {
+                if self.cached_running[ji] != j.running_on {
+                    self.cached_running[ji] = j.running_on;
+                    s.running_dense[ji] = j.running_on.and_then(|n| node_ix.dense(n));
+                }
+            }
+        } else {
+            s.running_dense.clear();
+            s.running_dense.extend(
+                problem
+                    .jobs
+                    .iter()
+                    .map(|j| j.running_on.and_then(|n| node_ix.dense(n))),
+            );
+            self.cached_running.clear();
+            if interner_reused {
+                self.cached_running
+                    .extend(problem.jobs.iter().map(|j| j.running_on));
+            }
+        }
+        // Boundary sorts. In delta mode the previous cycle's order is
+        // kept when it still sorts the new keys — an O(J) sortedness
+        // check instead of an O(J log J) re-sort. Exact: the comparators
+        // are total orders whose id tie-break makes the sorted
+        // permutation unique (problem entities carry distinct ids), so
+        // *any* sorted order equals the sort's output.
+        let job_cmp = |a: usize, b: usize| {
             let (ja, jb) = (&problem.jobs[a], &problem.jobs[b]);
             fcmp(jb.priority, ja.priority).then(ja.id.cmp(&jb.id))
-        });
-        s.ordered_apps.clear();
-        s.ordered_apps.extend(0..n_apps);
-        s.ordered_apps.sort_by(|&a, &b| {
+        };
+        let jobs_order_warm = mode == SolveMode::Delta
+            && s.ordered_jobs.len() == n_jobs
+            && s.ordered_jobs
+                .windows(2)
+                .all(|w| job_cmp(w[0], w[1]) != Ordering::Greater);
+        if !jobs_order_warm {
+            s.ordered_jobs.clear();
+            s.ordered_jobs.extend(0..n_jobs);
+            s.ordered_jobs.sort_by(|&a, &b| job_cmp(a, b));
+        }
+        let app_cmp = |a: usize, b: usize| {
             let (aa, ab) = (&problem.apps[a], &problem.apps[b]);
             ab.demand.total_cmp(aa.demand).then(aa.id.cmp(&ab.id))
-        });
+        };
+        let apps_order_warm = mode == SolveMode::Delta
+            && s.ordered_apps.len() == n_apps
+            && s.ordered_apps
+                .windows(2)
+                .all(|w| app_cmp(w[0], w[1]) != Ordering::Greater);
+        if !apps_order_warm {
+            s.ordered_apps.clear();
+            s.ordered_apps.extend(0..n_apps);
+            s.ordered_apps.sort_by(|&a, &b| app_cmp(a, b));
+        }
 
         // --------------------------------------------------------------
         // Step 0/1: keep previous app instances and running jobs; reserve
@@ -273,6 +478,14 @@ impl Solver {
             }
         }
 
+        // Fixed-point bookkeeping for the next cycle's discrete skip:
+        // whether any keep decision consulted `prev` (if none did, the
+        // keep outcome is independent of `prev` entirely) and whether
+        // any of steps 3–6 changed a placement (if none did, the
+        // discrete phase was an identity on its scratch).
+        let mut probed_prev = false;
+        let mut acted = false;
+        s.deficit_jobs.clear();
         for k in 0..s.ordered_jobs.len() {
             let ji = s.ordered_jobs[k];
             let job = &problem.jobs[ji];
@@ -282,7 +495,12 @@ impl Solver {
             let Some(i) = s.running_dense[ji] else {
                 continue;
             };
-            if s.nodes[i].mem_free.fits(job.mem) || s.prev_has[ji] {
+            // The map lookup sits behind the fits() short-circuit: in the
+            // steady state every kept job's memory fits its node's
+            // residual, so the per-job `prev` probe almost never runs.
+            let fits = s.nodes[i].mem_free.fits(job.mem);
+            probed_prev |= !fits;
+            if fits || prev.jobs.contains_key(&job.id) {
                 // A running job's memory is already resident; keeping
                 // it is always feasible (prev placement was valid).
                 s.nodes[i].mem_free = s.nodes[i].mem_free.saturating_sub(job.mem);
@@ -290,6 +508,13 @@ impl Solver {
                 s.nodes[i].cpu_free -= got;
                 s.committed[ji] = got;
                 s.job_node[ji] = Some(i);
+                if got < job.demand.as_f64() {
+                    // Shortchanged: a step-4 rebalance candidate. Fully
+                    // fed jobs (and step-3 placements, committed at full
+                    // demand) have zero deficit and can never act there,
+                    // so step 4 walks only this list.
+                    s.deficit_jobs.push(ji);
+                }
             }
         }
 
@@ -477,18 +702,44 @@ impl Solver {
         // --------------------------------------------------------------
         // Step 3: place unplaced jobs with positive targets, priority
         // order.
+        //
+        // Failed-scan memo, the same shape as steps 5/6 below: a failed
+        // general scan means no node passes `fits(mem) && cpu > 1e-9`,
+        // and within this step node trackers only shrink (placements
+        // subtract, nothing restores), so any later job needing ≥ that
+        // memory fails the same scan. The memo is consulted only for
+        // jobs *without* affinity: the affinity fast path accepts a
+        // node under a demand-scaled CPU floor the general filter
+        // doesn't use, so affinity carriers always run the real probe.
+        // (Their failures still feed the memo — failing means the
+        // general scan ran and failed.)
         // --------------------------------------------------------------
+        let mut place_failed_mem: Option<MemMb> = None;
+        s.unplaced.clear();
         for k in 0..s.ordered_jobs.len() {
             let ji = s.ordered_jobs[k];
             if s.job_node[ji].is_some() {
                 continue;
             }
             let job = &problem.jobs[ji];
+            if job.affinity.is_none() && place_failed_mem.is_some_and(|m| job.mem.fits(m)) {
+                s.unplaced.push(ji);
+                continue; // a no-easier scan already failed
+            }
             let affinity_dense = job.affinity.and_then(|n| node_ix.dense(n));
             if let Some(i) = place_job(job, &mut s.nodes, &mut budget, affinity_dense, engine, heap)
             {
+                acted = true;
                 s.job_node[ji] = Some(i);
                 s.committed[ji] = job.demand.as_f64();
+            } else {
+                if !job.demand.is_zero() && budget > 0 {
+                    place_failed_mem = Some(match place_failed_mem {
+                        Some(m) => m.min(job.mem),
+                        None => job.mem,
+                    });
+                }
+                s.unplaced.push(ji);
             }
         }
 
@@ -496,11 +747,11 @@ impl Solver {
         // Step 4: rebalance — migrate shortchanged running jobs to nodes
         // with room.
         // --------------------------------------------------------------
-        for k in 0..s.ordered_jobs.len() {
+        for k in 0..s.deficit_jobs.len() {
             if budget == 0 {
                 break;
             }
-            let ji = s.ordered_jobs[k];
+            let ji = s.deficit_jobs[k];
             let Some(cur) = s.job_node[ji] else { continue };
             if s.running_dense[ji] != Some(cur) {
                 continue; // only running jobs can live-migrate
@@ -526,6 +777,7 @@ impl Solver {
                 }
             };
             if let Some(t) = target {
+                acted = true;
                 s.nodes[cur].mem_free += job.mem;
                 s.nodes[cur].cpu_free += got;
                 s.nodes[t].mem_free -= job.mem;
@@ -556,11 +808,11 @@ impl Solver {
         // failed scan (and is outcome-preserving by that subset
         // argument, so both candidate engines share it).
         let mut evict_failed_mem: Option<MemMb> = None;
-        for k in 0..s.ordered_jobs.len() {
+        for k in 0..s.unplaced.len() {
             if budget < 2 {
                 break;
             }
-            let ji = s.ordered_jobs[k];
+            let ji = s.unplaced[k];
             let job = &problem.jobs[ji];
             if s.job_node[ji].is_some() || job.demand.is_zero() {
                 continue;
@@ -588,6 +840,7 @@ impl Solver {
                     .copied()
             };
             if let Some(vi) = victim {
+                acted = true;
                 let i = s.job_node[vi].take().expect("victim placed");
                 s.nodes[i].mem_free += problem.jobs[vi].mem;
                 s.nodes[i].cpu_free += std::mem::replace(&mut s.committed[vi], 0.0);
@@ -613,15 +866,30 @@ impl Solver {
         // application instances give their memory back to the job tier.
         // This is the "drop least-useful instances when memory-blocked"
         // move of the NOMS'08 heuristic.
-        // --------------------------------------------------------------
-        for k in 0..s.ordered_jobs.len() {
+        //
+        // Failed-scan memo, same shape as step 5's: whether a disposable
+        // instance can be reclaimed for a job depends only on the job's
+        // memory need — the eligibility tests (zero take, min-instance
+        // headroom, post-reclaim fit, residual CPU) are otherwise
+        // job-independent. A scan that failed for `m` MB therefore fails
+        // for every later job needing ≥ `m` until a successful reclaim
+        // changes node frees or instance headroom. In the steady state
+        // (thousands of unplaced jobs, no reclaimable instance) this
+        // collapses the O(unplaced × apps × hosts) re-scan into one
+        // failed scan per cycle; it is outcome-preserving by the same
+        // subset argument, so both solve modes share it.
+        let mut reclaim_failed_mem: Option<MemMb> = None;
+        for k in 0..s.unplaced.len() {
             if budget < 2 {
                 break;
             }
-            let ji = s.ordered_jobs[k];
+            let ji = s.unplaced[k];
             let job = &problem.jobs[ji];
             if s.job_node[ji].is_some() || job.demand.is_zero() {
                 continue;
+            }
+            if reclaim_failed_mem.is_some_and(|m| job.mem.fits(m)) {
+                continue; // a no-easier reclaim scan already failed
             }
             'apps: for ak in 0..s.ordered_apps.len() {
                 let ai = s.ordered_apps[ak];
@@ -637,6 +905,7 @@ impl Solver {
                     if (s.nodes[i].mem_free + app.mem_per_instance).fits(job.mem)
                         && s.nodes[i].cpu_free > 1e-9
                     {
+                        acted = true;
                         s.nodes[i].mem_free += app.mem_per_instance;
                         s.app_hosts[ai].remove(pos);
                         s.app_take[ai].remove(pos);
@@ -647,47 +916,214 @@ impl Solver {
                         s.committed[ji] = got;
                         s.job_node[ji] = Some(i);
                         budget -= 1; // the job start
+                        reclaim_failed_mem = None; // headroom changed: memo off
                         break 'apps;
+                    }
+                }
+            }
+            if s.job_node[ji].is_none() {
+                reclaim_failed_mem = Some(match reclaim_failed_mem {
+                    Some(m) => m.min(job.mem),
+                    None => job.mem,
+                });
+            }
+        }
+
+        // --------------------------------------------------------------
+        // Step 7: exact allocation + bookkeeping. Delta mode first offers
+        // the cycle to the allocator's incremental re-flow — a hit means
+        // only the dirty jobs' flows move and the placement is patched,
+        // not rebuilt; any refused precondition falls back to the full
+        // path. A hint that says the cycle is structural (job or node
+        // set reshaped) skips the audit outright: the topology signature
+        // cannot match.
+        let try_incremental = mode == SolveMode::Delta && delta.is_none_or(|d| !d.is_structural());
+        let placement = match try_incremental
+            .then(|| {
+                self.alloc.try_allocate_delta(
+                    &problem.nodes,
+                    &problem.apps,
+                    &s.app_hosts,
+                    &problem.jobs,
+                    &s.job_node,
+                    problem.config.mhz_unit,
+                )
+            })
+            .flatten()
+        {
+            Some(patched) => {
+                self.stats.hits += 1;
+                patched
+            }
+            None => {
+                if mode == SolveMode::Delta {
+                    self.stats.fallbacks += 1;
+                }
+                self.alloc.allocate_dense(
+                    &problem.nodes,
+                    &problem.apps,
+                    &s.app_hosts,
+                    &problem.jobs,
+                    &s.job_node,
+                    problem.config.mhz_unit,
+                )
+            }
+        };
+        // --------------------------------------------------------------
+        // (Re-)arm the discrete fixed-point certificate for the next
+        // cycle. Valid only when this cycle *proves* the discrete phase
+        // is at a demand-insensitive fixed point:
+        //   - no apps: steps 0 (app keep), 2, and 6 are vacuous, and
+        //     `prev.apps` is never read;
+        //   - no step-3–6 action and an untouched change budget, so the
+        //     phase was an identity on the kept placements;
+        //   - no keep decision probed `prev` (every running job's memory
+        //     fit), so the keep outcome is `prev`-independent;
+        //   - no rebalance deficit: every kept job committed its full
+        //     demand, so step 4 never scanned;
+        //   - memory-blocked unplaced set: no node's residual memory fits
+        //     any unplaced positive-demand job, so every step-3/5/6 probe
+        //     fails on memory alone, independent of residual CPU (which
+        //     is the one tracker demand drift perturbs).
+        // Under these conditions the only demand-sensitive outputs are
+        // the keep commits, which the skip path re-validates per drifted
+        // job via the per-node f64 demand sums captured here.
+        // --------------------------------------------------------------
+        if mode == SolveMode::Delta {
+            let max_free = s
+                .nodes
+                .iter()
+                .map(|n| n.mem_free)
+                .max()
+                .unwrap_or(MemMb::new(0));
+            let mem_blocked = s.unplaced.iter().all(|&ji| {
+                let j = &problem.jobs[ji];
+                j.demand.is_zero() || !max_free.fits(j.mem)
+            });
+            let d = &mut self.disc;
+            d.valid = problem.apps.is_empty()
+                && !acted
+                && !probed_prev
+                && s.deficit_jobs.is_empty()
+                && mem_blocked;
+            if d.valid {
+                d.cfg = *cfg;
+                d.nodes.clear();
+                d.nodes.extend_from_slice(&problem.nodes);
+                d.jobs.clear();
+                d.jobs.extend_from_slice(&problem.jobs);
+                d.node_demand.clear();
+                d.node_demand.resize(problem.nodes.len(), 0.0);
+                for (ji, j) in problem.jobs.iter().enumerate() {
+                    if let Some(ni) = s.job_node[ji] {
+                        d.node_demand[ni] += j.demand.as_f64();
                     }
                 }
             }
         }
 
-        // --------------------------------------------------------------
-        // Step 7: exact allocation + bookkeeping.
-        // --------------------------------------------------------------
-        let placement = self.alloc.allocate_dense(
+        assemble_outcome(problem, prev, placement, &s.job_node)
+    }
+
+    /// Attempt the delta fixed-point skip (see [`DiscreteCapture`]): if
+    /// every input the discrete phase reads is bit-equal to the armed
+    /// capture — modulo demand drift that provably cannot flip any
+    /// discrete decision — hand the previous cycle's scratch decisions
+    /// straight to the allocator's incremental re-flow and return its
+    /// patched placement. Every refusal (including the allocator's own
+    /// audit) returns `None` and the caller runs the full path, which
+    /// re-arms or invalidates the capture.
+    fn try_discrete_skip(&mut self, problem: &PlacementProblem) -> Option<Placement> {
+        let d = &mut self.disc;
+        if !d.valid || !problem.apps.is_empty() || problem.config != d.cfg {
+            return None;
+        }
+        if problem.nodes != d.nodes {
+            return None;
+        }
+        if problem.jobs.len() != d.jobs.len() {
+            return None;
+        }
+        // Everything but demand must be bit-equal; demand may drift as
+        // long as its sign class holds (`is_zero` gates step-3/5/6
+        // eligibility) and its node keeps f64 headroom (checked below).
+        for (j, c) in problem.jobs.iter().zip(&d.jobs) {
+            if j.id != c.id
+                || j.running_on != c.running_on
+                || j.affinity != c.affinity
+                || j.mem != c.mem
+                || j.priority != c.priority
+                || j.demand.is_zero() != c.demand.is_zero()
+            {
+                return None;
+            }
+        }
+        // From here the capture mutates in place. That is safe across a
+        // refusal: every miss runs the full path in this same call,
+        // which re-arms the capture from scratch (or invalidates it).
+        d.valid = false;
+        for (ji, j) in problem.jobs.iter().enumerate() {
+            let old = d.jobs[ji].demand;
+            if j.demand != old {
+                d.jobs[ji].demand = j.demand;
+                if let Some(ni) = self.s.job_node[ji] {
+                    d.node_demand[ni] += j.demand.as_f64() - old.as_f64();
+                    // Conservative headroom margin: it dwarfs both the
+                    // running sum's accumulated rounding and the keep
+                    // loop's sequential-subtraction error, and refusing
+                    // a marginal node just routes it to the exact path.
+                    // Written so a NaN sum is also refused.
+                    let fits = d.node_demand[ni] + 1e-6 <= problem.nodes[ni].cpu.as_f64();
+                    if !fits {
+                        return None;
+                    }
+                }
+            }
+        }
+        let placement = self.alloc.try_allocate_delta(
             &problem.nodes,
             &problem.apps,
-            &s.app_hosts,
+            &self.s.app_hosts,
             &problem.jobs,
-            &s.job_node,
+            &self.s.job_node,
             problem.config.mhz_unit,
-        );
-        let changes = placement.diff(prev);
+        )?;
+        self.disc.valid = true;
+        Some(placement)
+    }
+}
 
-        let satisfied_apps: BTreeMap<AppId, CpuMhz> = problem
-            .apps
-            .iter()
-            .map(|a| (a.id, placement.app_alloc(a.id)))
-            .collect();
-        let satisfied_jobs: BTreeMap<JobId, CpuMhz> =
-            placement.jobs.iter().map(|(&j, &(_, c))| (j, c)).collect();
-        let unplaced_jobs: Vec<JobId> = problem
-            .jobs
-            .iter()
-            .enumerate()
-            .filter(|(ji, j)| !j.demand.is_zero() && s.job_node[*ji].is_none())
-            .map(|(_, j)| j.id)
-            .collect();
+/// Final outcome assembly shared by the full path and the discrete
+/// skip: the change list against `prev` plus id-keyed views over the
+/// exact placement.
+fn assemble_outcome(
+    problem: &PlacementProblem,
+    prev: &Placement,
+    placement: Placement,
+    job_node: &[Option<usize>],
+) -> PlacementOutcome {
+    let changes = placement.diff(prev);
+    let satisfied_apps: BTreeMap<AppId, CpuMhz> = problem
+        .apps
+        .iter()
+        .map(|a| (a.id, placement.app_alloc(a.id)))
+        .collect();
+    let satisfied_jobs: BTreeMap<JobId, CpuMhz> =
+        placement.jobs.iter().map(|(&j, &(_, c))| (j, c)).collect();
+    let unplaced_jobs: Vec<JobId> = problem
+        .jobs
+        .iter()
+        .enumerate()
+        .filter(|(ji, j)| !j.demand.is_zero() && job_node[*ji].is_none())
+        .map(|(_, j)| j.id)
+        .collect();
 
-        PlacementOutcome {
-            placement,
-            changes,
-            satisfied_apps,
-            satisfied_jobs,
-            unplaced_jobs,
-        }
+    PlacementOutcome {
+        placement,
+        changes,
+        satisfied_apps,
+        satisfied_jobs,
+        unplaced_jobs,
     }
 }
 
@@ -850,6 +1286,107 @@ mod tests {
             second.changes
         );
         assert_eq!(second.placement.jobs, first.placement.jobs);
+    }
+
+    #[test]
+    fn delta_mode_matches_batch_and_hits_the_fast_path() {
+        // Jobs-only uncontended fleet: 8 nodes x 3 memory slots = 24 jobs,
+        // max demand < 3000 so 3 jobs never exceed a node's 12 000 MHz.
+        // After the first cycle placements hold still and the per-cycle
+        // single-job demand drifts must ride the incremental re-flow,
+        // bit-identical to the batch solver run side by side.
+        let fleet = nodes(8, 12_000.0, 4096);
+        let n_jobs = 24usize;
+        let mut batch = Solver::new();
+        let mut delta = Solver::with_mode(SolveMode::Delta);
+        assert_eq!(delta.mode(), SolveMode::Delta);
+        let mut prev_batch = Placement::empty();
+        let mut prev_delta = Placement::empty();
+        let mut demands: Vec<f64> = (0..n_jobs)
+            .map(|i| 1000.0 + ((i * 997) % 1800) as f64)
+            .collect();
+        let mut running: Vec<Option<NodeId>> = vec![None; n_jobs];
+        for cycle in 0..12usize {
+            if cycle > 0 {
+                // One job drifts per cycle (cumulative, never reverted).
+                demands[(cycle * 7) % n_jobs] = 800.0 + ((cycle * 531) % 2000) as f64;
+            }
+            let jobs: Vec<JobRequest> = (0..n_jobs)
+                .map(|i| JobRequest {
+                    running_on: running[i],
+                    ..jobr(i as u32, demands[i])
+                })
+                .collect();
+            let p = problem(fleet.clone(), vec![], jobs);
+            let out_batch = batch.solve(&p, &prev_batch);
+            let out_delta = delta.solve(&p, &prev_delta);
+            assert_eq!(out_batch, out_delta, "divergence at cycle {cycle}");
+            for (i, j) in p.jobs.iter().enumerate() {
+                running[i] = out_batch.placement.job_node(j.id);
+            }
+            prev_batch = out_batch.placement;
+            prev_delta = out_delta.placement;
+        }
+        let stats = delta.delta_stats();
+        assert!(
+            stats.hits >= 8,
+            "fast path barely engaged on a steady fleet: {stats:?}"
+        );
+        assert_eq!(batch.delta_stats(), DeltaStats::default());
+    }
+
+    #[test]
+    fn delta_mode_survives_structural_churn() {
+        // Arrivals, completions, and node outages force the full path
+        // (topology signatures change) — the delta solver must fall back
+        // and stay bit-identical, then recover the fast path once the
+        // shape settles again.
+        let mut batch = Solver::new();
+        let mut delta = Solver::with_mode(SolveMode::Delta);
+        let mut prev_batch = Placement::empty();
+        let mut prev_delta = Placement::empty();
+        // (node count, job ids) per cycle: shape churns, then settles.
+        let cycles: Vec<(u32, Vec<u32>)> = vec![
+            (4, vec![0, 1, 2, 3, 4]),
+            (4, vec![0, 1, 2, 3, 4, 5, 6]), // arrivals
+            (3, vec![0, 2, 3, 5, 6]),       // outage + completions
+            (4, vec![0, 2, 3, 5, 6]),       // recovery
+            (4, vec![0, 2, 3, 5, 6]),       // settled
+            (4, vec![0, 2, 3, 5, 6]),       // settled: fast path again
+        ];
+        let mut running: std::collections::BTreeMap<u32, Option<NodeId>> =
+            std::collections::BTreeMap::new();
+        for (cycle, (n_nodes, ids)) in cycles.iter().enumerate() {
+            let jobs: Vec<JobRequest> = ids
+                .iter()
+                .map(|&i| JobRequest {
+                    running_on: running.get(&i).copied().flatten().filter(|n| {
+                        // A job can't keep running on a node that left.
+                        n.raw() < *n_nodes
+                    }),
+                    ..jobr(i, 1200.0 + 400.0 * (i % 4) as f64)
+                })
+                .collect();
+            let p = problem(nodes(*n_nodes, 12_000.0, 4096), vec![], jobs);
+            let out_batch = batch.solve(&p, &prev_batch);
+            let out_delta = delta.solve(&p, &prev_delta);
+            assert_eq!(out_batch, out_delta, "divergence at cycle {cycle}");
+            running.clear();
+            for j in &p.jobs {
+                running.insert(j.id.raw(), out_batch.placement.job_node(j.id));
+            }
+            prev_batch = out_batch.placement;
+            prev_delta = out_delta.placement;
+        }
+        let stats = delta.delta_stats();
+        assert!(
+            stats.fallbacks >= 2,
+            "structural cycles must fall back: {stats:?}"
+        );
+        assert!(
+            stats.hits >= 1,
+            "settled tail must recover the fast path: {stats:?}"
+        );
     }
 
     #[test]
@@ -1213,6 +1750,52 @@ mod tests {
             }
             let second = solve(&p2, &first.placement);
             prop_assert!(second.changes.is_empty(), "churn: {:?}", second.changes);
+        }
+
+        /// Delta mode must be bit-identical to batch mode over random
+        /// churn sequences (drifts, completions, arrivals) — the solver-
+        /// layer arm of the tentpole's differential oracle. Contended and
+        /// non-canonical cycles simply fall back; identity must hold
+        /// either way.
+        #[test]
+        fn prop_delta_mode_matches_batch_mode(
+            n_nodes in 1u32..6,
+            base in proptest::collection::vec(100.0..3000.0f64, 1..12),
+            churn in proptest::collection::vec(
+                (0usize..12, 100.0..3000.0f64, 0u8..4), 1..10),
+        ) {
+            let mut demands = base;
+            let mut alive = vec![true; demands.len()];
+            let mut running: Vec<Option<NodeId>> = vec![None; demands.len()];
+            let mut batch = Solver::new();
+            let mut delta = Solver::with_mode(SolveMode::Delta);
+            let mut prev_b = Placement::empty();
+            let mut prev_d = Placement::empty();
+            for (k, &(ix, d, op)) in churn.iter().enumerate() {
+                let i = ix % demands.len();
+                match op {
+                    0 => demands[i] = d, // demand drift
+                    1 => alive[i] = false, // completion
+                    2 => alive[i] = true, // (re-)arrival
+                    _ => {} // quiet cycle
+                }
+                let jobs: Vec<JobRequest> = (0..demands.len())
+                    .filter(|&j| alive[j])
+                    .map(|j| JobRequest {
+                        running_on: running[j],
+                        ..jobr(j as u32, demands[j])
+                    })
+                    .collect();
+                let p = problem(nodes(n_nodes, 12_000.0, 4096), vec![], jobs);
+                let out_b = batch.solve(&p, &prev_b);
+                let out_d = delta.solve(&p, &prev_d);
+                prop_assert_eq!(&out_b, &out_d, "divergence at cycle {}", k);
+                for (j, slot) in running.iter_mut().enumerate() {
+                    *slot = out_b.placement.job_node(JobId::new(j as u32));
+                }
+                prev_b = out_b.placement;
+                prev_d = out_d.placement;
+            }
         }
 
         /// The heap engine must be bit-identical to the scan engine on

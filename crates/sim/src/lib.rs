@@ -44,4 +44,4 @@ pub use metrics::MetricsSink;
 pub use simulator::{
     ControlInputs, Controller, NodeOutage, OverheadConfig, SimConfig, SimReport, Simulator,
 };
-pub use snapshot::SensingSnapshot;
+pub use snapshot::{DeltaTracker, SensingSnapshot};

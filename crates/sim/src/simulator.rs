@@ -89,6 +89,23 @@ pub trait Controller {
     /// Produce the placement to enact for the next cycle. Controllers may
     /// record model-side series into `metrics`.
     fn control(&mut self, inputs: &ControlInputs<'_>, metrics: &mut MetricsSink) -> Placement;
+
+    /// [`Controller::control`] with an advisory churn hint: what changed
+    /// since the previous control cycle, as diffed by the simulator's
+    /// [`DeltaTracker`](crate::snapshot::DeltaTracker). Delta-capable
+    /// controllers forward the hint into their solver's incremental fast
+    /// path; the default ignores it and solves as usual. The hint never
+    /// affects correctness — the solver re-verifies every reuse
+    /// precondition against the actual problem.
+    fn control_delta(
+        &mut self,
+        inputs: &ControlInputs<'_>,
+        delta: Option<&slaq_placement::SolveDelta>,
+        metrics: &mut MetricsSink,
+    ) -> Placement {
+        let _ = delta;
+        self.control(inputs, metrics)
+    }
 }
 
 /// Final report of a run.
@@ -129,6 +146,10 @@ pub struct Simulator {
     metrics: MetricsSink,
     config: SimConfig,
     outages: Vec<NodeOutage>,
+    /// Diffs consecutive cycles' sensed inputs into the advisory
+    /// [`SolveDelta`](slaq_placement::SolveDelta) hint for
+    /// [`Controller::control_delta`].
+    delta_tracker: crate::snapshot::DeltaTracker,
     now: SimTime,
     next_control: SimTime,
     cycles: usize,
@@ -148,6 +169,7 @@ impl Simulator {
             metrics: MetricsSink::new(),
             config,
             outages: Vec::new(),
+            delta_tracker: crate::snapshot::DeltaTracker::default(),
             now: SimTime::ZERO,
             next_control: SimTime::ZERO,
             cycles: 0,
@@ -302,7 +324,7 @@ impl Simulator {
 
     /// Enact a controller-issued placement: validate, then apply the diff
     /// as job lifecycle transitions with their overheads.
-    fn enact(&mut self, next: Placement) -> Result<usize> {
+    fn enact(&mut self, next: Placement, live_nodes: &[NodeCapacity]) -> Result<usize> {
         // Structural checks against live entities.
         for &job in next.jobs.keys() {
             let j = self.job_mgr.job(job)?;
@@ -313,7 +335,7 @@ impl Simulator {
             }
         }
         let (apps, jobs) = self.validation_requests(&next);
-        next.validate(&self.effective_nodes(self.now), &apps, &jobs)?;
+        next.validate(live_nodes, &apps, &jobs)?;
 
         let changes = next.diff(&self.placement);
         for change in &changes {
@@ -485,6 +507,9 @@ impl Simulator {
     fn run_control(&mut self, controller: &mut dyn Controller) -> Result<()> {
         // --- sense ---
         let observations = self.sense();
+        // Effective capacities are computed once here and lent to every
+        // stage of the cycle (solve, enact's validation, the metric
+        // series) instead of each re-deriving them from the outage table.
         let live_nodes = self.effective_nodes(self.now);
         let inputs = ControlInputs {
             now: self.now,
@@ -493,13 +518,14 @@ impl Simulator {
             jobs: &self.job_mgr,
             apps: &observations,
         };
+        let delta = self.delta_tracker.observe(&inputs);
         // --- solve ---
-        let next = controller.control(&inputs, &mut self.metrics);
+        let next = controller.control_delta(&inputs, Some(&delta), &mut self.metrics);
         // --- actuate ---
-        let n_changes = self.enact(next)?;
+        let n_changes = self.enact(next, &live_nodes)?;
         self.cycles += 1;
         self.total_changes += n_changes;
-        self.record_cycle_series(n_changes);
+        self.record_cycle_series(n_changes, &live_nodes);
         Ok(())
     }
 
@@ -519,7 +545,7 @@ impl Simulator {
     }
 
     /// Record the mechanical per-cycle series after actuation.
-    fn record_cycle_series(&mut self, n_changes: usize) {
+    fn record_cycle_series(&mut self, n_changes: usize, live_nodes: &[NodeCapacity]) {
         let t = self.now;
         // Controller-neutral job satisfaction: expected utility of every
         // active job at its *current* effective speed (pending and
@@ -533,9 +559,8 @@ impl Simulator {
             // the sampling instant, not a statement about a job's future;
             // project with an empty blocked set.
             let caps = self.job_caps();
-            let live_nodes = self.effective_nodes(t);
             let (job_speeds, _) = effective_speeds(
-                &live_nodes,
+                live_nodes,
                 &self.placement,
                 &caps,
                 &BTreeSet::new(),

@@ -24,10 +24,11 @@
 
 use crate::apps::AppObservation;
 use crate::simulator::ControlInputs;
-use slaq_jobs::JobManager;
+use slaq_jobs::{JobManager, JobState};
 use slaq_placement::problem::NodeCapacity;
-use slaq_placement::Placement;
-use slaq_types::SimTime;
+use slaq_placement::{Placement, SolveDelta};
+use slaq_types::{AppId, JobId, NodeId, SimTime};
+use std::collections::BTreeMap;
 
 /// An owned, detached capture of one control cycle's observations — the
 /// snapshot stage of the snapshot → solve → actuate pipeline.
@@ -76,6 +77,157 @@ const _: fn() = || {
     fn assert_send<T: Send>() {}
     assert_send::<SensingSnapshot>();
 };
+
+/// Compact placement-relevant fingerprint of one active job: where its VM
+/// sits, a lifecycle tag, and how much work is left.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct JobPrint {
+    node: Option<NodeId>,
+    /// 0 = pending, 1 = running, 2 = suspended (completed jobs are not
+    /// fingerprinted — they leave the placement problem entirely).
+    tag: u8,
+    remaining: f64,
+}
+
+/// Diffs consecutive control cycles' sensed inputs into a [`SolveDelta`]
+/// — the dirty set the simulator threads through
+/// [`Controller::control_delta`](crate::Controller::control_delta) into
+/// the solver's churn-proportional fast path.
+///
+/// The tracker keeps **capture-by-diff fingerprints**, not clones of the
+/// sensed world: per node `(id, cpu, mem)`, per app `(id, λ)`, per active
+/// job a `(node, lifecycle, remaining)` triple — a few machine words per
+/// entity instead of a second [`JobManager`]. The resulting delta is *advisory*: the
+/// solver re-verifies every reuse precondition itself, so an imprecise
+/// tolerance costs a wasted audit, never a wrong placement.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaTracker {
+    primed: bool,
+    /// Relative drift below this fraction is ignored for app intensities
+    /// and job work remainders (`0.0` = any change counts).
+    tolerance: f64,
+    nodes: BTreeMap<NodeId, (f64, u64)>,
+    apps: BTreeMap<AppId, f64>,
+    jobs: BTreeMap<JobId, JobPrint>,
+}
+
+impl DeltaTracker {
+    /// A tracker flagging any relative drift beyond `tolerance` (use
+    /// `0.0` to flag every change; apps and job work remainders only —
+    /// lifecycle and topology changes always count).
+    pub fn new(tolerance: f64) -> Self {
+        DeltaTracker {
+            tolerance: tolerance.max(0.0),
+            ..DeltaTracker::default()
+        }
+    }
+
+    /// Diff the sensed inputs against the previous cycle's fingerprints,
+    /// then adopt the new fingerprints. The first observation (nothing to
+    /// diff against) reports every job as arrived — a structural delta,
+    /// so the solver takes the full path and primes its warm state.
+    pub fn observe(&mut self, inputs: &ControlInputs<'_>) -> SolveDelta {
+        let mut delta = SolveDelta::default();
+        let drifted = |old: f64, new: f64, tol: f64| (new - old).abs() > tol * old.abs().max(1.0);
+
+        // --- nodes: outages read as zero capacity, so "dead" means the
+        // sensed CPU collapsed to zero (or the id vanished). ---
+        let mut cur_nodes = BTreeMap::new();
+        for n in inputs.nodes {
+            cur_nodes.insert(n.id, (n.cpu.as_f64(), n.mem.as_u64()));
+        }
+        if self.primed {
+            for (&id, &(cpu, mem)) in &cur_nodes {
+                match self.nodes.get(&id) {
+                    None => delta.recovered_nodes.push(id),
+                    Some(&(old_cpu, old_mem)) => {
+                        if old_cpu == 0.0 && cpu > 0.0 {
+                            delta.recovered_nodes.push(id);
+                        } else if old_cpu > 0.0 && cpu == 0.0 {
+                            delta.dead_nodes.push(id);
+                        } else if (old_cpu, old_mem) != (cpu, mem) {
+                            delta.capacity_changed_nodes.push(id);
+                        }
+                    }
+                }
+            }
+            for &id in self.nodes.keys() {
+                if !cur_nodes.contains_key(&id) {
+                    delta.dead_nodes.push(id);
+                }
+            }
+        }
+
+        // --- apps: intensity drift beyond the tolerance. ---
+        let mut cur_apps = BTreeMap::new();
+        for a in inputs.apps {
+            cur_apps.insert(a.id, a.lambda);
+        }
+        if self.primed {
+            for (&id, &lambda) in &cur_apps {
+                match self.apps.get(&id) {
+                    None => delta.drifted_apps.push(id),
+                    Some(&old) if drifted(old, lambda, self.tolerance) => {
+                        delta.drifted_apps.push(id)
+                    }
+                    Some(_) => {}
+                }
+            }
+            for &id in self.apps.keys() {
+                if !cur_apps.contains_key(&id) {
+                    delta.drifted_apps.push(id);
+                }
+            }
+        }
+
+        // --- jobs: arrivals, completions, lifecycle/node moves, work
+        // drift. Completed jobs leave the problem, so completion shows up
+        // as a fingerprint disappearing. ---
+        let mut cur_jobs = BTreeMap::new();
+        for job in inputs.jobs.jobs() {
+            let tag = match job.state {
+                JobState::Pending => 0u8,
+                JobState::Running { .. } => 1,
+                JobState::Suspended { .. } => 2,
+                JobState::Completed { .. } => continue,
+            };
+            cur_jobs.insert(
+                job.id,
+                JobPrint {
+                    node: job.state.node(),
+                    tag,
+                    remaining: job.remaining.as_f64(),
+                },
+            );
+        }
+        for (&id, print) in &cur_jobs {
+            match self.jobs.get(&id) {
+                None => delta.arrived_jobs.push(id),
+                Some(old) => {
+                    if old.tag != print.tag
+                        || old.node != print.node
+                        || drifted(old.remaining, print.remaining, self.tolerance)
+                    {
+                        delta.resized_jobs.push(id);
+                    }
+                }
+            }
+        }
+        if self.primed {
+            for &id in self.jobs.keys() {
+                if !cur_jobs.contains_key(&id) {
+                    delta.completed_jobs.push(id);
+                }
+            }
+        }
+
+        self.primed = true;
+        self.nodes = cur_nodes;
+        self.apps = cur_apps;
+        self.jobs = cur_jobs;
+        delta
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -142,5 +294,73 @@ mod tests {
         assert_eq!(lent.now, snap.now);
         assert_eq!(lent.current.job_node(JobId::new(0)), Some(NodeId::new(0)));
         assert_eq!(lent.nodes.len(), 1);
+    }
+
+    #[test]
+    fn delta_tracker_diffs_consecutive_cycles() {
+        let node = |cpu: f64| NodeCapacity {
+            id: NodeId::new(0),
+            cpu: CpuMhz::new(cpu),
+            mem: MemMb::new(4096),
+        };
+        let placement = Placement::empty();
+        let mut jobs = JobManager::new();
+        jobs.submit(job_spec(1000.0), SimTime::ZERO).unwrap();
+        let mut tracker = DeltaTracker::new(0.0);
+
+        // First observation: unprimed — everything reads as arrived, so
+        // the hint is structural and the solver takes the full path.
+        let nodes = vec![node(12_000.0)];
+        let first = tracker.observe(&ControlInputs {
+            now: SimTime::ZERO,
+            nodes: &nodes,
+            current: &placement,
+            jobs: &jobs,
+            apps: &[],
+        });
+        assert_eq!(first.arrived_jobs, vec![JobId::new(0)]);
+        assert!(first.is_structural());
+
+        // Quiet cycle: nothing changed, nothing reported.
+        let quiet = tracker.observe(&ControlInputs {
+            now: SimTime::from_secs(600.0),
+            nodes: &nodes,
+            current: &placement,
+            jobs: &jobs,
+            apps: &[],
+        });
+        assert!(quiet.is_empty(), "{quiet:?}");
+
+        // A job starts (lifecycle + node change), another arrives, and
+        // the node's sensed capacity collapses to zero (outage).
+        jobs.job_mut(JobId::new(0))
+            .unwrap()
+            .start(NodeId::new(0), SimTime::from_secs(600.0))
+            .unwrap();
+        jobs.submit(job_spec(500.0), SimTime::from_secs(900.0))
+            .unwrap();
+        let dead = vec![node(0.0)];
+        let churn = tracker.observe(&ControlInputs {
+            now: SimTime::from_secs(1200.0),
+            nodes: &dead,
+            current: &placement,
+            jobs: &jobs,
+            apps: &[],
+        });
+        assert_eq!(churn.resized_jobs, vec![JobId::new(0)]);
+        assert_eq!(churn.arrived_jobs, vec![JobId::new(1)]);
+        assert_eq!(churn.dead_nodes, vec![NodeId::new(0)]);
+        assert!(churn.is_structural());
+
+        // Recovery is reported symmetrically.
+        let back = tracker.observe(&ControlInputs {
+            now: SimTime::from_secs(1800.0),
+            nodes: &nodes,
+            current: &placement,
+            jobs: &jobs,
+            apps: &[],
+        });
+        assert_eq!(back.recovered_nodes, vec![NodeId::new(0)]);
+        assert!(back.resized_jobs.is_empty());
     }
 }

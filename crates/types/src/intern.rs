@@ -20,12 +20,23 @@
 /// source collection's positions) but are unreachable via [`Interner::dense`].
 /// Placement problems never contain duplicates — the tolerance just keeps
 /// the boundary total.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Interner<I> {
     /// Dense index → id (source order).
     ids: Vec<I>,
     /// Sorted `(id, dense)` table for binary-search lookups.
     sorted: Vec<(I, u32)>,
+}
+
+// Manual impl: an empty interner needs no `I: Default`, unlike the
+// derive's over-constrained bound.
+impl<I> Default for Interner<I> {
+    fn default() -> Self {
+        Interner {
+            ids: Vec::new(),
+            sorted: Vec::new(),
+        }
+    }
 }
 
 impl<I: Copy + Ord> Interner<I> {

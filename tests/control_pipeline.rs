@@ -35,7 +35,7 @@ fn zero_latency_overlap_is_bit_identical_to_sync_on_every_preset() {
     for name in ScenarioSpec::preset_names() {
         let spec = ScenarioSpec::preset(name).expect("named preset");
         let sync = run_with(&spec, PipelineSpec::Sync, 4);
-        let piped = run_with(&spec, PipelineSpec::Overlap { latency_cycles: 0 }, 4);
+        let piped = run_with(&spec, PipelineSpec::overlap(0), 4);
 
         assert_eq!(sync.cycles, piped.cycles, "{name}: cycle count");
         assert_eq!(
@@ -94,10 +94,7 @@ fn one_cycle_staleness_retains_pinned_satisfied_cpu_on_the_corpus() {
     const AGGREGATE_FLOOR: f64 = 0.90;
     const PER_PRESET_FLOOR: f64 = 0.80;
 
-    let modes = [
-        PipelineSpec::Sync,
-        PipelineSpec::Overlap { latency_cycles: 1 },
-    ];
+    let modes = [PipelineSpec::Sync, PipelineSpec::overlap(1)];
     let cells = staleness_sweep(&modes, Some(18)).expect("sweep runs");
     let mut sync_total = 0.0;
     let mut stale_total = 0.0;
@@ -136,13 +133,7 @@ fn stale_plans_survive_outages_and_completions() {
     // all is the assertion.
     let spec = ScenarioSpec::preset("hetero-pool").expect("preset");
     for latency in [1u32, 2, 3] {
-        let report = run_with(
-            &spec,
-            PipelineSpec::Overlap {
-                latency_cycles: latency,
-            },
-            36,
-        );
+        let report = run_with(&spec, PipelineSpec::overlap(latency), 36);
         assert!(report.cycles >= 30, "latency {latency}: run truncated");
         assert!(
             report.job_stats.completed > 0,
@@ -165,13 +156,7 @@ fn pipeline_warmup_keeps_placement_unchanged() {
     // pipeline is filling.
     let spec = ScenarioSpec::preset("paper-small").expect("preset");
     for latency in [1u32, 3] {
-        let report = run_with(
-            &spec,
-            PipelineSpec::Overlap {
-                latency_cycles: latency,
-            },
-            8,
-        );
+        let report = run_with(&spec, PipelineSpec::overlap(latency), 8);
         let changes = report.metrics.series("changes");
         for (i, &(_, v)) in changes.iter().take(latency as usize).enumerate() {
             assert_eq!(v, 0.0, "latency {latency}: changes at warmup cycle {i}");
