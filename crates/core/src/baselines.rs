@@ -39,6 +39,7 @@ impl Controller for TransactionalFirstController {
                     mem_per_instance: a.spec.mem_per_instance,
                     min_instances: a.spec.min_instances,
                     max_instances: a.spec.max_instances,
+                    affinity: Vec::new(),
                 }
             })
             .collect();
@@ -129,6 +130,7 @@ impl Controller for StaticPartitionController {
                     mem_per_instance: a.spec.mem_per_instance,
                     min_instances: a.spec.min_instances,
                     max_instances: a.spec.max_instances,
+                    affinity: Vec::new(),
                 }
             })
             .collect();

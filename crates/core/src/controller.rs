@@ -37,6 +37,12 @@ pub struct ControllerConfig {
     /// re-routes the allocation flow only around the cycle's dirty set,
     /// bit-identical to batch (the solver self-verifies every reuse).
     pub solve: SolveMode,
+    /// MHz-per-warmth-point scale applied to the routing tier's per-node
+    /// warmth scores before they enter the solver as candidate-ordering
+    /// affinity bonuses. `0.0` (the default) forwards no affinity at
+    /// all, keeping the solver's candidate ordering bit-identical to the
+    /// affinity-free controller.
+    pub affinity_bias: f64,
 }
 
 impl Default for ControllerConfig {
@@ -56,6 +62,7 @@ impl Default for ControllerConfig {
             sharding: ShardPlan::Single,
             rebalance_budget: 8,
             solve: SolveMode::Batch,
+            affinity_bias: 0.0,
         }
     }
 }
@@ -265,6 +272,17 @@ impl UtilityController {
                 mem_per_instance: a.spec.mem_per_instance,
                 min_instances: a.spec.min_instances,
                 max_instances: a.spec.max_instances,
+                // Warmth → candidate-ordering bonus, scaled to MHz. A
+                // zero bias forwards nothing: the solver's affinity-free
+                // path stays bit-identical.
+                affinity: if self.config.affinity_bias > 0.0 && !a.affinity.is_empty() {
+                    a.affinity
+                        .iter()
+                        .map(|&(n, w)| (n, w * self.config.affinity_bias))
+                        .collect()
+                } else {
+                    Vec::new()
+                },
             })
             .collect();
         let jobs: Vec<JobRequest> = inputs
@@ -509,6 +527,7 @@ mod tests {
             id: AppId::new(0),
             spec: app_spec(1.0),
             lambda: 1.0,
+            affinity: vec![],
         };
         let _ = JobId::new(0);
     }

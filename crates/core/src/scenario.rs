@@ -67,6 +67,10 @@ pub struct Scenario {
     /// snapshot → solve → actuate plane enacting each plan
     /// `latency_cycles` after its snapshot.
     pub pipeline: PipelineSpec,
+    /// Request-level routing tier to install on the simulator, lowered
+    /// from [`crate::RoutingSpec`] (`None` = no tier, bit-identical to
+    /// pre-routing runs).
+    pub routing: Option<slaq_routing::RouterConfig>,
 }
 
 impl Scenario {
@@ -95,6 +99,9 @@ impl Scenario {
         sim.add_arrivals(self.jobs.clone());
         for o in &self.outages {
             sim.add_outage(*o);
+        }
+        if let Some(cfg) = self.routing {
+            sim.set_routing(slaq_routing::RoutingTier::new(cfg));
         }
         Ok(sim)
     }

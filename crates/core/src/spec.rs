@@ -464,6 +464,199 @@ impl PipelineSpec {
     }
 }
 
+/// Request-level routing tier configuration — the knob behind
+/// `crates/routing` (`"Off"` | `"Uniform"` | `"Affinity"`).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub enum RoutingSpec {
+    /// No routing tier: the simulator records no router series and every
+    /// metric stays bit-identical to the pre-routing output (default).
+    #[default]
+    Off,
+    /// Route blindly round-robin across live instances — the baseline
+    /// the affinity policy is measured against. Warmth is still tracked
+    /// (uniform traffic spreads it thin), but never published to the
+    /// placement solver.
+    Uniform {
+        /// Fraction of per-request work a fully-warm instance saves.
+        warm_gain: f64,
+        /// Warmth EWMA smoothing factor in `(0, 1]`.
+        warm_alpha: f64,
+    },
+    /// Affinity-aware routing: chunks go to the best
+    /// `warm_gain·warmth − load_penalty·overload` score, and warmth is
+    /// published to the solver as a candidate-ordering bonus.
+    Affinity {
+        /// Softmax temperature; `0` = deterministic argmax.
+        temperature: f64,
+        /// Fraction of per-request work a fully-warm instance saves.
+        warm_gain: f64,
+        /// Warmth EWMA smoothing factor in `(0, 1]`.
+        warm_alpha: f64,
+        /// Weight of the overload term in the chunk score.
+        load_penalty: f64,
+        /// MHz-per-warmth-point bonus the solver adds to a warm node's
+        /// residual CPU when ordering candidates (`0` keeps placement
+        /// affinity-free while still routing by warmth).
+        placement_bias: f64,
+    },
+}
+
+// Hand-rolled so spec files written before the routing tier existed (and
+// `Affinity` objects omitting newer knobs) still parse with defaults.
+impl serde::Deserialize for RoutingSpec {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        if let serde::Value::Str(s) = v {
+            return match s.as_str() {
+                "Off" => Ok(RoutingSpec::Off),
+                other => Err(serde::DeError::msg(format!(
+                    "unknown RoutingSpec variant {other:?}"
+                ))),
+            };
+        }
+        let d = slaq_routing::RouterConfig::default();
+        let num = |inner: &serde::Value,
+                   key: &str,
+                   fallback: f64|
+         -> std::result::Result<f64, serde::DeError> {
+            match serde::obj_get(inner, key)? {
+                serde::Value::Null => Ok(fallback),
+                other => serde::Deserialize::from_value(other),
+            }
+        };
+        match serde::obj_get(v, "Uniform")? {
+            serde::Value::Null => {}
+            inner => {
+                return Ok(RoutingSpec::Uniform {
+                    warm_gain: num(inner, "warm_gain", d.warm_gain)?,
+                    warm_alpha: num(inner, "warm_alpha", d.warm_alpha)?,
+                })
+            }
+        }
+        let inner = serde::obj_get(v, "Affinity")?;
+        if matches!(inner, serde::Value::Null) {
+            return Err(serde::DeError::msg("expected RoutingSpec"));
+        }
+        Ok(RoutingSpec::Affinity {
+            temperature: num(inner, "temperature", d.temperature)?,
+            warm_gain: num(inner, "warm_gain", d.warm_gain)?,
+            warm_alpha: num(inner, "warm_alpha", d.warm_alpha)?,
+            load_penalty: num(inner, "load_penalty", d.load_penalty)?,
+            placement_bias: num(inner, "placement_bias", 0.0)?,
+        })
+    }
+}
+
+impl RoutingSpec {
+    /// Short lowercase label for report rows (`off` | `uniform` |
+    /// `affinity`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutingSpec::Off => "off",
+            RoutingSpec::Uniform { .. } => "uniform",
+            RoutingSpec::Affinity { .. } => "affinity",
+        }
+    }
+
+    /// Lower onto a concrete [`slaq_routing::RouterConfig`], `None` when
+    /// routing is off. The router's softmax stream is seeded from the
+    /// scenario seed so seeded runs reproduce bit for bit.
+    pub fn router_config(&self, scenario_seed: u64) -> Option<slaq_routing::RouterConfig> {
+        let base = slaq_routing::RouterConfig {
+            seed: scenario_seed ^ 0x526f_7574_6572_5f31, // "Router_1"
+            ..slaq_routing::RouterConfig::default()
+        };
+        match *self {
+            RoutingSpec::Off => None,
+            RoutingSpec::Uniform {
+                warm_gain,
+                warm_alpha,
+            } => Some(slaq_routing::RouterConfig {
+                warm_gain,
+                warm_alpha,
+                uniform: true,
+                ..base
+            }),
+            RoutingSpec::Affinity {
+                temperature,
+                warm_gain,
+                warm_alpha,
+                load_penalty,
+                ..
+            } => Some(slaq_routing::RouterConfig {
+                temperature,
+                warm_gain,
+                warm_alpha,
+                load_penalty,
+                uniform: false,
+                ..base
+            }),
+        }
+    }
+
+    /// The MHz-per-warmth-point placement bonus (`0` unless affinity
+    /// routing asks for one).
+    pub fn placement_bias(&self) -> f64 {
+        match *self {
+            RoutingSpec::Affinity { placement_bias, .. } => placement_bias,
+            _ => 0.0,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        let check = |name: &str, ok: bool| -> Result<()> {
+            if ok {
+                Ok(())
+            } else {
+                Err(SlaqError::spec("controller", format!("routing: {name}")))
+            }
+        };
+        match *self {
+            RoutingSpec::Off => Ok(()),
+            RoutingSpec::Uniform {
+                warm_gain,
+                warm_alpha,
+            } => {
+                check(
+                    "warm_gain must lie in [0, 1)",
+                    warm_gain.is_finite() && (0.0..1.0).contains(&warm_gain),
+                )?;
+                check(
+                    "warm_alpha must lie in (0, 1]",
+                    warm_alpha > 0.0 && warm_alpha <= 1.0,
+                )
+            }
+            RoutingSpec::Affinity {
+                temperature,
+                warm_gain,
+                warm_alpha,
+                load_penalty,
+                placement_bias,
+            } => {
+                check(
+                    "temperature must be non-negative",
+                    temperature.is_finite() && temperature >= 0.0,
+                )?;
+                check(
+                    "warm_gain must lie in [0, 1)",
+                    warm_gain.is_finite() && (0.0..1.0).contains(&warm_gain),
+                )?;
+                check(
+                    "warm_alpha must lie in (0, 1]",
+                    warm_alpha > 0.0 && warm_alpha <= 1.0,
+                )?;
+                check(
+                    "load_penalty must be non-negative",
+                    load_penalty.is_finite() && load_penalty >= 0.0,
+                )?;
+                check(
+                    "placement_bias must be non-negative",
+                    placement_bias.is_finite() && placement_bias >= 0.0,
+                )
+            }
+        }
+    }
+}
+
 /// Controller tuning carried by the spec (the knobs experiments sweep).
 ///
 /// Every knob is spec data, so controller variants — which algorithm,
@@ -507,6 +700,11 @@ pub struct ControllerSpec {
     /// allocation flow around each cycle's dirty set (bit-identical to
     /// batch; utility controller only).
     pub solve: SolveMode,
+    /// Request-level routing tier in front of placement (`"Off"` |
+    /// `"Uniform"` | `"Affinity"`). Off — the default — installs no
+    /// tier, keeping every metric series bit-identical to pre-routing
+    /// runs.
+    pub routing: RoutingSpec,
 }
 
 // Hand-rolled so spec files written before the `kind`/`shards`/
@@ -539,6 +737,10 @@ impl serde::Deserialize for ControllerSpec {
                 serde::Value::Null => d.solve,
                 other => serde::Deserialize::from_value(other)?,
             },
+            routing: match opt("routing")? {
+                serde::Value::Null => d.routing,
+                other => serde::Deserialize::from_value(other)?,
+            },
         })
     }
 }
@@ -554,6 +756,7 @@ impl Default for ControllerSpec {
             rebalance_budget: d.rebalance_budget,
             pipeline: PipelineSpec::Sync,
             solve: d.solve,
+            routing: RoutingSpec::Off,
         }
     }
 }
@@ -626,6 +829,7 @@ impl ScenarioSpec {
                 "shard count must be at least 1",
             ));
         }
+        self.controller.routing.validate()?;
         if let ControllerKind::Static { trans_fraction } = self.controller.kind {
             if !(trans_fraction.is_finite() && trans_fraction > 0.0 && trans_fraction < 1.0) {
                 return Err(SlaqError::spec(
@@ -770,6 +974,7 @@ impl ScenarioSpec {
             sharding,
             rebalance_budget: self.controller.rebalance_budget,
             solve: self.controller.solve,
+            affinity_bias: self.controller.routing.placement_bias(),
             ..ControllerConfig::default()
         };
 
@@ -793,6 +998,7 @@ impl ScenarioSpec {
             controller,
             kind: self.controller.kind,
             pipeline: self.controller.pipeline,
+            routing: self.controller.routing.router_config(self.seed),
         })
     }
 
@@ -824,6 +1030,7 @@ impl ScenarioSpec {
             "bursty-batch",
             "differentiation-mix",
             "consolidation",
+            "request-routing",
         ]
     }
 
@@ -837,6 +1044,7 @@ impl ScenarioSpec {
             "bursty-batch" => Some(bursty_batch()),
             "differentiation-mix" => Some(differentiation_mix()),
             "consolidation" => Some(consolidation()),
+            "request-routing" => Some(request_routing()),
             _ => None,
         }
     }
@@ -1131,6 +1339,64 @@ fn consolidation() -> ScenarioSpec {
     }
 }
 
+/// Skewed-affinity fleet for the request-routing tier: two hot
+/// transactional apps spread over a heterogeneous pool whose per-node
+/// capacity shares differ, under enough batch pressure that the
+/// equalizer is always in contention. Warmth-concentrated routing lowers
+/// the apps' effective work (cache/data locality), releasing real CPU to
+/// the job tier — uniform routing spreads traffic thin, keeps every
+/// instance lukewarm, and visibly loses on satisfied demand.
+fn request_routing() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "request-routing".into(),
+        seed: 8,
+        cluster: ClusterTopology {
+            pools: vec![
+                NodePoolSpec {
+                    count: 4,
+                    cpus_per_node: 4,
+                    core_mhz: 3000.0,
+                    node_mem_mb: 4096,
+                    zone: None,
+                },
+                NodePoolSpec {
+                    count: 2,
+                    cpus_per_node: 2,
+                    core_mhz: 3600.0,
+                    node_mem_mb: 2048,
+                    zone: None,
+                },
+            ],
+        },
+        timing: TimingSpec {
+            horizon_secs: 18_000.0,
+            ..TimingSpec::default()
+        },
+        controller: ControllerSpec {
+            routing: RoutingSpec::Affinity {
+                temperature: 0.0,
+                warm_gain: 0.5,
+                warm_alpha: 0.5,
+                load_penalty: 0.4,
+                placement_bias: 600.0,
+            },
+            ..ControllerSpec::default()
+        },
+        apps: vec![
+            small_app("catalog", IntensityTrace::constant(30.0), 6),
+            small_app("session", IntensityTrace::constant(18.0), 4),
+        ],
+        job_streams: vec![JobStreamSpec {
+            name: "batch".into(),
+            arrivals: ArrivalProcess::poisson_constant(240.0).expect("positive mean"),
+            max_jobs: 70,
+            mix: JobMix::uniform(batch_template("batch", 4000.0, 1280)),
+            seed_offset: 0,
+        }],
+        outages: vec![],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1299,6 +1565,7 @@ mod tests {
             ",\n    \"shards\": \"Zones\",\n    \"rebalance_budget\": 8",
             ",\n    \"pipeline\": \"Sync\"",
             ",\n    \"solve\": \"Batch\"",
+            ",\n    \"routing\": \"Off\"",
             ",\n        \"zone\": null",
         ] {
             assert!(json.contains(stale), "fixture drifted: {stale}");

@@ -128,8 +128,57 @@ fn run_benches() -> Vec<BenchEntry> {
         });
     }
     entries.extend(delta_entries());
+    entries.extend(routing_entries());
     entries.extend(cycle_latency_entries());
     entries
+}
+
+/// Routing-tier series: one full control cycle of request routing at
+/// the 1000-node fleet scale — 50 transactional apps × 20 live
+/// instances each, 20 000 requests per app, so ~1 M requests cross the
+/// tier per measured cycle. Requests are aggregated counts (the router
+/// scores chunk shares, never individual requests), so the cost is
+/// driven by apps × chunks × instances, not by request volume — which
+/// is exactly what the same-run invariant in `relative_invariants_hold`
+/// pins against the warm solve.
+fn routing_entries() -> Vec<BenchEntry> {
+    use slaq_routing::{RouterConfig, RoutingTier};
+    use slaq_types::{AppId, NodeId};
+    let apps = 50u32;
+    let per_app = 20u32;
+    let requests_per_app = 20_000u64;
+    let fleets: Vec<(AppId, Vec<(NodeId, f64)>)> = (0..apps)
+        .map(|a| {
+            let instances = (0..per_app)
+                .map(|i| {
+                    // Spread instances over the 1000-node fleet with a
+                    // skewed capacity mix, id-sorted as the tier expects.
+                    let node = (a * 20 + i * 7) % 1000;
+                    (NodeId::new(node), 2000.0 + ((i * 7919) % 1600) as f64)
+                })
+                .collect::<std::collections::BTreeMap<_, _>>()
+                .into_iter()
+                .collect();
+            (AppId::new(a), instances)
+        })
+        .collect();
+    let mut tier = RoutingTier::new(RouterConfig::default());
+    let micros = measure(
+        || {
+            let mut routed = 0usize;
+            for (app, instances) in &fleets {
+                let out = tier.route_app(*app, requests_per_app, instances);
+                routed += out.shares.len();
+            }
+            routed
+        },
+        3,
+        30,
+    );
+    vec![BenchEntry {
+        name: "route_cycle_1000n_50a_1m".into(),
+        micros,
+    }]
 }
 
 /// Delta-solve series: a warm delta-mode solver re-solving under
@@ -324,6 +373,22 @@ fn relative_invariants_hold(entries: &[BenchEntry]) -> bool {
             eprintln!(
                 "FAIL delta churn1: {delta:.1} µs not 5x faster than batch warm \
                  {batch:.1} µs"
+            );
+            ok = false;
+        }
+    }
+    // Routing tier: apportioning the cycle's ~1 M requests across 50
+    // apps' instances must stay under 10 % of the warm solve at the
+    // same fleet scale — the tier rides in front of every solve, so its
+    // overhead must remain a rounding error on the control cycle.
+    if let (Some(solve), Some(route)) = (
+        find("warm_global_1000n_6000j"),
+        find("route_cycle_1000n_50a_1m"),
+    ) {
+        if route * 10.0 > solve {
+            eprintln!(
+                "FAIL routing overhead: {route:.1} µs exceeds 10% of the \
+                 {solve:.1} µs warm solve"
             );
             ok = false;
         }

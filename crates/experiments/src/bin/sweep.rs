@@ -5,10 +5,10 @@
 //! ```
 
 use slaq_core::scenario::PaperParams;
-use slaq_core::PipelineSpec;
+use slaq_core::{PipelineSpec, RoutingSpec};
 use slaq_experiments::sweeps::{
-    corpus_sweep, format_corpus, format_scalability, format_staleness, placement_scalability,
-    seed_sweep, staleness_sweep,
+    corpus_sweep, format_corpus, format_routing, format_scalability, format_staleness,
+    placement_scalability, routing_sweep, seed_sweep, staleness_sweep,
 };
 
 fn main() {
@@ -24,6 +24,25 @@ fn main() {
     ];
     let staleness = staleness_sweep(&modes, Some(12)).expect("staleness sweep must run");
     println!("{}", format_staleness(&staleness));
+
+    println!("request routing policies (request-routing preset, full horizon):\n");
+    let policies = [
+        RoutingSpec::Off,
+        RoutingSpec::Uniform {
+            warm_gain: 0.5,
+            warm_alpha: 0.5,
+        },
+        RoutingSpec::Affinity {
+            temperature: 0.0,
+            warm_gain: 0.5,
+            warm_alpha: 0.5,
+            load_penalty: 0.4,
+            placement_bias: 600.0,
+        },
+    ];
+    let routing =
+        routing_sweep("request-routing", &policies, None).expect("routing sweep must run");
+    println!("{}", format_routing(&routing));
 
     println!("placement solver scalability (cold placement, jobs-heavy mix):\n");
     let grid: Vec<(u32, u32)> = vec![(10, 30), (25, 120), (50, 300), (100, 600), (200, 1200)];
@@ -59,7 +78,8 @@ fn main() {
     std::fs::create_dir_all("out").expect("create out/");
     std::fs::write(
         "out/sweep.json",
-        serde_json::to_string_pretty(&(corpus, staleness, cells, outcomes)).expect("serialize"),
+        serde_json::to_string_pretty(&(corpus, staleness, routing, cells, outcomes))
+            .expect("serialize"),
     )
     .expect("write out/sweep.json");
     println!("wrote out/sweep.json");

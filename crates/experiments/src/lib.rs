@@ -34,4 +34,6 @@ pub use churn::{churn_sweep, ChurnCell};
 pub use comparison::{compare_controllers, ComparisonRow};
 pub use figures::{fig1_csv, fig2_csv, run_paper_experiment};
 pub use shape::{shape_metrics, ShapeMetrics};
-pub use sweeps::{corpus_sweep, staleness_sweep, CorpusOutcome, StalenessCell};
+pub use sweeps::{
+    corpus_sweep, routing_sweep, staleness_sweep, CorpusOutcome, RoutingCell, StalenessCell,
+};

@@ -45,6 +45,7 @@ pub fn synthetic_problem(nodes: u32, jobs: u32, apps: u32) -> PlacementProblem {
             mem_per_instance: MemMb::new(1024),
             min_instances: 1,
             max_instances: nodes,
+            affinity: Vec::new(),
         })
         .collect();
     let job_reqs: Vec<JobRequest> = (0..jobs)
@@ -148,6 +149,9 @@ pub struct CorpusOutcome {
     pub mean_trans_utility: f64,
     /// Mean controller-neutral job outlook.
     pub mean_jobs_outlook: f64,
+    /// Mean request-weighted warmth of routed traffic (`route_quality`
+    /// series); `0.0` for scenarios without a routing tier.
+    pub route_quality: f64,
 }
 
 /// Run every corpus preset under its own controller, horizon-capped to
@@ -203,6 +207,10 @@ fn sweep_specs(specs: Vec<ScenarioSpec>, max_cycles: Option<usize>) -> Result<Ve
                 mean_jobs_outlook: report
                     .metrics
                     .mean_over("jobs_outlook", SimTime::ZERO, horizon)
+                    .unwrap_or(0.0),
+                route_quality: report
+                    .metrics
+                    .mean_over("route_quality", SimTime::ZERO, horizon)
                     .unwrap_or(0.0),
             })
         })
@@ -280,6 +288,98 @@ pub fn staleness_sweep(
     cells.into_iter().collect()
 }
 
+/// One cell of the routing-policy sweep: the `request-routing` preset
+/// re-run under one routing policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingCell {
+    /// Preset name.
+    pub scenario: String,
+    /// Routing policy label (`off` | `uniform` | `affinity`).
+    pub policy: String,
+    /// Control cycles executed.
+    pub cycles: usize,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Mean request-weighted warmth of routed traffic (0 when off).
+    pub route_quality: f64,
+    /// Mean warm-work discount factor (1 when off — no work saved).
+    pub route_discount: f64,
+    /// Mean measured transactional utility.
+    pub mean_trans_utility: f64,
+    /// Mean CPU the job tier held (MHz).
+    pub mean_jobs_alloc: f64,
+}
+
+/// The routing-policy sweep: one preset re-run under each requested
+/// routing policy, horizon-capped to `max_cycles` cycles. Quantifies
+/// what request affinity buys: how much per-request work the warm
+/// routes save and where the released CPU goes. The policy is spec
+/// data, so each cell is a single field write.
+pub fn routing_sweep(
+    preset: &str,
+    policies: &[slaq_core::RoutingSpec],
+    max_cycles: Option<usize>,
+) -> Result<Vec<RoutingCell>> {
+    let base = ScenarioSpec::preset(preset)
+        .ok_or_else(|| slaq_types::SlaqError::spec("scenario", format!("no preset {preset:?}")))?;
+    let runs: Vec<(ScenarioSpec, String)> = policies
+        .iter()
+        .map(|&policy| {
+            let mut s = base.clone();
+            s.controller.routing = policy;
+            if let Some(cycles) = max_cycles {
+                s.timing.cap_to_cycles(cycles);
+            }
+            (s, policy.label().to_string())
+        })
+        .collect();
+    let cells: Vec<Result<RoutingCell>> = runs
+        .par_iter()
+        .map(|(spec, label)| {
+            let horizon = SimTime::from_secs(spec.timing.horizon_secs);
+            let report = spec.run()?;
+            let mean = |name: &str, fallback: f64| -> f64 {
+                report
+                    .metrics
+                    .mean_over(name, SimTime::ZERO, horizon)
+                    .unwrap_or(fallback)
+            };
+            Ok(RoutingCell {
+                scenario: spec.name.clone(),
+                policy: label.clone(),
+                cycles: report.cycles,
+                completed: report.job_stats.completed,
+                route_quality: mean("route_quality", 0.0),
+                route_discount: mean("route_discount", 1.0),
+                mean_trans_utility: mean("trans_utility", 0.0),
+                mean_jobs_alloc: mean("jobs_alloc", 0.0),
+            })
+        })
+        .collect();
+    cells.into_iter().collect()
+}
+
+/// Text table for the routing-policy sweep.
+pub fn format_routing(cells: &[RoutingCell]) -> String {
+    let mut out = String::from(
+        "scenario              policy    cycles  done   route-q  discount  mean u_T  jobs-mhz\n",
+    );
+    for c in cells {
+        out.push_str(&format!(
+            "{:<21} {:<9} {:<7} {:<6} {:<8.3} {:<9.3} {:<9.3} {:.0}\n",
+            c.scenario,
+            c.policy,
+            c.cycles,
+            c.completed,
+            c.route_quality,
+            c.route_discount,
+            c.mean_trans_utility,
+            c.mean_jobs_alloc,
+        ));
+    }
+    out
+}
+
 /// Text table for the staleness sweep.
 pub fn format_staleness(cells: &[StalenessCell]) -> String {
     let mut out = String::from(
@@ -303,11 +403,11 @@ pub fn format_staleness(cells: &[StalenessCell]) -> String {
 /// Text table for the corpus sweep.
 pub fn format_corpus(rows: &[CorpusOutcome]) -> String {
     let mut out = String::from(
-        "scenario              ctrl     nodes  apps  submitted  cycles  done   mean u_T   outlook\n",
+        "scenario              ctrl     nodes  apps  submitted  cycles  done   mean u_T   outlook  route-q\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{:<21} {:<8} {:<6} {:<5} {:<10} {:<7} {:<6} {:<10.3} {:.3}\n",
+            "{:<21} {:<8} {:<6} {:<5} {:<10} {:<7} {:<6} {:<10.3} {:<8.3} {:.3}\n",
             r.scenario,
             r.controller,
             r.nodes,
@@ -317,6 +417,7 @@ pub fn format_corpus(rows: &[CorpusOutcome]) -> String {
             r.completed,
             r.mean_trans_utility,
             r.mean_jobs_outlook,
+            r.route_quality,
         ));
     }
     out
@@ -411,6 +512,47 @@ mod tests {
         }
         let table = format_staleness(&cells);
         assert_eq!(table.lines().count(), cells.len() + 1);
+    }
+
+    #[test]
+    fn routing_sweep_crosses_the_preset_with_policies() {
+        use slaq_core::RoutingSpec;
+        let policies = [
+            RoutingSpec::Off,
+            RoutingSpec::Uniform {
+                warm_gain: 0.5,
+                warm_alpha: 0.5,
+            },
+            RoutingSpec::Affinity {
+                temperature: 0.0,
+                warm_gain: 0.5,
+                warm_alpha: 0.5,
+                load_penalty: 0.4,
+                placement_bias: 600.0,
+            },
+        ];
+        let cells = routing_sweep("request-routing", &policies, Some(6)).unwrap();
+        let labels: Vec<&str> = cells.iter().map(|c| c.policy.as_str()).collect();
+        assert_eq!(labels, vec!["off", "uniform", "affinity"]);
+        // Off records no router series: quality 0, discount pinned 1.
+        assert_eq!(cells[0].route_quality, 0.0);
+        assert_eq!(cells[0].route_discount, 1.0);
+        // Both live policies route and save work; even six cycles in,
+        // warm concentration beats round-robin spreading.
+        for c in &cells[1..] {
+            assert!(c.route_quality > 0.0, "{}: no warmth built", c.policy);
+            assert!(c.route_discount < 1.0, "{}: no work saved", c.policy);
+        }
+        assert!(
+            cells[2].route_quality > cells[1].route_quality,
+            "affinity {:.3} should beat uniform {:.3}",
+            cells[2].route_quality,
+            cells[1].route_quality
+        );
+        assert!(routing_sweep("no-such-preset", &policies, Some(1)).is_err());
+        let table = format_routing(&cells);
+        assert_eq!(table.lines().count(), cells.len() + 1);
+        assert!(table.contains("affinity"));
     }
 
     #[test]

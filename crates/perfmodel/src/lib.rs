@@ -29,5 +29,5 @@ pub mod transactional;
 
 pub use estimator::DemandEstimator;
 pub use queueing::PsQueue;
-pub use routing::{aggregate_response_time, split_load};
+pub use routing::{aggregate_response_time, split_load, warm_work_discount};
 pub use transactional::{TransactionalModel, TransactionalSpec};

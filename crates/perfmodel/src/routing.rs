@@ -56,6 +56,30 @@ pub fn aggregate_response_time(lambda: f64, service: Work, allocs: &[CpuMhz]) ->
     SimDuration::from_secs(service.secs_at(headroom))
 }
 
+/// Effective-work multiplier of warmth-aware routing.
+///
+/// When a share-weighted fraction `warm_hit ∈ [0, 1]` of an application's
+/// requests lands on instances whose caches/data are warm, and a warm hit
+/// saves a fraction `warm_gain ∈ [0, 1)` of the per-request service
+/// demand, the cycle's aggregate work shrinks by `warm_gain · warm_hit`:
+///
+/// ```text
+/// W_eff = λ · service · (1 − warm_gain · warm_hit)
+/// ```
+///
+/// The returned multiplier is the routed-load **SLA signal**: the
+/// simulator scales the offered load it feeds the processor-sharing
+/// queue (and the work the demand estimator observes) by it, so the
+/// controller optimizes against what the routing tier actually
+/// delivered. Both inputs are clamped into their domains; the result is
+/// always in `(0, 1]`, and exactly `1.0` when either input is zero —
+/// the routing-off path multiplies by a bit-exact identity.
+pub fn warm_work_discount(warm_gain: f64, warm_hit: f64) -> f64 {
+    let gain = warm_gain.clamp(0.0, 0.99);
+    let hit = warm_hit.clamp(0.0, 1.0);
+    1.0 - gain * hit
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,7 +149,28 @@ mod tests {
         assert!((rt.as_secs() - 1.0).abs() < 1e-12);
     }
 
+    #[test]
+    fn warm_discount_identities_and_bounds() {
+        // Zero gain or zero hit: exact identity (the routing-off path).
+        assert_eq!(warm_work_discount(0.0, 0.7), 1.0);
+        assert_eq!(warm_work_discount(0.5, 0.0), 1.0);
+        // Fully-warm, half the work saved.
+        assert!((warm_work_discount(0.5, 1.0) - 0.5).abs() < 1e-12);
+        // Inputs clamped into their domains.
+        assert!(warm_work_discount(2.0, 2.0) > 0.0);
+        assert_eq!(warm_work_discount(-1.0, 0.5), 1.0);
+    }
+
     proptest! {
+        #[test]
+        fn prop_warm_discount_in_unit_interval(
+            gain in -0.5..1.5f64,
+            hit in -0.5..1.5f64,
+        ) {
+            let d = warm_work_discount(gain, hit);
+            prop_assert!(d > 0.0 && d <= 1.0);
+        }
+
         #[test]
         fn prop_weights_sum_to_one(
             allocs in proptest::collection::vec(0.0..1e5f64, 1..10),

@@ -585,6 +585,7 @@ mod tests {
             mem_per_instance: MemMb::new(1024),
             min_instances: 0,
             max_instances: 32,
+            affinity: Vec::new(),
         }
     }
 

@@ -300,6 +300,7 @@ mod tests {
             mem_per_instance: MemMb::new(1024),
             min_instances: 1,
             max_instances: 10,
+            affinity: Vec::new(),
         }
     }
 

@@ -42,6 +42,13 @@ pub struct AppRequest {
     pub min_instances: u32,
     /// Upper bound on instance count.
     pub max_instances: u32,
+    /// Per-node affinity bonuses (MHz scale), id-sorted, from the
+    /// routing tier's warmth scores: the solver's grow steps add a
+    /// node's bonus to its residual CPU when ordering candidates, so
+    /// warm instances stop being interchangeable with cold ones.
+    /// Empty (the default) keeps candidate ordering bit-identical to
+    /// the affinity-free solver.
+    pub affinity: Vec<(NodeId, f64)>,
 }
 
 /// One long-running job's placement request for this cycle.

@@ -409,6 +409,10 @@ impl ShardedSolver {
                     mem_per_instance: app.mem_per_instance,
                     min_instances,
                     max_instances,
+                    // Whole-fleet affinity travels with every lane; the
+                    // lane solver's dense lookup simply ignores foreign
+                    // nodes.
+                    affinity: app.affinity.clone(),
                 });
             }
             nodes_before = nodes_through;
@@ -798,6 +802,7 @@ mod tests {
             mem_per_instance: MemMb::new(1024),
             min_instances: 1,
             max_instances: 32,
+            affinity: Vec::new(),
         }
     }
 

@@ -170,6 +170,10 @@ struct Scratch {
     open: Vec<usize>,
     /// Host-sort temporary.
     host_sort: Vec<(NodeId, usize, f64)>,
+    /// Step-2 affinity term: per dense node, the current app's affinity
+    /// bonus (MHz scale). Rebuilt only for apps whose request carries a
+    /// non-empty `affinity`; affinity-free apps never read it.
+    aff_bonus: Vec<f64>,
     /// Step-0/1 kept jobs committed below their demand, in priority
     /// order: the only jobs step 4's rebalance can act on.
     deficit_jobs: Vec<usize>,
@@ -540,6 +544,23 @@ impl Solver {
         for k in 0..s.ordered_apps.len() {
             let ai = s.ordered_apps[k];
             let app = &problem.apps[ai];
+            // Affinity term: apps carrying routing-tier warmth scores
+            // order grow candidates by `cpu_free + bonus` instead of raw
+            // residual CPU, so a warm node outranks a marginally emptier
+            // cold one. The dense bonus map is built only here; the
+            // empty-affinity case never reads it and routes through the
+            // engines untouched (bit-identical to the affinity-free
+            // solver).
+            let has_affinity = !app.affinity.is_empty();
+            if has_affinity {
+                s.aff_bonus.clear();
+                s.aff_bonus.resize(s.nodes.len(), 0.0);
+                for &(n, b) in &app.affinity {
+                    if let Some(ni) = node_ix.dense(n) {
+                        s.aff_bonus[ni] = b;
+                    }
+                }
+            }
             // While this app is being processed its hosts are out of
             // candidacy (the scan engine's `!hosts.contains(i)` filter);
             // removing them up front also lets the water-fill mutate
@@ -589,23 +610,45 @@ impl Solver {
                 {
                     break;
                 }
-                let cand = match engine {
-                    CandidateEngine::Scan => {
-                        let hosts = &s.app_hosts[ai];
-                        s.nodes
-                            .iter()
-                            .enumerate()
-                            .filter(|&(i, n)| {
-                                n.mem_free.fits(app.mem_per_instance)
-                                    && n.cpu_free > 1e-9
-                                    && !hosts.contains(&i)
-                            })
-                            .max_by(|(_, a), (_, b)| {
-                                fcmp(a.cpu_free, b.cpu_free).then(b.id.cmp(&a.id))
-                            })
-                            .map(|(i, _)| i)
+                let cand = if has_affinity {
+                    // Affinity carriers always scan: the bonus-shifted
+                    // key is not the heap's residual order.
+                    let hosts = &s.app_hosts[ai];
+                    let bonus = &s.aff_bonus;
+                    s.nodes
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, n)| {
+                            n.mem_free.fits(app.mem_per_instance)
+                                && n.cpu_free > 1e-9
+                                && !hosts.contains(&i)
+                        })
+                        .max_by(|&(ia, a), &(ib, b)| {
+                            fcmp(a.cpu_free + bonus[ia], b.cpu_free + bonus[ib])
+                                .then(b.id.cmp(&a.id))
+                        })
+                        .map(|(i, _)| i)
+                } else {
+                    match engine {
+                        CandidateEngine::Scan => {
+                            let hosts = &s.app_hosts[ai];
+                            s.nodes
+                                .iter()
+                                .enumerate()
+                                .filter(|&(i, n)| {
+                                    n.mem_free.fits(app.mem_per_instance)
+                                        && n.cpu_free > 1e-9
+                                        && !hosts.contains(&i)
+                                })
+                                .max_by(|(_, a), (_, b)| {
+                                    fcmp(a.cpu_free, b.cpu_free).then(b.id.cmp(&a.id))
+                                })
+                                .map(|(i, _)| i)
+                        }
+                        CandidateEngine::Heap => {
+                            heap.best_residual(app.mem_per_instance, 1e-9, None)
+                        }
                     }
-                    CandidateEngine::Heap => heap.best_residual(app.mem_per_instance, 1e-9, None),
                 };
                 let Some(i) = cand else { break };
                 s.nodes[i].mem_free -= app.mem_per_instance;
@@ -652,22 +695,38 @@ impl Solver {
             // Honour min_instances even when idle (no CPU floor here:
             // a warm-spare instance may sit on an exhausted node).
             while s.app_hosts[ai].len() < app.min_instances as usize && budget > 0 {
-                let cand = match engine {
-                    CandidateEngine::Scan => {
-                        let hosts = &s.app_hosts[ai];
-                        s.nodes
-                            .iter()
-                            .enumerate()
-                            .filter(|&(i, n)| {
-                                n.mem_free.fits(app.mem_per_instance) && !hosts.contains(&i)
-                            })
-                            .max_by(|(_, a), (_, b)| {
-                                fcmp(a.cpu_free, b.cpu_free).then(b.id.cmp(&a.id))
-                            })
-                            .map(|(i, _)| i)
-                    }
-                    CandidateEngine::Heap => {
-                        heap.best_residual(app.mem_per_instance, f64::NEG_INFINITY, None)
+                let cand = if has_affinity {
+                    let hosts = &s.app_hosts[ai];
+                    let bonus = &s.aff_bonus;
+                    s.nodes
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, n)| {
+                            n.mem_free.fits(app.mem_per_instance) && !hosts.contains(&i)
+                        })
+                        .max_by(|&(ia, a), &(ib, b)| {
+                            fcmp(a.cpu_free + bonus[ia], b.cpu_free + bonus[ib])
+                                .then(b.id.cmp(&a.id))
+                        })
+                        .map(|(i, _)| i)
+                } else {
+                    match engine {
+                        CandidateEngine::Scan => {
+                            let hosts = &s.app_hosts[ai];
+                            s.nodes
+                                .iter()
+                                .enumerate()
+                                .filter(|&(i, n)| {
+                                    n.mem_free.fits(app.mem_per_instance) && !hosts.contains(&i)
+                                })
+                                .max_by(|(_, a), (_, b)| {
+                                    fcmp(a.cpu_free, b.cpu_free).then(b.id.cmp(&a.id))
+                                })
+                                .map(|(i, _)| i)
+                        }
+                        CandidateEngine::Heap => {
+                            heap.best_residual(app.mem_per_instance, f64::NEG_INFINITY, None)
+                        }
                     }
                 };
                 let Some(i) = cand else { break };
@@ -1226,6 +1285,7 @@ mod tests {
             mem_per_instance: MemMb::new(1024),
             min_instances: 1,
             max_instances: 32,
+            affinity: Vec::new(),
         }
     }
 

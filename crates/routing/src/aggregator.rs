@@ -1,0 +1,223 @@
+//! The metrics plane: instance publishers → per-instance warmth/load.
+//!
+//! Placed instances *publish* one [`InstanceReport`] per control cycle;
+//! the [`Aggregator`] *indexes* them into per-`(app, node)` state the
+//! router scores against. Warmth is an EWMA of the share of the app's
+//! traffic the instance served — a fluid proxy for cache/data locality:
+//! an instance that keeps receiving an app's requests converges to
+//! warmth 1, one that stops receiving traffic cools toward 0, and a
+//! freshly started instance begins cold.
+
+use serde::{Deserialize, Serialize};
+use slaq_types::{AppId, NodeId};
+use std::collections::BTreeMap;
+
+/// One instance's per-cycle publication into the metrics plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstanceReport {
+    /// Application the instance belongs to.
+    pub app: AppId,
+    /// Node hosting the instance.
+    pub node: NodeId,
+    /// Fraction of the app's requests this instance served this cycle
+    /// (`[0, 1]`, shares of one app sum to ≤ 1).
+    pub share: f64,
+    /// Instance utilization this cycle (`[0, 1]`-ish; informational).
+    pub util: f64,
+}
+
+/// Per-instance aggregated state.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+struct InstanceState {
+    /// EWMA of routed share — the warm-state (locality) score.
+    warmth: f64,
+    /// Last published utilization.
+    load: f64,
+}
+
+/// The indexer half of the metrics plane: folds instance reports into
+/// warmth/load scores, keyed `(app, node)` in deterministic order.
+///
+/// Per-app state is a node-id-sorted vec, not a tree: the router syncs,
+/// reads, and publishes a whole app's instances every cycle, so the hot
+/// path is sequential merges over contiguous memory (with binary
+/// searches only for point reads), not per-node tree descents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Aggregator {
+    /// EWMA smoothing factor in `(0, 1]` for warmth updates.
+    alpha: f64,
+    state: BTreeMap<AppId, Vec<(NodeId, InstanceState)>>,
+}
+
+impl Aggregator {
+    /// Create with warmth smoothing factor `alpha ∈ (0, 1]`.
+    pub fn new(alpha: f64) -> Option<Self> {
+        (alpha > 0.0 && alpha <= 1.0).then_some(Aggregator {
+            alpha,
+            state: BTreeMap::new(),
+        })
+    }
+
+    /// Reconcile `app`'s instance set with the live placement: vanished
+    /// instances are dropped (their warmth dies with them — a restarted
+    /// instance begins cold), new instances appear with zero state.
+    /// `live` must be id-sorted (placements iterate in id order); the
+    /// reconciled state then aligns index-for-index with `live`.
+    pub fn sync_instances(&mut self, app: AppId, live: &[NodeId]) {
+        if live.is_empty() {
+            self.state.remove(&app);
+            return;
+        }
+        debug_assert!(live.windows(2).all(|w| w[0] < w[1]), "live set unsorted");
+        let entry = self.state.entry(app).or_default();
+        // One sorted merge: keep surviving state, seed new nodes cold.
+        let mut merged = Vec::with_capacity(live.len());
+        let mut old = 0usize;
+        for &n in live {
+            while old < entry.len() && entry[old].0 < n {
+                old += 1;
+            }
+            let state = if old < entry.len() && entry[old].0 == n {
+                old += 1;
+                entry[old - 1].1
+            } else {
+                InstanceState::default()
+            };
+            merged.push((n, state));
+        }
+        *entry = merged;
+    }
+
+    /// Fold one cycle's instance publications in: each report moves its
+    /// instance's warmth EWMA toward the served share and overwrites the
+    /// load reading. Unknown instances are created on first publish.
+    pub fn publish(&mut self, reports: &[InstanceReport]) {
+        for r in reports {
+            let entry = self.state.entry(r.app).or_default();
+            let slot = match entry.binary_search_by_key(&r.node, |&(n, _)| n) {
+                Ok(i) => &mut entry[i].1,
+                Err(i) => {
+                    entry.insert(i, (r.node, InstanceState::default()));
+                    &mut entry[i].1
+                }
+            };
+            slot.warmth += self.alpha * (r.share.clamp(0.0, 1.0) - slot.warmth);
+            slot.load = r.util;
+        }
+    }
+
+    /// Current warmth score of one instance (0 when unknown).
+    pub fn warmth(&self, app: AppId, node: NodeId) -> f64 {
+        self.get(app, node).map_or(0.0, |s| s.warmth)
+    }
+
+    /// Last published load of one instance (0 when unknown).
+    pub fn load(&self, app: AppId, node: NodeId) -> f64 {
+        self.get(app, node).map_or(0.0, |s| s.load)
+    }
+
+    fn get(&self, app: AppId, node: NodeId) -> Option<&InstanceState> {
+        let entry = self.state.get(&app)?;
+        entry
+            .binary_search_by_key(&node, |&(n, _)| n)
+            .ok()
+            .map(|i| &entry[i].1)
+    }
+
+    /// Warmth snapshot of one app's instances, id-sorted — the affinity
+    /// vector handed to the placement solver.
+    pub fn affinity(&self, app: AppId) -> Vec<(NodeId, f64)> {
+        self.state
+            .get(&app)
+            .map(|m| m.iter().map(|&(n, s)| (n, s.warmth)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Copy one app's warmth scores into `out`, aligned index-for-index
+    /// with the id-sorted live set last passed to [`Self::sync_instances`]
+    /// — the router's zero-lookup read path.
+    pub fn warmth_into(&self, app: AppId, out: &mut Vec<f64>) {
+        out.clear();
+        if let Some(entry) = self.state.get(&app) {
+            out.extend(entry.iter().map(|&(_, s)| s.warmth));
+        }
+    }
+
+    /// Number of `(app, node)` instances currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.state.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rep(app: u32, node: u32, share: f64) -> InstanceReport {
+        InstanceReport {
+            app: AppId::new(app),
+            node: NodeId::new(node),
+            share,
+            util: share,
+        }
+    }
+
+    #[test]
+    fn rejects_bad_alpha() {
+        assert!(Aggregator::new(0.0).is_none());
+        assert!(Aggregator::new(1.1).is_none());
+        assert!(Aggregator::new(1.0).is_some());
+    }
+
+    #[test]
+    fn warmth_converges_to_the_routed_share() {
+        let mut a = Aggregator::new(0.5).unwrap();
+        for _ in 0..20 {
+            a.publish(&[rep(0, 1, 0.8), rep(0, 2, 0.2)]);
+        }
+        assert!((a.warmth(AppId::new(0), NodeId::new(1)) - 0.8).abs() < 1e-4);
+        assert!((a.warmth(AppId::new(0), NodeId::new(2)) - 0.2).abs() < 1e-4);
+        assert_eq!(a.warmth(AppId::new(0), NodeId::new(9)), 0.0);
+    }
+
+    #[test]
+    fn starved_instances_cool_down() {
+        let mut a = Aggregator::new(0.5).unwrap();
+        a.publish(&[rep(0, 1, 1.0)]);
+        let hot = a.warmth(AppId::new(0), NodeId::new(1));
+        a.publish(&[rep(0, 1, 0.0)]);
+        assert!(a.warmth(AppId::new(0), NodeId::new(1)) < hot);
+    }
+
+    #[test]
+    fn sync_drops_vanished_and_seeds_new_cold() {
+        let mut a = Aggregator::new(0.5).unwrap();
+        a.publish(&[rep(0, 1, 1.0)]);
+        a.sync_instances(AppId::new(0), &[NodeId::new(2)]);
+        // node1 vanished: warmth gone; node2 new: cold.
+        assert_eq!(a.warmth(AppId::new(0), NodeId::new(1)), 0.0);
+        assert_eq!(a.warmth(AppId::new(0), NodeId::new(2)), 0.0);
+        assert_eq!(a.tracked(), 1);
+        // Empty live set removes the app entirely.
+        a.sync_instances(AppId::new(0), &[]);
+        assert_eq!(a.tracked(), 0);
+    }
+
+    #[test]
+    fn affinity_is_id_sorted() {
+        let mut a = Aggregator::new(1.0).unwrap();
+        a.publish(&[rep(3, 5, 0.4), rep(3, 1, 0.6)]);
+        let aff = a.affinity(AppId::new(3));
+        assert_eq!(aff, vec![(NodeId::new(1), 0.6), (NodeId::new(5), 0.4)]);
+        assert!(a.affinity(AppId::new(9)).is_empty());
+    }
+
+    #[test]
+    fn shares_are_clamped() {
+        let mut a = Aggregator::new(1.0).unwrap();
+        a.publish(&[rep(0, 0, 7.0), rep(0, 1, -3.0)]);
+        assert_eq!(a.warmth(AppId::new(0), NodeId::new(0)), 1.0);
+        assert_eq!(a.warmth(AppId::new(0), NodeId::new(1)), 0.0);
+        assert_eq!(a.load(AppId::new(0), NodeId::new(0)), 7.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # slaq-routing — the request-level routing tier
+//!
+//! The subsystem between workload generation and the placement layer:
+//! where the placement controller decides *where instances sit*, this
+//! crate decides *where requests land* — and feeds what it learns back
+//! into the control cycle.
+//!
+//! Dataflow, mirroring the publisher → indexer → router split of
+//! KV-cache-aware LLM routers (see ROADMAP.md):
+//!
+//! 1. **Publishers** — each placed instance publishes one
+//!    [`InstanceReport`] per control cycle: the traffic share it just
+//!    served and its utilization.
+//! 2. **[`Aggregator`]** — the metrics plane. Folds the reports into
+//!    per-instance *warmth* scores (an EWMA of routed share, a proxy for
+//!    cache/data locality) and current load; drops state for vanished
+//!    instances.
+//! 3. **[`Router`]** — apportions a cycle's *aggregated* request batch
+//!    (`slaq_workloads::RequestBatch`-scale counts, never individual
+//!    requests) across live instances in fixed-size chunks, scoring
+//!    each instance `warm_gain · warmth − load_penalty · overload`. At
+//!    `temperature = 0` the choice is a pure argmax with an id
+//!    tie-break; at `temperature > 0` it is a seeded softmax draw —
+//!    deterministic per seed either way.
+//! 4. **Feedback** — the share-weighted warmth of the routed cycle
+//!    yields an effective-work multiplier
+//!    ([`slaq_perfmodel::warm_work_discount`]) that the simulator feeds
+//!    into the demand/SLA signal the utility controller optimizes, and
+//!    the warmth scores surface as per-node affinity bonuses in the
+//!    placement solver's candidate ordering.
+//!
+//! [`RoutingTier`] bundles the three stages plus interned metric-key
+//! strings into the single object the simulator owns.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod aggregator;
+pub mod router;
+pub mod tier;
+
+pub use aggregator::{Aggregator, InstanceReport};
+pub use router::{RouteOutcome, Router, RouterConfig};
+pub use tier::{AppSeriesKeys, RoutingTier};

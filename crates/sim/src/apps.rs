@@ -3,7 +3,7 @@
 
 use slaq_perfmodel::TransactionalSpec;
 use slaq_perfmodel::{DemandEstimator, PsQueue};
-use slaq_types::{AppId, CpuMhz, SimDuration, SimTime, Work};
+use slaq_types::{AppId, CpuMhz, NodeId, SimDuration, SimTime, Work};
 
 /// What the controller gets to see about a transactional application each
 /// cycle: the spec and the *estimated* arrival rate (not the ground-truth
@@ -14,8 +14,14 @@ pub struct AppObservation {
     pub id: AppId,
     /// Static spec (service demand, RT goal, memory, scaling limits).
     pub spec: TransactionalSpec,
-    /// Estimated request arrival rate (req/s).
+    /// Estimated request arrival rate (req/s), already scaled by the
+    /// routing tier's effective-work discount when routing is active —
+    /// routed load *is* the demand signal the controller optimizes.
     pub lambda: f64,
+    /// Per-node warmth scores from the routing tier's aggregator
+    /// (id-sorted), surfaced to the controller as a placement-affinity
+    /// hint. Empty when routing is off or the tier routes uniformly.
+    pub affinity: Vec<(NodeId, f64)>,
 }
 
 /// Simulator-side state of one transactional application.
@@ -37,6 +43,11 @@ pub struct TransactionalRuntime {
     /// cycle, so the per-app `format!` is paid once at construction.
     rt_metric_key: String,
     utility_metric_key: String,
+    /// Effective-work multiplier from the routing tier: warm (cache/data
+    /// local) instances serve each request with `route_discount` of the
+    /// nominal work. `1.0` — the exact multiplicative identity — when no
+    /// router is installed, so routing-off runs are bit-identical.
+    route_discount: f64,
 }
 
 impl TransactionalRuntime {
@@ -59,7 +70,25 @@ impl TransactionalRuntime {
             accum_secs: 0.0,
             rt_metric_key: format!("trans_rt_{id}"),
             utility_metric_key: format!("trans_utility_{id}"),
+            route_discount: 1.0,
         })
+    }
+
+    /// Install the routing tier's effective-work multiplier for the
+    /// coming cycle (clamped into `(0, 1]`). The discount routed at
+    /// cycle *k* shapes the load observed during `[k, k+1)` — a
+    /// one-cycle actuation lag, like every other control signal here.
+    pub fn set_route_discount(&mut self, discount: f64) {
+        self.route_discount = if discount > 0.0 && discount <= 1.0 {
+            discount
+        } else {
+            1.0
+        };
+    }
+
+    /// The effective-work multiplier in force (`1.0` without routing).
+    pub fn route_discount(&self) -> f64 {
+        self.route_discount
     }
 
     /// Name of this app's measured response-time series.
@@ -77,14 +106,25 @@ impl TransactionalRuntime {
         (self.lambda_fn)(t)
     }
 
-    /// What the controller observes.
+    /// The cycle's aggregated request batch over `[at, at + window)`:
+    /// millions of requests folded into one count, never evented
+    /// individually. This is what the routing tier apportions.
+    pub fn request_batch(&self, at: SimTime, window: SimDuration) -> slaq_workloads::RequestBatch {
+        slaq_workloads::RequestBatch::from_rate(self.true_lambda(at), window)
+    }
+
+    /// What the controller observes. The estimated intensity is scaled
+    /// by the routing discount — routed (warmth-concentrated) load is
+    /// the demand signal the controller optimizes, so warm apps ask for
+    /// less CPU and release capacity to the rest of the cluster.
     pub fn observation(&self, t: SimTime) -> AppObservation {
         AppObservation {
             id: self.id,
             spec: self.spec.clone(),
             // Cold start: trust the instantaneous truth (first cycle has
             // no history; the real system would bootstrap from config).
-            lambda: self.estimator.lambda_or(self.true_lambda(t)),
+            lambda: self.estimator.lambda_or(self.true_lambda(t)) * self.route_discount,
+            affinity: Vec::new(),
         }
     }
 
@@ -97,10 +137,15 @@ impl TransactionalRuntime {
         }
         let lam = self.true_lambda(from);
         let served = lam * dt.as_secs();
-        let work = Work::new(served * self.spec.service_per_request.as_f64());
+        // Warm routing shrinks the *work* each request costs, not the
+        // request count: the estimator sees true arrivals with
+        // discounted work, and the queue sees the discounted work rate.
+        // `route_discount == 1.0` makes both multiplications exact
+        // no-ops (bit-identical to the routing-free simulator).
+        let work = Work::new(served * self.spec.service_per_request.as_f64() * self.route_discount);
         self.estimator.observe(served.round() as u64, work, dt);
 
-        let rt = match PsQueue::new(lam, self.spec.service_per_request) {
+        let rt = match PsQueue::new(lam * self.route_discount, self.spec.service_per_request) {
             Some(q) => q.response_time(alloc),
             None => SimDuration::ZERO,
         };

@@ -150,6 +150,11 @@ pub struct Simulator {
     /// [`SolveDelta`](slaq_placement::SolveDelta) hint for
     /// [`Controller::control_delta`].
     delta_tracker: crate::snapshot::DeltaTracker,
+    /// Optional request-level routing tier, driven once per control
+    /// cycle *before* sensing (sim-side, so pipelined controllers see
+    /// identical router series). `None` leaves every series and every
+    /// observation bit-identical to the routing-free simulator.
+    routing: Option<slaq_routing::RoutingTier>,
     now: SimTime,
     next_control: SimTime,
     cycles: usize,
@@ -170,6 +175,7 @@ impl Simulator {
             config,
             outages: Vec::new(),
             delta_tracker: crate::snapshot::DeltaTracker::default(),
+            routing: None,
             now: SimTime::ZERO,
             next_control: SimTime::ZERO,
             cycles: 0,
@@ -256,6 +262,20 @@ impl Simulator {
         self.apps.push(app);
     }
 
+    /// Install a request-level routing tier. Each control cycle the
+    /// simulator batches every app's requests, routes them across the
+    /// app's live instances, and feeds the resulting effective-work
+    /// discount (and, for affinity-publishing tiers, per-node warmth)
+    /// back into the sensed observations.
+    pub fn set_routing(&mut self, tier: slaq_routing::RoutingTier) {
+        self.routing = Some(tier);
+    }
+
+    /// The routing tier, if one is installed (inspection in tests).
+    pub fn routing(&self) -> Option<&slaq_routing::RoutingTier> {
+        self.routing.as_ref()
+    }
+
     /// Queue job arrivals (merged with any already queued).
     pub fn add_arrivals(&mut self, mut stream: Vec<(SimTime, JobSpec)>) {
         self.arrivals.append(&mut stream);
@@ -301,6 +321,7 @@ impl Simulator {
                 mem_per_instance: a.spec.mem_per_instance,
                 min_instances: 0,
                 max_instances: a.spec.max_instances,
+                affinity: Vec::new(),
             })
             .collect();
         let jobs: Vec<JobRequest> = self
@@ -505,6 +526,8 @@ impl Simulator {
     /// reconciled plan instead), and **actuate** (enact the returned
     /// placement and record the mechanical series).
     fn run_control(&mut self, controller: &mut dyn Controller) -> Result<()> {
+        // --- route ---
+        self.route_cycle();
         // --- sense ---
         let observations = self.sense();
         // Effective capacities are computed once here and lent to every
@@ -529,9 +552,52 @@ impl Simulator {
         Ok(())
     }
 
+    /// The routing stage, run before sensing: batch each app's cycle
+    /// requests (counts, never individual events), apportion them across
+    /// the app's live instances, and install the resulting effective-
+    /// work discount on the runtime for the coming interval. Records the
+    /// per-app warmth/discount series under interned keys plus the
+    /// aggregate `route_requests` / `route_quality` / `route_discount`
+    /// series. A no-op without an installed tier.
+    fn route_cycle(&mut self) {
+        let Some(tier) = self.routing.as_mut() else {
+            return;
+        };
+        let t = self.now;
+        let window = self.config.control_period;
+        let mut total_requests: u64 = 0;
+        let mut hit_weighted = 0.0;
+        let mut disc_weighted = 0.0;
+        let mut instances: Vec<(slaq_types::NodeId, f64)> = Vec::new();
+        for app in &mut self.apps {
+            let batch = app.request_batch(t, window);
+            instances.clear();
+            if let Some(slices) = self.placement.apps.get(&app.id) {
+                instances.extend(slices.iter().map(|(&n, &c)| (n, c.as_f64())));
+            }
+            let out = tier.route_app(app.id, batch.count, &instances);
+            app.set_route_discount(out.discount);
+            let keys = tier.series_keys(app.id);
+            self.metrics.record(&keys.warm, t, out.warm_hit);
+            self.metrics.record(&keys.discount, t, out.discount);
+            total_requests += batch.count;
+            hit_weighted += out.warm_hit * batch.count as f64;
+            disc_weighted += out.discount * batch.count as f64;
+        }
+        self.metrics
+            .record("route_requests", t, total_requests as f64);
+        if total_requests > 0 {
+            let n = total_requests as f64;
+            self.metrics.record("route_quality", t, hit_weighted / n);
+            self.metrics.record("route_discount", t, disc_weighted / n);
+        }
+    }
+
     /// The sensing stage: flush per-app measurements of the cycle that
     /// just ended (recording the measured series) and collect the
-    /// observations the controller may see.
+    /// observations the controller may see. With an affinity-publishing
+    /// routing tier installed, each observation also carries the tier's
+    /// per-node warmth scores as a placement hint.
     fn sense(&mut self) -> Vec<AppObservation> {
         for app in &mut self.apps {
             if let Some((rt, u)) = app.flush_cycle() {
@@ -541,7 +607,16 @@ impl Simulator {
                 self.metrics.record("trans_utility", self.now, u);
             }
         }
-        self.apps.iter().map(|a| a.observation(self.now)).collect()
+        let mut observations: Vec<AppObservation> =
+            self.apps.iter().map(|a| a.observation(self.now)).collect();
+        if let Some(tier) = &self.routing {
+            if tier.publishes_affinity() {
+                for obs in &mut observations {
+                    obs.affinity = tier.affinity(obs.id);
+                }
+            }
+        }
+        observations
     }
 
     /// Record the mechanical per-cycle series after actuation.

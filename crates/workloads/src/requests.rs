@@ -1,0 +1,212 @@
+//! Request-stream model: per-cycle **aggregated** request load.
+//!
+//! The routing tier (`slaq-routing`) apportions each control cycle's
+//! requests across an application's live instances. At realistic scale
+//! that is millions of requests per cycle, so requests are never evented
+//! individually: a [`RequestBatch`] carries the cycle's load as a count,
+//! a mean/peak rate, and a coarse sub-window histogram derived from the
+//! same [`IntensityTrace`] that drives the simulator's arrival intensity.
+//! [`CycleLoad`] is the fleet-wide aggregation of one cycle's batches,
+//! keyed by application.
+
+use crate::intensity::IntensityTrace;
+use serde::{Deserialize, Serialize};
+use slaq_types::{AppId, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Aggregated request load of one application over one control cycle.
+///
+/// `count == buckets.iter().sum()`: the histogram partitions the window
+/// into equal sub-windows and the batch total is exactly the sum of the
+/// per-sub-window counts (each rounded from the trace's midpoint rate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestBatch {
+    /// Total requests in the window.
+    pub count: u64,
+    /// Mean arrival rate over the window (requests/s).
+    pub mean_rate: f64,
+    /// Highest sub-window arrival rate sampled (requests/s).
+    pub peak_rate: f64,
+    /// Requests per equal sub-window, in time order.
+    pub buckets: Vec<u64>,
+}
+
+impl RequestBatch {
+    /// An empty batch (zero-length window or zero rate).
+    pub fn empty() -> Self {
+        RequestBatch {
+            count: 0,
+            mean_rate: 0.0,
+            peak_rate: 0.0,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Batch for a constant arrival rate over `window` — the single-bucket
+    /// fast path the simulator uses when only the instantaneous rate is
+    /// known.
+    pub fn from_rate(rate: f64, window: SimDuration) -> Self {
+        let secs = window.as_secs();
+        if secs <= 0.0 || rate <= 0.0 {
+            return RequestBatch::empty();
+        }
+        let count = (rate * secs).round() as u64;
+        RequestBatch {
+            count,
+            mean_rate: count as f64 / secs,
+            peak_rate: count as f64 / secs,
+            buckets: vec![count],
+        }
+    }
+
+    /// Batch derived from an intensity trace over `[from, from + window]`,
+    /// histogrammed into `buckets` equal sub-windows (midpoint-sampled,
+    /// mirroring [`IntensityTrace::mean_lambda`]).
+    pub fn from_trace(
+        trace: &IntensityTrace,
+        from: SimTime,
+        window: SimDuration,
+        buckets: usize,
+    ) -> Self {
+        let secs = window.as_secs();
+        if secs <= 0.0 || buckets == 0 {
+            return RequestBatch::empty();
+        }
+        let sub = secs / buckets as f64;
+        let mut counts = Vec::with_capacity(buckets);
+        let mut peak = 0.0f64;
+        for b in 0..buckets {
+            let mid = SimTime::from_secs(from.as_secs() + (b as f64 + 0.5) * sub);
+            let rate = trace.lambda(mid).max(0.0);
+            peak = peak.max(rate);
+            counts.push((rate * sub).round() as u64);
+        }
+        let count: u64 = counts.iter().sum();
+        RequestBatch {
+            count,
+            mean_rate: count as f64 / secs,
+            peak_rate: peak,
+            buckets: counts,
+        }
+    }
+
+    /// `true` when the batch carries no requests.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// One control cycle's request load across the whole fleet: per-app
+/// batches plus the running total, aggregated — never per-request.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CycleLoad {
+    per_app: BTreeMap<AppId, RequestBatch>,
+}
+
+impl CycleLoad {
+    /// An empty cycle.
+    pub fn new() -> Self {
+        CycleLoad::default()
+    }
+
+    /// Record (or replace) one application's batch for this cycle.
+    pub fn push(&mut self, app: AppId, batch: RequestBatch) {
+        self.per_app.insert(app, batch);
+    }
+
+    /// The batch recorded for `app`, if any.
+    pub fn batch(&self, app: AppId) -> Option<&RequestBatch> {
+        self.per_app.get(&app)
+    }
+
+    /// Total requests across all applications this cycle.
+    pub fn total_requests(&self) -> u64 {
+        self.per_app.values().map(|b| b.count).sum()
+    }
+
+    /// Iterate `(app, batch)` in app-id order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (AppId, &RequestBatch)> {
+        self.per_app.iter().map(|(&a, b)| (a, b))
+    }
+
+    /// Number of applications with a recorded batch.
+    pub fn len(&self) -> usize {
+        self.per_app.len()
+    }
+
+    /// `true` when no application recorded a batch.
+    pub fn is_empty(&self) -> bool {
+        self.per_app.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rate_rounds_to_a_single_bucket() {
+        let b = RequestBatch::from_rate(26.0, SimDuration::from_secs(600.0));
+        assert_eq!(b.count, 15_600);
+        assert_eq!(b.buckets, vec![15_600]);
+        assert!((b.mean_rate - 26.0).abs() < 1e-9);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn degenerate_windows_yield_empty_batches() {
+        assert!(RequestBatch::from_rate(26.0, SimDuration::ZERO).is_empty());
+        assert!(RequestBatch::from_rate(0.0, SimDuration::from_secs(600.0)).is_empty());
+        let trace = IntensityTrace::constant(5.0);
+        assert!(RequestBatch::from_trace(&trace, SimTime::ZERO, SimDuration::ZERO, 4).is_empty());
+        assert!(
+            RequestBatch::from_trace(&trace, SimTime::ZERO, SimDuration::from_secs(10.0), 0)
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn trace_histogram_sums_to_the_count() {
+        let trace = IntensityTrace::Steps {
+            steps: vec![(SimTime::ZERO, 10.0), (SimTime::from_secs(300.0), 30.0)],
+        };
+        let b = RequestBatch::from_trace(&trace, SimTime::ZERO, SimDuration::from_secs(600.0), 4);
+        assert_eq!(b.buckets.len(), 4);
+        assert_eq!(b.count, b.buckets.iter().sum::<u64>());
+        // First half at 10/s, second half stepped to 30/s.
+        assert_eq!(b.buckets, vec![1500, 1500, 4500, 4500]);
+        assert!((b.peak_rate - 30.0).abs() < 1e-9);
+        assert!((b.mean_rate - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycle_load_aggregates_per_app() {
+        let mut load = CycleLoad::new();
+        assert!(load.is_empty());
+        load.push(
+            AppId::new(1),
+            RequestBatch::from_rate(10.0, SimDuration::from_secs(100.0)),
+        );
+        load.push(
+            AppId::new(0),
+            RequestBatch::from_rate(5.0, SimDuration::from_secs(100.0)),
+        );
+        assert_eq!(load.len(), 2);
+        assert_eq!(load.total_requests(), 1500);
+        assert_eq!(load.batch(AppId::new(0)).unwrap().count, 500);
+        let order: Vec<AppId> = load.iter().map(|(a, _)| a).collect();
+        assert_eq!(order, vec![AppId::new(0), AppId::new(1)]);
+        // Re-pushing replaces.
+        load.push(AppId::new(0), RequestBatch::empty());
+        assert_eq!(load.total_requests(), 1000);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let trace = IntensityTrace::constant(7.0);
+        let b = RequestBatch::from_trace(&trace, SimTime::ZERO, SimDuration::from_secs(60.0), 3);
+        let json = serde_json::to_string(&b).unwrap();
+        let back: RequestBatch = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, b);
+    }
+}

@@ -27,6 +27,7 @@
 //! | [`jobs`] | `slaq-jobs` | job lifecycle + hypothetical utility |
 //! | [`workloads`] | `slaq-workloads` | arrival streams, intensity traces |
 //! | [`sim`] | `slaq-sim` | the data-center simulator |
+//! | [`routing`] | `slaq-routing` | request router + metrics aggregator |
 //! | [`core`] | `slaq-core` | the paper's controller, baselines, scenarios |
 
 #![warn(clippy::all)]
@@ -36,6 +37,7 @@ pub use slaq_flow as flow;
 pub use slaq_jobs as jobs;
 pub use slaq_perfmodel as perfmodel;
 pub use slaq_placement as placement;
+pub use slaq_routing as routing;
 pub use slaq_sim as sim;
 pub use slaq_types as types;
 pub use slaq_utility as utility;
@@ -55,6 +57,7 @@ pub mod prelude {
         AppRequest, JobRequest, NodeCapacity, Placement, PlacementConfig, PlacementProblem,
         ShardMap, ShardPlan, ShardedSolver, Solver,
     };
+    pub use slaq_routing::{Aggregator, RouteOutcome, Router, RouterConfig, RoutingTier};
     pub use slaq_sim::{
         Controller, MetricsSink, OverheadConfig, SimConfig, Simulator, TransactionalRuntime,
     };

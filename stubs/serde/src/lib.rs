@@ -272,6 +272,8 @@ tuple_impl! {
     (0 A, 1 B)
     (0 A, 1 B, 2 C)
     (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
 }
 
 /// Render a map key: JSON object keys must be strings, so integer-like

@@ -41,6 +41,7 @@ fn perfmodel_demand_flows_through_placement_to_allocation() {
             mem_per_instance: MemMb::new(1024),
             min_instances: 1,
             max_instances: 4,
+            affinity: Vec::new(),
         }],
         jobs: vec![],
         config: PlacementConfig::default(),

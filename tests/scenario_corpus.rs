@@ -23,6 +23,7 @@ const GOLDEN: &[(&str, usize, f64, &str)] = &[
         "gold-short-0",
     ),
     ("consolidation", 90, 206.61843449193728, "batch-0"),
+    ("request-routing", 70, 206.61843449193728, "batch-0"),
 ];
 
 #[test]
