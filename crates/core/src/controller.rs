@@ -1,5 +1,6 @@
 //! The utility-driven placement controller (the paper's algorithm).
 
+use slaq_obs::Recorder;
 use slaq_perfmodel::TransactionalModel;
 use slaq_placement::problem::{AppRequest, JobRequest, PlacementConfig, PlacementProblem};
 use slaq_placement::{
@@ -103,6 +104,13 @@ impl PlacementEngine {
             PlacementEngine::Sharded(s) => s.delta_stats(),
         }
     }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        match self {
+            PlacementEngine::Global(s) => s.set_recorder(recorder),
+            PlacementEngine::Sharded(s) => s.set_recorder(recorder),
+        }
+    }
 }
 
 /// The heterogeneous workload manager: utility equalization over *all*
@@ -119,6 +127,11 @@ pub struct UtilityController {
     /// life of the experiment, so the `format!` for each per-app series
     /// name is paid once here instead of once per cycle per app.
     pred_utility_keys: std::collections::BTreeMap<AppId, String>,
+    /// Observability handle: the controller times its equalization phase
+    /// (`control.equalize`) and forwards the recorder into the placement
+    /// engine. Observes only — control decisions never read it.
+    recorder: Recorder,
+    k_equalize: slaq_obs::Key,
 }
 
 impl UtilityController {
@@ -135,6 +148,8 @@ impl UtilityController {
             config,
             engine,
             pred_utility_keys: std::collections::BTreeMap::new(),
+            recorder: Recorder::off(),
+            k_equalize: slaq_obs::Key::default(),
         }
     }
 
@@ -164,6 +179,7 @@ impl UtilityController {
     ) -> Placement {
         let now = inputs.now;
         let total_cpu: CpuMhz = inputs.nodes.iter().map(|n| n.cpu).sum();
+        let span_eq = self.recorder.span(self.k_equalize);
 
         // ------------------------------------------------------------
         // 1. Utility curves for every entity.
@@ -197,6 +213,7 @@ impl UtilityController {
                 .collect();
             slaq_utility::equalize_weighted(&entities, &weights, total_cpu, &self.config.equalize)
         };
+        drop(span_eq);
 
         // Model-side series (Figures 1 & 2 inputs).
         let trans_demand: CpuMhz = app_models.iter().map(|m| m.max_useful_cpu()).sum();
@@ -346,6 +363,12 @@ impl Controller for UtilityController {
         metrics: &mut MetricsSink,
     ) -> Placement {
         self.control_inner(inputs, delta, metrics)
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.k_equalize = recorder.key("control.equalize");
+        self.engine.set_recorder(recorder.clone());
+        self.recorder = recorder;
     }
 }
 

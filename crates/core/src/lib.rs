@@ -56,5 +56,5 @@ pub use pipeline::{
 pub use scenario::{Scenario, ScenarioApp};
 pub use spec::{
     AppSpec, ClusterTopology, ControllerKind, ControllerSpec, JobStreamSpec, NodePoolSpec,
-    OutageSpec, PipelineSpec, RoutingSpec, ScenarioSpec, ShardingSpec, TimingSpec,
+    ObserveSpec, OutageSpec, PipelineSpec, RoutingSpec, ScenarioSpec, ShardingSpec, TimingSpec,
 };

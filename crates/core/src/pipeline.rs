@@ -52,6 +52,7 @@
 //! enacted plan), and `pipeline_reconciled` (how many assignments the
 //! reconciliation had to touch).
 
+use slaq_obs::Recorder;
 use slaq_placement::{Placement, PlacementChange};
 use slaq_sim::{ControlInputs, Controller, MetricsSink, SensingSnapshot};
 use slaq_types::{AppId, CpuMhz, JobId, MemMb, NodeId, SimTime};
@@ -102,6 +103,12 @@ pub trait SolveWorker {
     fn dispatch(&mut self, task: SolveTask);
     /// Solves finished since the last call, in dispatch order.
     fn drain(&mut self) -> Vec<CompletedSolve>;
+    /// Install an observability [`Recorder`] on the worker (and the
+    /// controller it wraps, if any). Workers that don't record ignore
+    /// it; the recorder observes only and never steers a solve.
+    fn set_recorder(&mut self, recorder: Recorder) {
+        let _ = recorder;
+    }
 }
 
 /// A [`SolveWorker`] that executes the wrapped controller synchronously
@@ -110,6 +117,8 @@ pub trait SolveWorker {
 pub struct InlineSolveWorker {
     controller: Box<dyn Controller>,
     done: Vec<CompletedSolve>,
+    recorder: Recorder,
+    k_solve: slaq_obs::Key,
 }
 
 impl InlineSolveWorker {
@@ -118,6 +127,8 @@ impl InlineSolveWorker {
         InlineSolveWorker {
             controller,
             done: Vec::new(),
+            recorder: Recorder::off(),
+            k_solve: slaq_obs::Key::default(),
         }
     }
 }
@@ -126,7 +137,9 @@ impl SolveWorker for InlineSolveWorker {
     fn dispatch(&mut self, task: SolveTask) {
         let started = Instant::now();
         let mut sink = MetricsSink::new();
+        let span = self.recorder.span(self.k_solve);
         let plan = self.controller.control(&task.snapshot.inputs(), &mut sink);
+        drop(span);
         let solve_micros = started.elapsed().as_secs_f64() * 1e6;
         let snapshot = task.snapshot;
         self.done.push(CompletedSolve {
@@ -141,6 +154,12 @@ impl SolveWorker for InlineSolveWorker {
 
     fn drain(&mut self) -> Vec<CompletedSolve> {
         std::mem::take(&mut self.done)
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.k_solve = recorder.key("pipeline.solve");
+        self.controller.set_recorder(recorder.clone());
+        self.recorder = recorder;
     }
 }
 
@@ -526,6 +545,13 @@ pub struct PipelinedController {
     supersede: bool,
     cycle: u64,
     pending: VecDeque<CompletedSolve>,
+    /// Observability handle: the pipeline times reconciliation
+    /// (`pipeline.reconcile`) and counts superseded plans and reconcile
+    /// drops. Observes only — enactment decisions never read it.
+    recorder: Recorder,
+    k_reconcile: slaq_obs::Key,
+    k_superseded: slaq_obs::Key,
+    k_drops: slaq_obs::Key,
 }
 
 impl PipelinedController {
@@ -559,6 +585,10 @@ impl PipelinedController {
             supersede: true,
             cycle: 0,
             pending: VecDeque::new(),
+            recorder: Recorder::off(),
+            k_reconcile: slaq_obs::Key::default(),
+            k_superseded: slaq_obs::Key::default(),
+            k_drops: slaq_obs::Key::default(),
         }
     }
 
@@ -639,17 +669,34 @@ impl Controller for PipelinedController {
         );
         if superseded > 0 {
             metrics.record("pipeline_superseded", inputs.now, superseded as f64);
+            self.recorder.count(self.k_superseded, superseded as u64);
         }
 
         let mut plan = done.plan;
+        let span = self.recorder.span(self.k_reconcile);
         let outcome = reconcile(
             &mut plan,
             &done.snapshot_placement,
             inputs,
             self.max_changes,
         );
+        drop(span);
         metrics.record("pipeline_reconciled", inputs.now, outcome.total() as f64);
+        if self.recorder.is_enabled() {
+            self.recorder.count(
+                self.k_drops,
+                (outcome.dropped_inactive + outcome.dropped_dead) as u64,
+            );
+        }
         plan
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.k_reconcile = recorder.key("pipeline.reconcile");
+        self.k_superseded = recorder.key("pipeline.superseded");
+        self.k_drops = recorder.key("pipeline.reconcile.drops");
+        self.worker.set_recorder(recorder.clone());
+        self.recorder = recorder;
     }
 }
 

@@ -20,8 +20,8 @@ use crate::baselines::{StaticPartitionController, TransactionalFirstController};
 use crate::controller::{ControllerConfig, UtilityController};
 use crate::pipeline::PipelinedController;
 use crate::spec::{
-    AppSpec, ClusterTopology, ControllerKind, ControllerSpec, JobStreamSpec, PipelineSpec,
-    ScenarioSpec, TimingSpec,
+    AppSpec, ClusterTopology, ControllerKind, ControllerSpec, JobStreamSpec, ObserveSpec,
+    PipelineSpec, ScenarioSpec, TimingSpec,
 };
 use slaq_jobs::JobSpec;
 use slaq_perfmodel::TransactionalSpec;
@@ -71,6 +71,11 @@ pub struct Scenario {
     /// from [`crate::RoutingSpec`] (`None` = no tier, bit-identical to
     /// pre-routing runs).
     pub routing: Option<slaq_routing::RouterConfig>,
+    /// Observability plane: `On` installs an enabled
+    /// [`slaq_obs::Recorder`] on the simulator at build time (spans,
+    /// counters, histograms for post-run export); metric series stay
+    /// bit-identical either way.
+    pub observe: ObserveSpec,
 }
 
 impl Scenario {
@@ -102,6 +107,9 @@ impl Scenario {
         }
         if let Some(cfg) = self.routing {
             sim.set_routing(slaq_routing::RoutingTier::new(cfg));
+        }
+        if self.observe.is_on() {
+            sim.set_recorder(slaq_obs::Recorder::enabled());
         }
         Ok(sim)
     }

@@ -464,6 +464,40 @@ impl PipelineSpec {
     }
 }
 
+/// Observability plane for one run — the knob behind `crates/obs`
+/// (`"Off"` | `"On"`). `On` installs an enabled [`slaq_obs::Recorder`]
+/// on the simulator at build time, so the run can export a span/counter
+/// report, a Chrome trace, or a Prometheus text dump. The recorder
+/// observes only — no control decision reads it — so every metric
+/// series stays bit-identical to an `Off` run (pinned by the
+/// observability gate).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum ObserveSpec {
+    /// No instrumentation: the recorder stays the no-op handle, one
+    /// never-taken branch per site (default).
+    #[default]
+    Off,
+    /// Record phase spans, counters and histograms across the control
+    /// cycle for post-run export.
+    On,
+}
+
+impl ObserveSpec {
+    /// `true` when an enabled recorder should be installed on the
+    /// simulator.
+    pub fn is_on(&self) -> bool {
+        matches!(self, ObserveSpec::On)
+    }
+
+    /// Short lowercase label for report rows (`off` | `on`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ObserveSpec::Off => "off",
+            ObserveSpec::On => "on",
+        }
+    }
+}
+
 /// Request-level routing tier configuration — the knob behind
 /// `crates/routing` (`"Off"` | `"Uniform"` | `"Affinity"`).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
@@ -705,6 +739,10 @@ pub struct ControllerSpec {
     /// tier, keeping every metric series bit-identical to pre-routing
     /// runs.
     pub routing: RoutingSpec,
+    /// Observability plane (`"Off"` | `"On"`). On instruments the run
+    /// with spans/counters/histograms for post-run export; metric series
+    /// stay bit-identical either way.
+    pub observe: ObserveSpec,
 }
 
 // Hand-rolled so spec files written before the `kind`/`shards`/
@@ -741,6 +779,10 @@ impl serde::Deserialize for ControllerSpec {
                 serde::Value::Null => d.routing,
                 other => serde::Deserialize::from_value(other)?,
             },
+            observe: match opt("observe")? {
+                serde::Value::Null => d.observe,
+                other => serde::Deserialize::from_value(other)?,
+            },
         })
     }
 }
@@ -757,6 +799,7 @@ impl Default for ControllerSpec {
             pipeline: PipelineSpec::Sync,
             solve: d.solve,
             routing: RoutingSpec::Off,
+            observe: ObserveSpec::Off,
         }
     }
 }
@@ -999,6 +1042,7 @@ impl ScenarioSpec {
             kind: self.controller.kind,
             pipeline: self.controller.pipeline,
             routing: self.controller.routing.router_config(self.seed),
+            observe: self.controller.observe,
         })
     }
 

@@ -25,7 +25,7 @@
 //! single series' raw regression outright.
 
 use serde::{Deserialize, Serialize};
-use slaq_core::{PipelineSpec, ScenarioSpec};
+use slaq_core::{ObserveSpec, PipelineSpec, ScenarioSpec};
 use slaq_experiments::sweeps::synthetic_problem;
 use slaq_placement::{
     CandidateEngine, Placement, PlacementProblem, ShardPlan, ShardedSolver, SolveMode, Solver,
@@ -129,8 +129,32 @@ fn run_benches() -> Vec<BenchEntry> {
     }
     entries.extend(delta_entries());
     entries.extend(routing_entries());
+    entries.extend(obs_entries());
     entries.extend(cycle_latency_entries());
     entries
+}
+
+/// Observability-plane series: the identical warm solve with a live
+/// recorder attached. The obs-*off* cost needs no series of its own —
+/// every warm series above runs with the recorder compiled in and
+/// disabled, so the pre-instrumentation baseline medians in
+/// `BENCH_baseline.json` (deliberately not re-recorded when this series
+/// landed) already gate the disabled plane's overhead to within the
+/// ordinary tolerance. This series prices the *enabled* plane: eight
+/// step spans, the flow-phase spans and a handful of counter bumps per
+/// solve, pinned against the obs-off twin by the same-run invariant in
+/// `relative_invariants_hold`.
+fn obs_entries() -> Vec<BenchEntry> {
+    let (nodes, jobs) = (1000u32, 6000u32);
+    let (warm, prev) = warm_inputs(nodes, jobs);
+    let mut solver = Solver::new();
+    solver.set_recorder(slaq_obs::Recorder::enabled());
+    solver.solve(&warm, &prev);
+    let micros = measure(|| solver.solve(&warm, &prev).changes.len(), 3, 30);
+    vec![BenchEntry {
+        name: format!("warm_global_obs_{nodes}n_{jobs}j"),
+        micros,
+    }]
 }
 
 /// Routing-tier series: one full control cycle of request routing at
@@ -290,12 +314,18 @@ fn delta_entries() -> Vec<BenchEntry> {
 /// regression anywhere in the cycle path trips the same ±25 % gate.
 fn cycle_latency_entries() -> Vec<BenchEntry> {
     let mut entries = Vec::new();
-    for (label, mode) in [
-        ("sync", PipelineSpec::Sync),
-        ("overlap1", PipelineSpec::overlap(1)),
+    // The `sync_obs` variant is the same sync cycle with the recorder
+    // live end to end (every phase span, solver step span and counter
+    // firing); the same-run invariant pins it against plain `sync` so
+    // the enabled plane can never quietly grow into a cycle-level cost.
+    for (label, mode, observe) in [
+        ("sync", PipelineSpec::Sync, ObserveSpec::Off),
+        ("overlap1", PipelineSpec::overlap(1), ObserveSpec::Off),
+        ("sync_obs", PipelineSpec::Sync, ObserveSpec::On),
     ] {
         let mut spec = ScenarioSpec::preset("paper-small").expect("preset exists");
         spec.controller.pipeline = mode;
+        spec.controller.observe = observe;
         spec.timing.cap_to_cycles(10);
         let scenario = spec.materialize().expect("preset is valid");
         let mut times: Vec<f64> = (0..7)
@@ -338,9 +368,11 @@ fn print_table(entries: &[BenchEntry], baseline: Option<&BenchBaseline>) {
 
 /// Hardware-independent invariants, compared within the *same* run on
 /// the *same* machine (unlike the baseline medians, which were recorded
-/// on whatever box last ran `--update`): the heap-backed warm solve must
-/// not lose to the linear-scan baseline, and the delta solve must beat
-/// the batch warm solve ≥ 5× under 1 % churn. These hold regardless of
+/// on whatever box last ran `--update`): the delta solve must beat the
+/// batch warm solve ≥ 5× under 1 % churn, the routing tier must stay a
+/// rounding error next to the warm solve, and the *enabled*
+/// observability plane must stay within 1.5× of its obs-off twin at
+/// both the warm-solve and full-cycle scopes. These hold regardless of
 /// how fast the runner is, so they keep teeth even when absolute
 /// numbers drift with hardware.
 ///
@@ -373,6 +405,36 @@ fn relative_invariants_hold(entries: &[BenchEntry]) -> bool {
             eprintln!(
                 "FAIL delta churn1: {delta:.1} µs not 5x faster than batch warm \
                  {batch:.1} µs"
+            );
+            ok = false;
+        }
+    }
+    // Observability plane, enabled: the fully instrumented warm solve
+    // (eight step spans, flow-phase spans, counters) must stay within
+    // 1.5x of the obs-off twin measured in this same run, and the
+    // instrumented end-to-end cycle within 1.5x of the plain sync
+    // cycle. The recorder's hot path is one branch plus two clock reads
+    // per span, so 1.5x is generous headroom, not a target.
+    if let (Some(off), Some(on)) = (
+        find("warm_global_1000n_6000j"),
+        find("warm_global_obs_1000n_6000j"),
+    ) {
+        if on > off * 1.5 {
+            eprintln!(
+                "FAIL obs overhead: instrumented warm solve {on:.1} µs exceeds \
+                 1.5x the obs-off {off:.1} µs"
+            );
+            ok = false;
+        }
+    }
+    if let (Some(off), Some(on)) = (
+        find("cycle_sync_paper_small"),
+        find("cycle_sync_obs_paper_small"),
+    ) {
+        if on > off * 1.5 {
+            eprintln!(
+                "FAIL obs overhead: instrumented sync cycle {on:.1} µs exceeds \
+                 1.5x the obs-off {off:.1} µs"
             );
             ok = false;
         }

@@ -1,0 +1,52 @@
+//! # slaq-obs — the unified observability plane
+//!
+//! One instrumentation surface for the whole control cycle: interned-key
+//! **spans** (wall-clock phase timing with per-thread nesting and
+//! self-time accounting), **counters**, and fixed-log-bucket
+//! **histograms**, all behind a [`Recorder`] handle that is a no-op
+//! enum variant when disabled — the hot path pays a single branch and
+//! never formats a string.
+//!
+//! ## Contract
+//!
+//! - Components receive a `Recorder` clone at setup (`set_recorder`)
+//!   and pre-intern their [`Key`]s once; recording via a key is
+//!   string-free.
+//! - The recorder observes, never steers: no simulation or solver
+//!   decision may read it, which is what makes enabling observability
+//!   bit-identical on every metric series (pinned in
+//!   `tests/observability.rs`).
+//! - `Recorder::off()` (the default) makes every call return
+//!   immediately; the obs-off overhead pin in `bench_gate` holds the
+//!   warm solve to the uninstrumented baseline.
+//!
+//! ## Exports
+//!
+//! - [`run_report`] — per-run phase-breakdown table (count, total,
+//!   self-time, p50/p95/max per span) plus counters and histograms.
+//! - [`chrome_trace_json`] — Chrome trace-event JSON (`ph:"X"` spans,
+//!   `ph:"i"` instants), loadable in `chrome://tracing` / Perfetto.
+//! - [`prometheus_text`] — Prometheus text exposition of counters and
+//!   histograms.
+//!
+//! ```
+//! use slaq_obs::{Recorder, run_report};
+//!
+//! let rec = Recorder::enabled();
+//! let solve = rec.key("cycle.solve");
+//! {
+//!     let _span = rec.span(solve); // closed on drop
+//! }
+//! rec.count(rec.key("delta.hits"), 1);
+//! assert!(run_report(&rec).contains("cycle.solve"));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod hist;
+pub mod recorder;
+pub mod report;
+
+pub use hist::Histogram;
+pub use recorder::{Key, Recorder, SpanGuard, SpanStats};
+pub use report::{chrome_trace_json, prometheus_text, run_report};

@@ -1,0 +1,517 @@
+//! The [`Recorder`] handle: interned-key spans, counters, and
+//! histograms behind a zero-cost-when-off enum.
+//!
+//! A `Recorder` is either `Off` (the default — every call is a single
+//! branch on the discriminant and returns immediately) or `On`, holding
+//! an `Arc` to a mutex-guarded registry. Handles clone cheaply, so each
+//! component keeps its own copy plus a small struct of pre-interned
+//! [`Key`]s; the hot path never touches a string.
+//!
+//! Spans nest per thread: opening a span pushes a frame on the calling
+//! thread's stack, closing it pops the frame, charges the duration to
+//! the parent frame's child time, and folds the sample into the span's
+//! aggregate (count / total / self / max / log-bucket histogram).
+//! Completed spans are also appended to a bounded trace-event buffer
+//! for Chrome-trace export; once the cap is hit, further events are
+//! counted as dropped rather than grown without bound.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+use crate::hist::Histogram;
+
+/// Upper bound on buffered trace events (spans + instants). Beyond
+/// this the registry counts drops instead of allocating.
+const EVENT_CAP: usize = 1_000_000;
+
+/// An interned metric/span name. Obtained from [`Recorder::key`] at
+/// setup time; recording through a `Key` never touches a string.
+///
+/// Keys are only meaningful for the recorder that interned them. The
+/// `Default` key is the dummy a disabled recorder hands out — valid to
+/// pass into any recording call (a no-op on a disabled recorder).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Key(u32);
+
+/// Aggregate statistics for one span name.
+#[derive(Clone, Debug)]
+pub struct SpanStats {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total wall-clock time across all completions, in microseconds.
+    pub total_us: u64,
+    /// Total time minus time spent in child spans, in microseconds.
+    pub self_us: u64,
+    /// Longest single completion, in microseconds.
+    pub max_us: u64,
+    /// Log-bucket histogram of per-completion durations (µs).
+    pub hist: Histogram,
+}
+
+impl SpanStats {
+    fn new() -> Self {
+        SpanStats {
+            count: 0,
+            total_us: 0,
+            self_us: 0,
+            max_us: 0,
+            hist: Histogram::new(),
+        }
+    }
+}
+
+/// One buffered trace event, exported as Chrome trace-event JSON.
+#[derive(Clone, Debug)]
+pub(crate) struct TraceEvent {
+    pub key: u32,
+    pub tid: u32,
+    /// Microseconds since the recorder's epoch.
+    pub ts_us: u64,
+    /// Duration for complete ("X") events; `None` for instants ("i").
+    pub dur_us: Option<u64>,
+    /// Pre-rendered JSON `args` object for instant events.
+    pub args: Option<String>,
+}
+
+/// An open span frame on a thread's stack.
+struct OpenSpan {
+    key: u32,
+    start: Instant,
+    child_us: u64,
+}
+
+pub(crate) struct Registry {
+    names: Vec<String>,
+    by_name: BTreeMap<String, u32>,
+    counters: Vec<u64>,
+    hists: Vec<Histogram>,
+    spans: Vec<SpanStats>,
+    pub(crate) events: Vec<TraceEvent>,
+    dropped_events: u64,
+    stacks: HashMap<ThreadId, Vec<OpenSpan>>,
+    tids: HashMap<ThreadId, u32>,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Registry {
+            names: Vec::new(),
+            by_name: BTreeMap::new(),
+            counters: Vec::new(),
+            hists: Vec::new(),
+            spans: Vec::new(),
+            events: Vec::new(),
+            dropped_events: 0,
+            stacks: HashMap::new(),
+            tids: HashMap::new(),
+        }
+    }
+
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&ix) = self.by_name.get(name) {
+            return ix;
+        }
+        let ix = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), ix);
+        self.counters.push(0);
+        self.hists.push(Histogram::new());
+        self.spans.push(SpanStats::new());
+        ix
+    }
+
+    fn tid_index(&mut self, tid: ThreadId) -> u32 {
+        let next = self.tids.len() as u32;
+        *self.tids.entry(tid).or_insert(next)
+    }
+
+    fn push_event(&mut self, ev: TraceEvent) {
+        if self.events.len() < EVENT_CAP {
+            self.events.push(ev);
+        } else {
+            self.dropped_events += 1;
+        }
+    }
+
+    pub(crate) fn name(&self, key: u32) -> &str {
+        &self.names[key as usize]
+    }
+
+    pub(crate) fn sorted_names(&self) -> Vec<String> {
+        self.by_name.keys().cloned().collect()
+    }
+
+    pub(crate) fn span_by_name(&self, name: &str) -> Option<SpanStats> {
+        let ix = *self.by_name.get(name)?;
+        let st = &self.spans[ix as usize];
+        if st.count == 0 {
+            None
+        } else {
+            Some(st.clone())
+        }
+    }
+
+    pub(crate) fn counter_by_name(&self, name: &str) -> u64 {
+        self.by_name
+            .get(name)
+            .map(|&ix| self.counters[ix as usize])
+            .unwrap_or(0)
+    }
+
+    pub(crate) fn hist_by_name(&self, name: &str) -> Option<Histogram> {
+        let ix = *self.by_name.get(name)?;
+        let h = &self.hists[ix as usize];
+        if h.count() == 0 {
+            None
+        } else {
+            Some(h.clone())
+        }
+    }
+}
+
+pub(crate) struct Shared {
+    pub(crate) registry: Mutex<Registry>,
+    /// Echo instant events (from [`Recorder::emit`]) to stderr — the
+    /// `SLAQ_TRACE` behaviour.
+    echo: bool,
+    pub(crate) epoch: Instant,
+}
+
+impl Shared {
+    pub(crate) fn lock(&self) -> MutexGuard<'_, Registry> {
+        self.registry.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Handle to the instrumentation plane. `Off` (the default) makes
+/// every operation a no-op behind one branch; `On` records into a
+/// shared registry. Clone freely — clones share the registry.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    shared: Option<Arc<Shared>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// The disabled recorder: every call is a no-op.
+    pub fn off() -> Self {
+        Recorder { shared: None }
+    }
+
+    /// A live recorder with a fresh registry.
+    pub fn enabled() -> Self {
+        Recorder::with_echo(false)
+    }
+
+    /// A live recorder that additionally echoes [`Recorder::emit`]
+    /// events to stderr (the `SLAQ_TRACE` sink).
+    pub fn with_echo(echo: bool) -> Self {
+        Recorder {
+            shared: Some(Arc::new(Shared {
+                registry: Mutex::new(Registry::new()),
+                echo,
+                epoch: Instant::now(),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Intern `name`, returning a [`Key`] for string-free recording.
+    /// On a disabled recorder this returns a dummy key (valid to pass
+    /// back in — every consumer is a no-op).
+    pub fn key(&self, name: &str) -> Key {
+        match &self.shared {
+            None => Key(0),
+            Some(s) => Key(s.lock().intern(name)),
+        }
+    }
+
+    /// Open a span; the returned guard closes it on drop. Nesting is
+    /// per thread: time spent in inner spans is subtracted from the
+    /// outer span's self-time.
+    #[inline]
+    pub fn span(&self, key: Key) -> SpanGuard {
+        match &self.shared {
+            None => SpanGuard { shared: None },
+            Some(s) => {
+                let start = Instant::now();
+                let mut reg = s.lock();
+                let tid = std::thread::current().id();
+                reg.stacks.entry(tid).or_default().push(OpenSpan {
+                    key: key.0,
+                    start,
+                    child_us: 0,
+                });
+                SpanGuard {
+                    shared: Some(Arc::clone(s)),
+                }
+            }
+        }
+    }
+
+    /// Add `n` to the counter behind `key`.
+    #[inline]
+    pub fn count(&self, key: Key, n: u64) {
+        if let Some(s) = &self.shared {
+            s.lock().counters[key.0 as usize] += n;
+        }
+    }
+
+    /// Record one sample into the histogram behind `key`.
+    #[inline]
+    pub fn observe(&self, key: Key, value: u64) {
+        if let Some(s) = &self.shared {
+            s.lock().hists[key.0 as usize].record(value);
+        }
+    }
+
+    /// Record a structured instant event (Chrome trace phase `"i"`)
+    /// with numeric fields; echoed to stderr when the recorder was
+    /// built [`Recorder::with_echo`]. This is the structured
+    /// replacement for ad-hoc `eprintln!` tracing.
+    pub fn emit(&self, key: Key, fields: &[(&str, f64)]) {
+        let Some(s) = &self.shared else { return };
+        let ts_us = s.epoch.elapsed().as_micros() as u64;
+        let mut args = String::from("{");
+        for (i, (k, v)) in fields.iter().enumerate() {
+            if i > 0 {
+                args.push(',');
+            }
+            args.push('"');
+            args.push_str(k);
+            args.push_str("\":");
+            args.push_str(&fmt_f64(*v));
+        }
+        args.push('}');
+        let mut reg = s.lock();
+        if s.echo {
+            let name = reg.name(key.0).to_string();
+            let line: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("{k}={}", fmt_f64(*v)))
+                .collect();
+            eprintln!("[obs {:>10}us] {} {}", ts_us, name, line.join(" "));
+        }
+        let tid = std::thread::current().id();
+        let tid = reg.tid_index(tid);
+        reg.push_event(TraceEvent {
+            key: key.0,
+            tid,
+            ts_us,
+            dur_us: None,
+            args: Some(args),
+        });
+    }
+
+    /// Counter value behind `name`, or 0 when absent/disabled.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        match &self.shared {
+            None => 0,
+            Some(s) => {
+                let reg = s.lock();
+                reg.by_name
+                    .get(name)
+                    .map(|&ix| reg.counters[ix as usize])
+                    .unwrap_or(0)
+            }
+        }
+    }
+
+    /// Snapshot of the histogram behind `name`, if any samples exist.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        let s = self.shared.as_ref()?;
+        let reg = s.lock();
+        let ix = *reg.by_name.get(name)?;
+        let h = &reg.hists[ix as usize];
+        if h.count() == 0 {
+            None
+        } else {
+            Some(h.clone())
+        }
+    }
+
+    /// Snapshot of the aggregate stats for span `name`, if it ever
+    /// completed.
+    pub fn span_stats(&self, name: &str) -> Option<SpanStats> {
+        let s = self.shared.as_ref()?;
+        let reg = s.lock();
+        let ix = *reg.by_name.get(name)?;
+        let st = &reg.spans[ix as usize];
+        if st.count == 0 {
+            None
+        } else {
+            Some(st.clone())
+        }
+    }
+
+    /// All interned names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        match &self.shared {
+            None => Vec::new(),
+            Some(s) => s.lock().by_name.keys().cloned().collect(),
+        }
+    }
+
+    /// Number of trace events dropped after the buffer cap was hit.
+    pub fn dropped_events(&self) -> u64 {
+        match &self.shared {
+            None => 0,
+            Some(s) => s.lock().dropped_events,
+        }
+    }
+
+    /// Visit per-span aggregates, counters, and histograms. Used by the
+    /// export formatters in [`crate::report`].
+    pub(crate) fn with_registry<R>(&self, f: impl FnOnce(&Registry) -> R) -> Option<R> {
+        self.shared.as_ref().map(|s| f(&s.lock()))
+    }
+}
+
+/// Closes its span on drop. Hold it in a local (`let _span = …`) for
+/// the duration of the phase being timed; guards must drop in LIFO
+/// order per thread (ordinary scoping guarantees this).
+pub struct SpanGuard {
+    shared: Option<Arc<Shared>>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(s) = self.shared.take() else { return };
+        let end = Instant::now();
+        let mut reg = s.lock();
+        let tid = std::thread::current().id();
+        let Some(stack) = reg.stacks.get_mut(&tid) else {
+            return;
+        };
+        let Some(frame) = stack.pop() else { return };
+        let dur_us = end.duration_since(frame.start).as_micros() as u64;
+        let self_us = dur_us.saturating_sub(frame.child_us);
+        if let Some(parent) = stack.last_mut() {
+            parent.child_us += dur_us;
+        }
+        let key = frame.key;
+        let ts_us = frame.start.duration_since(s.epoch).as_micros() as u64;
+        let st = &mut reg.spans[key as usize];
+        st.count += 1;
+        st.total_us += dur_us;
+        st.self_us += self_us;
+        st.max_us = st.max_us.max(dur_us);
+        st.hist.record(dur_us);
+        let tid = reg.tid_index(tid);
+        reg.push_event(TraceEvent {
+            key,
+            tid,
+            ts_us,
+            dur_us: Some(dur_us),
+            args: None,
+        });
+    }
+}
+
+/// Format an `f64` the way the JSON exports need: integral values
+/// without a trailing `.0` explosion, non-finite values as `null`.
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_recorder_is_inert() {
+        let r = Recorder::off();
+        let k = r.key("anything");
+        r.count(k, 5);
+        r.observe(k, 10);
+        let _g = r.span(k);
+        drop(_g);
+        assert!(!r.is_enabled());
+        assert_eq!(r.counter_value("anything"), 0);
+        assert!(r.names().is_empty());
+    }
+
+    #[test]
+    fn counters_and_histograms_accumulate() {
+        let r = Recorder::enabled();
+        let k = r.key("hits");
+        r.count(k, 2);
+        r.count(k, 3);
+        assert_eq!(r.counter_value("hits"), 5);
+        let h = r.key("sizes");
+        r.observe(h, 4);
+        r.observe(h, 16);
+        let snap = r.histogram("sizes").unwrap();
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.max(), 16);
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let r = Recorder::enabled();
+        let a = r.key("x");
+        let b = r.key("x");
+        assert_eq!(a, b);
+        let c = r.key("y");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn span_nesting_charges_self_time_to_the_right_level() {
+        let r = Recorder::enabled();
+        let outer = r.key("outer");
+        let inner = r.key("inner");
+        {
+            let _o = r.span(outer);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _i = r.span(inner);
+                std::thread::sleep(std::time::Duration::from_millis(8));
+            }
+        }
+        let so = r.span_stats("outer").unwrap();
+        let si = r.span_stats("inner").unwrap();
+        assert_eq!(so.count, 1);
+        assert_eq!(si.count, 1);
+        // The outer span's total covers the inner, but its self-time
+        // excludes it: rollup ≥ inner total, self < inner total.
+        assert!(so.total_us >= si.total_us);
+        assert!(so.self_us <= so.total_us - si.total_us + 1_000);
+        assert!(si.self_us == si.total_us);
+        // Inner slept ~8ms; outer self slept ~2ms. Generous bounds to
+        // stay robust on loaded machines.
+        assert!(si.total_us >= 7_000, "inner {}us", si.total_us);
+        assert!(so.self_us < si.total_us, "outer self should exclude inner");
+    }
+
+    #[test]
+    fn emit_buffers_instant_events() {
+        let r = Recorder::enabled();
+        let k = r.key("event");
+        r.emit(k, &[("a", 1.0), ("b", 2.5)]);
+        let n = r
+            .with_registry(|reg| reg.events.iter().filter(|e| e.dur_us.is_none()).count())
+            .unwrap();
+        assert_eq!(n, 1);
+    }
+}

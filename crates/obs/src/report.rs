@@ -1,0 +1,268 @@
+//! Export formats for a [`Recorder`]'s registry: a human-readable
+//! run-report table, Chrome trace-event JSON, and a Prometheus-style
+//! text dump.
+
+use crate::hist::Histogram;
+use crate::recorder::{fmt_f64, Recorder};
+
+/// Render the per-run phase breakdown: one row per span (sorted by
+/// total time, descending) with count, total, self-time, and the
+/// p50/p95/max of per-completion durations, followed by counters and
+/// value histograms. Returns a placeholder line when the recorder is
+/// off or empty.
+pub fn run_report(rec: &Recorder) -> String {
+    let Some(out) = rec.with_registry(|reg| {
+        let mut rows: Vec<(String, crate::recorder::SpanStats)> = Vec::new();
+        let mut counters: Vec<(String, u64)> = Vec::new();
+        let mut hists: Vec<(String, Histogram)> = Vec::new();
+        for name in reg_names(reg) {
+            if let Some(st) = span_of(reg, &name) {
+                rows.push((name.clone(), st));
+            }
+            let c = counter_of(reg, &name);
+            if c > 0 {
+                counters.push((name.clone(), c));
+            }
+            if let Some(h) = hist_of(reg, &name) {
+                hists.push((name, h));
+            }
+        }
+        rows.sort_by(|a, b| b.1.total_us.cmp(&a.1.total_us).then(a.0.cmp(&b.0)));
+
+        let mut s = String::new();
+        s.push_str("== run report ==\n");
+        if rows.is_empty() && counters.is_empty() && hists.is_empty() {
+            s.push_str("(no samples recorded)\n");
+            return s;
+        }
+        if !rows.is_empty() {
+            s.push_str(&format!(
+                "{:<28} {:>8} {:>12} {:>12} {:>9} {:>9} {:>9}\n",
+                "span", "count", "total(ms)", "self(ms)", "p50(us)", "p95(us)", "max(us)"
+            ));
+            for (name, st) in &rows {
+                s.push_str(&format!(
+                    "{:<28} {:>8} {:>12.3} {:>12.3} {:>9} {:>9} {:>9}\n",
+                    name,
+                    st.count,
+                    st.total_us as f64 / 1e3,
+                    st.self_us as f64 / 1e3,
+                    st.hist.p50(),
+                    st.hist.p95(),
+                    st.max_us
+                ));
+            }
+        }
+        if !counters.is_empty() {
+            s.push_str("\ncounters:\n");
+            for (name, v) in &counters {
+                s.push_str(&format!("  {name:<34} {v}\n"));
+            }
+        }
+        if !hists.is_empty() {
+            s.push_str("\nhistograms:\n");
+            s.push_str(&format!(
+                "  {:<28} {:>8} {:>10} {:>9} {:>9} {:>9}\n",
+                "name", "count", "mean", "p50", "p95", "max"
+            ));
+            for (name, h) in &hists {
+                s.push_str(&format!(
+                    "  {:<28} {:>8} {:>10.1} {:>9} {:>9} {:>9}\n",
+                    name,
+                    h.count(),
+                    h.mean(),
+                    h.p50(),
+                    h.p95(),
+                    h.max()
+                ));
+            }
+        }
+        s
+    }) else {
+        return "== run report ==\n(observability disabled)\n".to_string();
+    };
+    out
+}
+
+/// Render the buffered trace events as Chrome trace-event JSON
+/// (`{"traceEvents": […]}`) — loadable in `chrome://tracing` or
+/// Perfetto. Complete spans use phase `"X"` (ts + dur); instant events
+/// from [`Recorder::emit`] use phase `"i"` with their fields as
+/// `args`. Returns an empty trace when the recorder is off.
+pub fn chrome_trace_json(rec: &Recorder) -> String {
+    let Some(out) = rec.with_registry(|reg| {
+        let mut s = String::from("{\"traceEvents\":[");
+        for (i, ev) in reg.events.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"name\":\"");
+            escape_json_into(reg.name(ev.key), &mut s);
+            s.push_str("\",\"ph\":\"");
+            s.push_str(if ev.dur_us.is_some() { "X" } else { "i" });
+            s.push_str("\",\"ts\":");
+            s.push_str(&ev.ts_us.to_string());
+            if let Some(dur) = ev.dur_us {
+                s.push_str(",\"dur\":");
+                s.push_str(&dur.to_string());
+            } else {
+                s.push_str(",\"s\":\"t\"");
+            }
+            s.push_str(",\"pid\":1,\"tid\":");
+            s.push_str(&ev.tid.to_string());
+            if let Some(args) = &ev.args {
+                s.push_str(",\"args\":");
+                s.push_str(args);
+            }
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }) else {
+        return "{\"traceEvents\":[]}".to_string();
+    };
+    out
+}
+
+/// Render counters and histograms (including span-duration histograms,
+/// suffixed `_us`) in the Prometheus text exposition format. Names are
+/// sanitized (`.` and other non-identifier characters become `_`).
+pub fn prometheus_text(rec: &Recorder) -> String {
+    let Some(out) = rec.with_registry(|reg| {
+        let mut s = String::new();
+        for name in reg_names(reg) {
+            let metric = sanitize(&name);
+            let c = counter_of(reg, &name);
+            if c > 0 {
+                s.push_str(&format!("# TYPE {metric} counter\n{metric} {c}\n"));
+            }
+            if let Some(h) = hist_of(reg, &name) {
+                push_prom_hist(&mut s, &metric, &h);
+            }
+            if let Some(st) = span_of(reg, &name) {
+                push_prom_hist(&mut s, &format!("{metric}_us"), &st.hist);
+            }
+        }
+        s
+    }) else {
+        return String::new();
+    };
+    out
+}
+
+fn push_prom_hist(s: &mut String, metric: &str, h: &Histogram) {
+    s.push_str(&format!("# TYPE {metric} histogram\n"));
+    let mut cumulative = 0u64;
+    for (i, &c) in h.buckets().iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cumulative += c;
+        let le = if i >= crate::hist::BUCKETS - 1 {
+            "+Inf".to_string()
+        } else {
+            fmt_f64((Histogram::bucket_upper(i) - 1) as f64)
+        };
+        s.push_str(&format!("{metric}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+    }
+    s.push_str(&format!("{metric}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+    s.push_str(&format!("{metric}_sum {}\n", h.sum()));
+    s.push_str(&format!("{metric}_count {}\n", h.count()));
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn escape_json_into(raw: &str, out: &mut String) {
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+// Small registry accessors kept here so `Registry` internals stay
+// private to the crate.
+use crate::recorder::Registry;
+
+fn reg_names(reg: &Registry) -> Vec<String> {
+    reg.sorted_names()
+}
+
+fn span_of(reg: &Registry, name: &str) -> Option<crate::recorder::SpanStats> {
+    reg.span_by_name(name)
+}
+
+fn counter_of(reg: &Registry, name: &str) -> u64 {
+    reg.counter_by_name(name)
+}
+
+fn hist_of(reg: &Registry, name: &str) -> Option<Histogram> {
+    reg.hist_by_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_spans_counters_hists() {
+        let r = Recorder::enabled();
+        let s = r.key("solve");
+        {
+            let _g = r.span(s);
+        }
+        r.count(r.key("hits"), 3);
+        r.observe(r.key("dirty"), 8);
+        let report = run_report(&r);
+        assert!(report.contains("solve"));
+        assert!(report.contains("hits"));
+        assert!(report.contains("dirty"));
+        assert!(report.contains("p95(us)"));
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed() {
+        let r = Recorder::enabled();
+        let k = r.key("cycle");
+        {
+            let _g = r.span(k);
+        }
+        r.emit(r.key("tick"), &[("now", 1.0)]);
+        let json = chrome_trace_json(&r);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"name\":\"cycle\""));
+    }
+
+    #[test]
+    fn off_recorder_exports_empty() {
+        let r = Recorder::off();
+        assert_eq!(chrome_trace_json(&r), "{\"traceEvents\":[]}");
+        assert!(run_report(&r).contains("disabled"));
+        assert!(prometheus_text(&r).is_empty());
+    }
+
+    #[test]
+    fn prometheus_dump_has_buckets() {
+        let r = Recorder::enabled();
+        r.observe(r.key("delta.dirty"), 4);
+        r.observe(r.key("delta.dirty"), 4);
+        r.count(r.key("delta.hits"), 7);
+        let text = prometheus_text(&r);
+        assert!(text.contains("# TYPE delta_dirty histogram"));
+        assert!(text.contains("delta_dirty_count 2"));
+        assert!(text.contains("delta_dirty_sum 8"));
+        assert!(text.contains("delta_hits 7"));
+        assert!(text.contains("le=\"+Inf\""));
+    }
+}

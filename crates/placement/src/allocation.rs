@@ -128,12 +128,27 @@ pub struct Allocator {
     /// Scratch: dirty job indices / touched node indices of one delta call.
     dirty: Vec<usize>,
     touched_nodes: Vec<usize>,
+    /// Observability plane: flow-phase spans. Off by default.
+    recorder: slaq_obs::Recorder,
+    k_flow_apps: slaq_obs::Key,
+    k_flow_jobs: slaq_obs::Key,
+    k_delta: slaq_obs::Key,
 }
 
 impl Allocator {
     /// A fresh allocator with no cached network.
     pub fn new() -> Self {
         Allocator::default()
+    }
+
+    /// Install an observability [`Recorder`](slaq_obs::Recorder): spans
+    /// around the two max-flow phases (`alloc.flow.apps` /
+    /// `alloc.flow.jobs`) and the incremental re-flow (`alloc.delta`).
+    pub fn set_recorder(&mut self, recorder: slaq_obs::Recorder) {
+        self.k_flow_apps = recorder.key("alloc.flow.apps");
+        self.k_flow_jobs = recorder.key("alloc.flow.jobs");
+        self.k_delta = recorder.key("alloc.delta");
+        self.recorder = recorder;
     }
 
     /// Compute allocations for a placement expressed in **dense node
@@ -252,10 +267,13 @@ impl Allocator {
         // ------------------------------------------------------------------
         // Two-phase max-flow: apps first (gates shut), then jobs.
         // ------------------------------------------------------------------
-        for gate in &self.job_gate {
-            self.net.set_cap(*gate, 0);
+        {
+            let _span = self.recorder.span(self.k_flow_apps);
+            for gate in &self.job_gate {
+                self.net.set_cap(*gate, 0);
+            }
+            self.net.max_flow_with(source, sink, &mut self.scratch);
         }
-        self.net.max_flow_with(source, sink, &mut self.scratch);
         if self.track_delta {
             // Snapshot the app tier before the job phase: the canonicity
             // audit below needs to know whether phase 2 moved any slice.
@@ -263,10 +281,13 @@ impl Allocator {
             self.phase1_app_flow
                 .extend(self.app_edge.iter().map(|&e| self.net.flow_on(e)));
         }
-        for (ji, job) in jobs.iter().enumerate() {
-            self.net.set_cap(self.job_gate[ji], to_units(job.demand));
+        {
+            let _span = self.recorder.span(self.k_flow_jobs);
+            for (ji, job) in jobs.iter().enumerate() {
+                self.net.set_cap(self.job_gate[ji], to_units(job.demand));
+            }
+            self.net.max_flow_with(source, sink, &mut self.scratch);
         }
-        self.net.max_flow_with(source, sink, &mut self.scratch);
 
         // ------------------------------------------------------------------
         // Read back the allocation.
@@ -404,6 +425,7 @@ impl Allocator {
         if !self.track_delta || !self.built || !self.canonical {
             return None;
         }
+        let _span = self.recorder.span(self.k_delta);
         let unit = if mhz_unit > 0.0 { mhz_unit } else { 1.0 };
         if unit != self.unit_mhz {
             return None;

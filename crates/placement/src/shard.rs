@@ -50,6 +50,7 @@ use crate::placement::{Placement, PlacementChange};
 use crate::problem::{AppRequest, PlacementProblem};
 use crate::solver::{PlacementOutcome, SolveMode, Solver};
 use rayon::prelude::*;
+use slaq_obs::Recorder;
 use slaq_types::{fcmp, AppId, CpuMhz, Interner, JobId, MemMb, NodeId, ShardId, ZoneId};
 use std::collections::BTreeMap;
 
@@ -214,6 +215,33 @@ pub struct ShardedSolver {
     /// a job's home shard can be excluded per query (warm-reused like
     /// the lane solvers' heaps).
     heap: CandidateHeap,
+    /// Observability handle: phase spans over split/solve/merge/rebalance
+    /// plus a cross-shard migration counter. Observes only — sharding
+    /// decisions never read it.
+    recorder: Recorder,
+    obs: ShardObsKeys,
+}
+
+/// Interned span/counter keys for the sharded engine's phases.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardObsKeys {
+    split: slaq_obs::Key,
+    lanes: slaq_obs::Key,
+    merge: slaq_obs::Key,
+    rebalance: slaq_obs::Key,
+    migrations: slaq_obs::Key,
+}
+
+impl ShardObsKeys {
+    fn intern(recorder: &Recorder) -> Self {
+        ShardObsKeys {
+            split: recorder.key("shard.split"),
+            lanes: recorder.key("shard.lanes"),
+            merge: recorder.key("shard.merge"),
+            rebalance: recorder.key("shard.rebalance"),
+            migrations: recorder.key("shard.migrations"),
+        }
+    }
 }
 
 impl ShardedSolver {
@@ -252,6 +280,20 @@ impl ShardedSolver {
         self.mode
     }
 
+    /// Install an observability [`Recorder`]: the sharded engine times
+    /// its split/solve/merge/rebalance phases (`shard.*` spans) and
+    /// counts cross-shard migrations (`shard.migrations`). The handle is
+    /// forwarded to every lane solver, including lanes minted later as
+    /// the shard count settles. Observes only — sharding decisions never
+    /// read the recorder.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.obs = ShardObsKeys::intern(&recorder);
+        for lane in &mut self.lanes {
+            lane.solver.set_recorder(recorder.clone());
+        }
+        self.recorder = recorder;
+    }
+
     /// Aggregated fast-path diagnostics across all lane solvers.
     pub fn delta_stats(&self) -> DeltaStats {
         let mut stats = DeltaStats::default();
@@ -282,12 +324,17 @@ impl ShardedSolver {
         let map = ShardMap::build(&self.plan, &node_ids);
         let k = map.len();
 
+        let prev_lanes = self.lanes.len();
         self.lanes.resize_with(k, Lane::default);
         // `resize_with` may have minted fresh Batch-mode lanes: re-assert
-        // the engine mode on every lane before any of them solves.
+        // the engine mode (and the recorder, when one is installed) on
+        // every lane before any of them solves.
         let mode = self.mode;
-        for lane in &mut self.lanes {
+        for (i, lane) in self.lanes.iter_mut().enumerate() {
             lane.solver.set_mode(mode);
+            if i >= prev_lanes && self.recorder.is_enabled() {
+                lane.solver.set_recorder(self.recorder.clone());
+            }
         }
 
         if k == 1 {
@@ -299,6 +346,7 @@ impl ShardedSolver {
 
         let node_ix = Interner::new(node_ids.iter().copied());
         let n_jobs = problem.jobs.len();
+        let span_split = self.recorder.span(self.obs.split);
 
         // ------------------------------------------------------------
         // 1. Assign jobs to shards: pinned jobs (running or affine)
@@ -427,10 +475,13 @@ impl ShardedSolver {
             }
         }
 
+        drop(span_split);
+
         // ------------------------------------------------------------
         // 3. Solve every shard (parallel under real rayon; the offline
         // stand-in degrades to sequential with identical results).
         // ------------------------------------------------------------
+        let span_lanes = self.recorder.span(self.obs.lanes);
         let mut outcomes: Vec<PlacementOutcome> = self
             .lanes
             .par_iter_mut()
@@ -516,9 +567,12 @@ impl ShardedSolver {
             }
         }
 
+        drop(span_lanes);
+
         // ------------------------------------------------------------
         // 4. Merge shard placements (node sets are disjoint).
         // ------------------------------------------------------------
+        let span_merge = self.recorder.span(self.obs.merge);
         let mut placement = Placement::empty();
         for mut out in outcomes {
             for (app, mut slices) in std::mem::take(&mut out.placement.apps) {
@@ -526,6 +580,7 @@ impl ShardedSolver {
             }
             placement.jobs.append(&mut out.placement.jobs);
         }
+        drop(span_merge);
 
         // ------------------------------------------------------------
         // 5. Cross-shard rebalance: budgeted, priority-ordered moves of
@@ -548,10 +603,12 @@ impl ShardedSolver {
         };
         let rebalance_budget = self.rebalance_budget.min(headroom);
         let moved = if rebalance_budget > 0 {
+            let _span = self.recorder.span(self.obs.rebalance);
             self.rebalance(problem, &map, &node_ix, &mut placement, rebalance_budget)
         } else {
             0
         };
+        self.recorder.count(self.obs.migrations, moved as u64);
 
         // ------------------------------------------------------------
         // 6. Bookkeeping identical to the global solver's tail.

@@ -61,6 +61,7 @@ use crate::heap::CandidateHeap;
 use crate::placement::{Placement, PlacementChange};
 use crate::problem::{JobRequest, NodeCapacity, PlacementConfig, PlacementProblem};
 use serde::{Deserialize, Serialize};
+use slaq_obs::Recorder;
 use slaq_types::{fcmp, AppId, CpuMhz, Interner, JobId, MemMb, NodeId};
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
@@ -243,6 +244,59 @@ pub struct Solver {
     cached_running: Vec<Option<NodeId>>,
     /// Delta mode's discrete fixed-point certificate (see its docs).
     disc: DiscreteCapture,
+    /// Observability plane: step spans + migrated one-off counters
+    /// (delta hits/fallbacks, memo hits, heap rebuilds). Off by
+    /// default — the hot path then pays one branch per step.
+    recorder: Recorder,
+    obs: SolverObsKeys,
+    /// Heap rebuild count already published to the recorder (the heap's
+    /// own counter is cumulative; the registry wants increments).
+    obs_rebuilds: usize,
+}
+
+/// Pre-interned observability keys for the solver's step spans and
+/// migrated counters (dummies while the recorder is off).
+#[derive(Debug, Clone, Copy)]
+struct SolverObsKeys {
+    step0: slaq_obs::Key,
+    step1: slaq_obs::Key,
+    step2: slaq_obs::Key,
+    step3: slaq_obs::Key,
+    step4: slaq_obs::Key,
+    step5: slaq_obs::Key,
+    step6: slaq_obs::Key,
+    step7: slaq_obs::Key,
+    skip_hits: slaq_obs::Key,
+    alloc_hits: slaq_obs::Key,
+    alloc_fallbacks: slaq_obs::Key,
+    memo_hits: slaq_obs::Key,
+    heap_rebuilds: slaq_obs::Key,
+}
+
+impl SolverObsKeys {
+    fn intern(rec: &Recorder) -> Self {
+        SolverObsKeys {
+            step0: rec.key("solve.step0.boundary"),
+            step1: rec.key("solve.step1.keep"),
+            step2: rec.key("solve.step2.apps"),
+            step3: rec.key("solve.step3.place"),
+            step4: rec.key("solve.step4.rebalance"),
+            step5: rec.key("solve.step5.evict"),
+            step6: rec.key("solve.step6.reclaim"),
+            step7: rec.key("solve.step7.allocate"),
+            skip_hits: rec.key("delta.skip.hits"),
+            alloc_hits: rec.key("delta.alloc.hits"),
+            alloc_fallbacks: rec.key("delta.alloc.fallbacks"),
+            memo_hits: rec.key("solver.memo.hits"),
+            heap_rebuilds: rec.key("heap.rebuilds"),
+        }
+    }
+}
+
+impl Default for SolverObsKeys {
+    fn default() -> Self {
+        SolverObsKeys::intern(&Recorder::off())
+    }
 }
 
 impl Solver {
@@ -292,6 +346,17 @@ impl Solver {
         self.alloc.set_track_delta(mode == SolveMode::Delta);
     }
 
+    /// Install an observability [`Recorder`]: step spans (0–7) plus
+    /// counters for the delta fast paths, the failed-scan memos, and
+    /// heap rebuilds, forwarded into the allocator for its flow-phase
+    /// spans. Observes only — no solve decision reads it, so enabling
+    /// it is bit-identical.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.obs = SolverObsKeys::intern(&recorder);
+        self.alloc.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
     /// Fast-path diagnostics: how many delta-mode solves were answered
     /// incrementally vs. fell back to the full path.
     pub fn delta_stats(&self) -> DeltaStats {
@@ -326,6 +391,12 @@ impl Solver {
         let n_jobs = problem.jobs.len();
         let engine = self.engine;
         let mode = self.mode;
+        // Observability: cheap handle + pre-interned keys. Every span /
+        // count below is a single branch while the recorder is off; the
+        // memo counter accumulates locally and publishes once per solve.
+        let rec = self.recorder.clone();
+        let ok = self.obs;
+        let mut memo_hits: u64 = 0;
 
         // --------------------------------------------------------------
         // Delta fixed-point skip: when the previous full cycle certified
@@ -341,6 +412,7 @@ impl Solver {
         if mode == SolveMode::Delta && delta.is_none_or(|d| !d.is_structural()) {
             if let Some(placement) = self.try_discrete_skip(problem) {
                 self.stats.hits += 1;
+                rec.count(ok.skip_hits, 1);
                 return assemble_outcome(problem, prev, placement, &self.s.job_node);
             }
         }
@@ -352,6 +424,7 @@ impl Solver {
         // an O(N log N) rebuild); batch mode rebuilds every cycle,
         // keeping its baseline cost honest.
         // --------------------------------------------------------------
+        let span_boundary = rec.span(ok.step0);
         let owned_ix: Interner<NodeId>;
         let mut interner_reused = false;
         let node_ix: &Interner<NodeId> = if mode == SolveMode::Delta {
@@ -463,11 +536,13 @@ impl Solver {
             s.ordered_apps.extend(0..n_apps);
             s.ordered_apps.sort_by(|&a, &b| app_cmp(a, b));
         }
+        drop(span_boundary);
 
         // --------------------------------------------------------------
         // Step 0/1: keep previous app instances and running jobs; reserve
         // memory and commit CPU.
         // --------------------------------------------------------------
+        let span_keep = rec.span(ok.step1);
         for (ai, app) in problem.apps.iter().enumerate() {
             if let Some(prev_hosts) = prev.apps.get(&app.id) {
                 for (&host, _) in prev_hosts.iter() {
@@ -532,6 +607,7 @@ impl Solver {
         if engine == CandidateEngine::Heap {
             heap.assign(s.nodes.iter().map(|n| (n.id, 0, n.cpu_free, n.mem_free)));
         }
+        drop(span_keep);
 
         // --------------------------------------------------------------
         // Step 2: grow/shrink application instance sets. Applications
@@ -541,6 +617,7 @@ impl Solver {
         // of residual capacity; jobs are indivisible and fill in around
         // it.
         // --------------------------------------------------------------
+        let span_apps = rec.span(ok.step2);
         for k in 0..s.ordered_apps.len() {
             let ai = s.ordered_apps[k];
             let app = &problem.apps[ai];
@@ -757,6 +834,7 @@ impl Solver {
                 }
             }
         }
+        drop(span_apps);
 
         // --------------------------------------------------------------
         // Step 3: place unplaced jobs with positive targets, priority
@@ -773,6 +851,7 @@ impl Solver {
         // (Their failures still feed the memo — failing means the
         // general scan ran and failed.)
         // --------------------------------------------------------------
+        let span_place = rec.span(ok.step3);
         let mut place_failed_mem: Option<MemMb> = None;
         s.unplaced.clear();
         for k in 0..s.ordered_jobs.len() {
@@ -782,6 +861,7 @@ impl Solver {
             }
             let job = &problem.jobs[ji];
             if job.affinity.is_none() && place_failed_mem.is_some_and(|m| job.mem.fits(m)) {
+                memo_hits += 1;
                 s.unplaced.push(ji);
                 continue; // a no-easier scan already failed
             }
@@ -801,11 +881,13 @@ impl Solver {
                 s.unplaced.push(ji);
             }
         }
+        drop(span_place);
 
         // --------------------------------------------------------------
         // Step 4: rebalance — migrate shortchanged running jobs to nodes
         // with room.
         // --------------------------------------------------------------
+        let span_rebalance = rec.span(ok.step4);
         for k in 0..s.deficit_jobs.len() {
             if budget == 0 {
                 break;
@@ -851,12 +933,14 @@ impl Solver {
                 }
             }
         }
+        drop(span_rebalance);
 
         // --------------------------------------------------------------
         // Step 5: eviction — unplaced high-priority jobs displace
         // strictly lower-priority running jobs (suspend + start = two
         // changes).
         // --------------------------------------------------------------
+        let span_evict = rec.span(ok.step5);
         // Failed-scan memo: searchers run in priority-descending order,
         // so a later searcher's eligible-victim set (priority strictly
         // below its own minus the gap) is a subset of every earlier
@@ -877,6 +961,7 @@ impl Solver {
                 continue;
             }
             if evict_failed_mem.is_some_and(|m| job.mem.fits(m)) {
+                memo_hits += 1;
                 continue; // a no-easier scan already failed
             }
             // Cheapest victim: the lowest-priority placed job whose
@@ -918,6 +1003,7 @@ impl Solver {
                 });
             }
         }
+        drop(span_evict);
 
         // --------------------------------------------------------------
         // Step 6: reclaim — when jobs with positive targets are still
@@ -937,6 +1023,7 @@ impl Solver {
         // collapses the O(unplaced × apps × hosts) re-scan into one
         // failed scan per cycle; it is outcome-preserving by the same
         // subset argument, so both solve modes share it.
+        let span_reclaim = rec.span(ok.step6);
         let mut reclaim_failed_mem: Option<MemMb> = None;
         for k in 0..s.unplaced.len() {
             if budget < 2 {
@@ -948,6 +1035,7 @@ impl Solver {
                 continue;
             }
             if reclaim_failed_mem.is_some_and(|m| job.mem.fits(m)) {
+                memo_hits += 1;
                 continue; // a no-easier reclaim scan already failed
             }
             'apps: for ak in 0..s.ordered_apps.len() {
@@ -987,6 +1075,7 @@ impl Solver {
                 });
             }
         }
+        drop(span_reclaim);
 
         // --------------------------------------------------------------
         // Step 7: exact allocation + bookkeeping. Delta mode first offers
@@ -997,6 +1086,7 @@ impl Solver {
         // set reshaped) skips the audit outright: the topology signature
         // cannot match.
         let try_incremental = mode == SolveMode::Delta && delta.is_none_or(|d| !d.is_structural());
+        let span_alloc = rec.span(ok.step7);
         let placement = match try_incremental
             .then(|| {
                 self.alloc.try_allocate_delta(
@@ -1012,11 +1102,13 @@ impl Solver {
         {
             Some(patched) => {
                 self.stats.hits += 1;
+                rec.count(ok.alloc_hits, 1);
                 patched
             }
             None => {
                 if mode == SolveMode::Delta {
                     self.stats.fallbacks += 1;
+                    rec.count(ok.alloc_fallbacks, 1);
                 }
                 self.alloc.allocate_dense(
                     &problem.nodes,
@@ -1028,6 +1120,7 @@ impl Solver {
                 )
             }
         };
+        drop(span_alloc);
         // --------------------------------------------------------------
         // (Re-)arm the discrete fixed-point certificate for the next
         // cycle. Valid only when this cycle *proves* the discrete phase
@@ -1079,6 +1172,18 @@ impl Solver {
                     }
                 }
             }
+        }
+
+        // Publish the per-solve counters accumulated locally (and the
+        // heap's rebuild increment — its own counter is cumulative).
+        if rec.is_enabled() {
+            rec.count(ok.memo_hits, memo_hits);
+            let rb = heap.rebuilds();
+            rec.count(
+                ok.heap_rebuilds,
+                rb.saturating_sub(self.obs_rebuilds) as u64,
+            );
+            self.obs_rebuilds = rb;
         }
 
         assemble_outcome(problem, prev, placement, &s.job_node)

@@ -5,6 +5,7 @@
 
 use crate::aggregator::{Aggregator, InstanceReport};
 use crate::router::{RouteOutcome, Router, RouterConfig};
+use slaq_obs::Recorder;
 use slaq_types::{AppId, NodeId};
 use std::collections::BTreeMap;
 
@@ -29,6 +30,11 @@ pub struct RoutingTier {
     live: Vec<NodeId>,
     warmth: Vec<f64>,
     reports: Vec<InstanceReport>,
+    /// Observability handle (counters only — routing is far too hot
+    /// for per-request events; requests are batched per cycle anyway).
+    recorder: Recorder,
+    k_requests: slaq_obs::Key,
+    k_apps: slaq_obs::Key,
 }
 
 impl RoutingTier {
@@ -40,6 +46,9 @@ impl RoutingTier {
         } else {
             0.3
         };
+        let recorder = Recorder::off();
+        let k_requests = recorder.key("route.requests");
+        let k_apps = recorder.key("route.app_cycles");
         RoutingTier {
             router: Router::new(cfg),
             agg: Aggregator::new(alpha).expect("clamped alpha"),
@@ -47,7 +56,20 @@ impl RoutingTier {
             live: Vec::new(),
             warmth: Vec::new(),
             reports: Vec::new(),
+            recorder,
+            k_requests,
+            k_apps,
         }
+    }
+
+    /// Install an observability [`Recorder`]: the tier counts routed
+    /// requests (`route.requests`) and per-app route invocations
+    /// (`route.app_cycles`). Observes only — routing decisions never
+    /// read the recorder.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.k_requests = recorder.key("route.requests");
+        self.k_apps = recorder.key("route.app_cycles");
+        self.recorder = recorder;
     }
 
     /// The router config in force.
@@ -75,6 +97,8 @@ impl RoutingTier {
         requests: u64,
         instances: &[(NodeId, f64)],
     ) -> RouteOutcome {
+        self.recorder.count(self.k_requests, requests);
+        self.recorder.count(self.k_apps, 1);
         self.live.clear();
         self.live.extend(instances.iter().map(|&(n, _)| n));
         self.agg.sync_instances(app, &self.live);

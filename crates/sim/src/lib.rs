@@ -40,7 +40,7 @@ pub mod snapshot;
 
 pub use apps::{AppObservation, TransactionalRuntime};
 pub use cluster::effective_speeds;
-pub use metrics::MetricsSink;
+pub use metrics::{MetricKey, MetricsSink};
 pub use simulator::{
     ControlInputs, Controller, NodeOutage, OverheadConfig, SimConfig, SimReport, Simulator,
 };

@@ -1,9 +1,19 @@
 //! Time-series metrics collection and CSV export.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use slaq_types::SimTime;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// Handle to one series inside a [`MetricsSink`], obtained from
+/// [`MetricsSink::intern`]. Recording through a key skips the name
+/// lookup entirely — no hashing, no `String` allocation.
+///
+/// A key is only valid for the sink that interned it; per-solve
+/// buffered sinks (the pipelined control plane) must keep using
+/// [`MetricsSink::record`] by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricKey(usize);
 
 /// Named time series accumulated during a run.
 ///
@@ -11,9 +21,14 @@ use std::fmt::Write as _;
 /// completions) and the controller (model-side quantities: hypothetical
 /// utility, demands, water level) write here; the experiment harness reads
 /// series out to regenerate the paper's figures.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Storage is an interned index (`name → slot`) over dense point
+/// vectors, so the per-cycle hot path — callers that hold a
+/// [`MetricKey`] — is a single `Vec` push.
+#[derive(Debug, Clone, Default)]
 pub struct MetricsSink {
-    series: BTreeMap<String, Vec<(f64, f64)>>,
+    index: BTreeMap<String, usize>,
+    points: Vec<Vec<(f64, f64)>>,
 }
 
 impl MetricsSink {
@@ -22,12 +37,36 @@ impl MetricsSink {
         Self::default()
     }
 
+    /// Intern `name`, returning a [`MetricKey`] for allocation-free
+    /// recording. Idempotent: interning the same name twice returns the
+    /// same key.
+    pub fn intern(&mut self, name: &str) -> MetricKey {
+        if let Some(&ix) = self.index.get(name) {
+            return MetricKey(ix);
+        }
+        let ix = self.points.len();
+        self.index.insert(name.to_string(), ix);
+        self.points.push(Vec::new());
+        MetricKey(ix)
+    }
+
+    /// Append `(t, value)` to the series behind `key` — the interned
+    /// fast path: one bounds-checked index plus a `Vec` push.
+    #[inline]
+    pub fn record_key(&mut self, key: MetricKey, t: SimTime, value: f64) {
+        self.points[key.0].push((t.as_secs(), value));
+    }
+
     /// Append `(t, value)` to series `name` (created on first use).
+    /// Allocates only when the series does not exist yet.
     pub fn record(&mut self, name: &str, t: SimTime, value: f64) {
-        self.series
-            .entry(name.to_string())
-            .or_default()
-            .push((t.as_secs(), value));
+        match self.index.get(name) {
+            Some(&ix) => self.points[ix].push((t.as_secs(), value)),
+            None => {
+                let key = self.intern(name);
+                self.points[key.0].push((t.as_secs(), value));
+            }
+        }
     }
 
     /// Absorb another sink: every series of `other` is appended onto the
@@ -37,19 +76,30 @@ impl MetricsSink {
     /// actuation time; merging completed solves in dispatch order keeps
     /// each series time-sorted.
     pub fn merge(&mut self, other: MetricsSink) {
-        for (name, mut pts) in other.series {
-            self.series.entry(name).or_default().append(&mut pts);
+        let MetricsSink { index, mut points } = other;
+        for (name, ix) in index {
+            let key = self.intern(&name);
+            self.points[key.0].append(&mut points[ix]);
         }
     }
 
     /// All points of one series.
     pub fn series(&self, name: &str) -> &[(f64, f64)] {
-        self.series.get(name).map(Vec::as_slice).unwrap_or(&[])
+        self.index
+            .get(name)
+            .map(|&ix| self.points[ix].as_slice())
+            .unwrap_or(&[])
     }
 
-    /// Names of all series.
+    /// Names of all series with at least one point, sorted. A name that
+    /// was interned but never recorded is not a series yet — interning
+    /// keys up-front is unobservable.
     pub fn names(&self) -> Vec<&str> {
-        self.series.keys().map(String::as_str).collect()
+        self.index
+            .iter()
+            .filter(|&(_, &ix)| !self.points[ix].is_empty())
+            .map(|(name, _)| name.as_str())
+            .collect()
     }
 
     /// Last value of a series, if any.
@@ -129,6 +179,45 @@ impl MetricsSink {
     }
 }
 
+// Equality is by name → points content over non-empty series; interned
+// slot numbers and never-recorded names are internal details (two sinks
+// that recorded the same data in a different order, or interned
+// different key sets, still compare equal).
+impl PartialEq for MetricsSink {
+    fn eq(&self, other: &Self) -> bool {
+        self.names() == other.names()
+            && self
+                .index
+                .iter()
+                .filter(|&(_, &ix)| !self.points[ix].is_empty())
+                .all(|(name, &ix)| other.series(name) == self.points[ix].as_slice())
+    }
+}
+
+impl Serialize for MetricsSink {
+    fn to_value(&self) -> Value {
+        let map: BTreeMap<&String, &Vec<(f64, f64)>> = self
+            .index
+            .iter()
+            .filter(|&(_, &ix)| !self.points[ix].is_empty())
+            .map(|(name, &ix)| (name, &self.points[ix]))
+            .collect();
+        Value::Obj(vec![("series".to_string(), map.to_value())])
+    }
+}
+
+impl Deserialize for MetricsSink {
+    fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+        let map = BTreeMap::<String, Vec<(f64, f64)>>::from_value(serde::obj_get(v, "series")?)?;
+        let mut sink = MetricsSink::new();
+        for (name, pts) in map {
+            let key = sink.intern(&name);
+            sink.points[key.0] = pts;
+        }
+        Ok(sink)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +235,50 @@ mod tests {
         assert_eq!(m.last("u"), Some(0.7));
         assert_eq!(m.series("missing"), &[] as &[(f64, f64)]);
         assert_eq!(m.names(), vec!["u"]);
+    }
+
+    #[test]
+    fn interned_key_fast_path_matches_by_name() {
+        let mut m = MetricsSink::new();
+        let k = m.intern("u");
+        m.record_key(k, t(0.0), 0.5);
+        m.record("u", t(600.0), 0.7);
+        m.record_key(k, t(1200.0), 0.9);
+        assert_eq!(m.series("u"), &[(0.0, 0.5), (600.0, 0.7), (1200.0, 0.9)]);
+        // Re-interning returns the same key.
+        assert_eq!(m.intern("u"), k);
+        // Interned-but-unrecorded names are not series yet.
+        let _ = m.intern("latent");
+        assert_eq!(m.names(), vec!["u"]);
+        assert_eq!(m, {
+            let mut n = MetricsSink::new();
+            n.record("u", t(0.0), 0.5);
+            n.record("u", t(600.0), 0.7);
+            n.record("u", t(1200.0), 0.9);
+            n
+        });
+    }
+
+    #[test]
+    fn equality_ignores_interning_order() {
+        let mut a = MetricsSink::new();
+        a.record("x", t(0.0), 1.0);
+        a.record("y", t(0.0), 2.0);
+        let mut b = MetricsSink::new();
+        b.record("y", t(0.0), 2.0);
+        b.record("x", t(0.0), 1.0);
+        assert_eq!(a, b);
+        b.record("x", t(1.0), 3.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut m = MetricsSink::new();
+        m.record("u", t(0.0), 0.5);
+        m.record("v", t(600.0), 1.5);
+        let back = MetricsSink::from_value(&m.to_value()).unwrap();
+        assert_eq!(m, back);
     }
 
     #[test]

@@ -9,9 +9,10 @@
 
 use crate::apps::{AppObservation, TransactionalRuntime};
 use crate::cluster::effective_speeds;
-use crate::metrics::MetricsSink;
+use crate::metrics::{MetricKey, MetricsSink};
 use serde::{Deserialize, Serialize};
 use slaq_jobs::{JobManager, JobSpec, JobState, JobStats};
+use slaq_obs::Recorder;
 use slaq_placement::problem::{AppRequest, JobRequest, NodeCapacity};
 use slaq_placement::{Placement, PlacementChange};
 use slaq_types::{ClusterSpec, CpuMhz, JobId, Result, SimDuration, SimTime, SlaqError};
@@ -106,6 +107,15 @@ pub trait Controller {
         let _ = delta;
         self.control(inputs, metrics)
     }
+
+    /// Install an observability [`Recorder`]. The simulator forwards its
+    /// recorder here at the start of a run so the controller (and
+    /// whatever solver stack it wraps) records spans and counters into
+    /// the same registry. The recorder observes, never steers: no
+    /// controller decision may depend on it. The default ignores it.
+    fn set_recorder(&mut self, recorder: Recorder) {
+        let _ = recorder;
+    }
 }
 
 /// Final report of a run.
@@ -155,15 +165,105 @@ pub struct Simulator {
     /// identical router series). `None` leaves every series and every
     /// observation bit-identical to the routing-free simulator.
     routing: Option<slaq_routing::RoutingTier>,
+    /// Observability plane (spans/counters/histograms). `Recorder::off`
+    /// unless installed via [`Simulator::set_recorder`] or the
+    /// `SLAQ_TRACE` env var; observes only, never steers.
+    recorder: Recorder,
+    obs: ObsKeys,
+    /// Interned [`MetricKey`]s for the static per-cycle series.
+    keys: SimSeriesKeys,
+    /// Interned per-app rt/utility series keys, parallel to `apps`.
+    app_keys: Vec<AppMetricKeys>,
+    /// Interned routing warm/discount series keys per app, filled
+    /// lazily on first route.
+    route_keys: BTreeMap<slaq_types::AppId, (MetricKey, MetricKey)>,
     now: SimTime,
     next_control: SimTime,
     cycles: usize,
     total_changes: usize,
 }
 
+/// Interned sink keys for the series the simulator records every
+/// cycle, so the per-cycle hot path never looks up a name.
+#[derive(Clone, Copy)]
+struct SimSeriesKeys {
+    route_requests: MetricKey,
+    route_quality: MetricKey,
+    route_discount: MetricKey,
+    trans_utility: MetricKey,
+    jobs_outlook: MetricKey,
+    jobs_outlook_min: MetricKey,
+    trans_alloc: MetricKey,
+    jobs_alloc: MetricKey,
+    changes: MetricKey,
+    jobs_active: MetricKey,
+    jobs_running: MetricKey,
+    jobs_pending: MetricKey,
+    jobs_suspended: MetricKey,
+    jobs_completed: MetricKey,
+}
+
+impl SimSeriesKeys {
+    fn intern(m: &mut MetricsSink) -> Self {
+        SimSeriesKeys {
+            route_requests: m.intern("route_requests"),
+            route_quality: m.intern("route_quality"),
+            route_discount: m.intern("route_discount"),
+            trans_utility: m.intern("trans_utility"),
+            jobs_outlook: m.intern("jobs_outlook"),
+            jobs_outlook_min: m.intern("jobs_outlook_min"),
+            trans_alloc: m.intern("trans_alloc"),
+            jobs_alloc: m.intern("jobs_alloc"),
+            changes: m.intern("changes"),
+            jobs_active: m.intern("jobs_active"),
+            jobs_running: m.intern("jobs_running"),
+            jobs_pending: m.intern("jobs_pending"),
+            jobs_suspended: m.intern("jobs_suspended"),
+            jobs_completed: m.intern("jobs_completed"),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct AppMetricKeys {
+    rt: MetricKey,
+    utility: MetricKey,
+}
+
+/// Pre-interned observability keys for the simulator's own spans and
+/// events (dummies while the recorder is off).
+#[derive(Clone, Copy)]
+struct ObsKeys {
+    cycle: slaq_obs::Key,
+    route: slaq_obs::Key,
+    sense: slaq_obs::Key,
+    solve: slaq_obs::Key,
+    actuate: slaq_obs::Key,
+    event: slaq_obs::Key,
+    delta_dirty: slaq_obs::Key,
+}
+
+impl ObsKeys {
+    fn intern(rec: &Recorder) -> Self {
+        ObsKeys {
+            cycle: rec.key("cycle"),
+            route: rec.key("cycle.route"),
+            sense: rec.key("cycle.sense"),
+            solve: rec.key("cycle.solve"),
+            actuate: rec.key("cycle.actuate"),
+            event: rec.key("sim.event"),
+            delta_dirty: rec.key("delta.dirty"),
+        }
+    }
+}
+
 impl Simulator {
     /// Create a simulator over `cluster`.
     pub fn new(cluster: &ClusterSpec, config: SimConfig) -> Self {
+        let mut metrics = MetricsSink::new();
+        let keys = SimSeriesKeys::intern(&mut metrics);
+        let recorder = Recorder::off();
+        let obs = ObsKeys::intern(&recorder);
         Simulator {
             nodes: NodeCapacity::from_cluster(cluster),
             job_mgr: JobManager::new(),
@@ -171,16 +271,39 @@ impl Simulator {
             arrivals: Vec::new(),
             placement: Placement::empty(),
             blocked_until: BTreeMap::new(),
-            metrics: MetricsSink::new(),
+            metrics,
             config,
             outages: Vec::new(),
             delta_tracker: crate::snapshot::DeltaTracker::default(),
             routing: None,
+            recorder,
+            obs,
+            keys,
+            app_keys: Vec::new(),
+            route_keys: BTreeMap::new(),
             now: SimTime::ZERO,
             next_control: SimTime::ZERO,
             cycles: 0,
             total_changes: 0,
         }
+    }
+
+    /// Install an observability [`Recorder`]. Forwarded to the routing
+    /// tier immediately and to the controller at the start of
+    /// [`Simulator::run`]. Recording never changes a metric series —
+    /// enabling observability is bit-identical (pinned in
+    /// `tests/observability.rs`).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.obs = ObsKeys::intern(&recorder);
+        if let Some(tier) = &mut self.routing {
+            tier.set_recorder(recorder.clone());
+        }
+        self.recorder = recorder;
+    }
+
+    /// The installed recorder (clone it to read reports after a run).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Schedule a node outage (failure injection). May be called multiple
@@ -259,6 +382,10 @@ impl Simulator {
 
     /// Register a transactional application.
     pub fn add_app(&mut self, app: TransactionalRuntime) {
+        self.app_keys.push(AppMetricKeys {
+            rt: self.metrics.intern(app.rt_metric_key()),
+            utility: self.metrics.intern(app.utility_metric_key()),
+        });
         self.apps.push(app);
     }
 
@@ -267,7 +394,10 @@ impl Simulator {
     /// app's live instances, and feeds the resulting effective-work
     /// discount (and, for affinity-publishing tiers, per-node warmth)
     /// back into the sensed observations.
-    pub fn set_routing(&mut self, tier: slaq_routing::RoutingTier) {
+    pub fn set_routing(&mut self, mut tier: slaq_routing::RoutingTier) {
+        if self.recorder.is_enabled() {
+            tier.set_recorder(self.recorder.clone());
+        }
         self.routing = Some(tier);
     }
 
@@ -422,9 +552,15 @@ impl Simulator {
 
     /// Run to the horizon under `controller`.
     pub fn run(&mut self, controller: &mut dyn Controller) -> Result<SimReport> {
-        // Event tracing is opt-in and rare; resolve the env var once per
-        // run instead of paying a `var_os` syscall on every event.
-        let trace = std::env::var_os("SLAQ_TRACE").is_some();
+        // `SLAQ_TRACE` is an alias for installing an echoing recorder:
+        // the structured event log replaces the old ad-hoc eprintln
+        // tracer. Resolved once per run, not per event.
+        if std::env::var_os("SLAQ_TRACE").is_some() && !self.recorder.is_enabled() {
+            self.set_recorder(Recorder::with_echo(true));
+        }
+        if self.recorder.is_enabled() {
+            controller.set_recorder(self.recorder.clone());
+        }
         loop {
             let blocked = self.blocked_set();
             let caps = self.job_caps();
@@ -456,10 +592,17 @@ impl Simulator {
                 .min(t_unblock)
                 .min(self.next_outage_event(self.now))
                 .min(self.config.horizon);
-            if trace {
-                eprintln!(
-                    "now={} next={} (ctrl={} arr={} done={} unblk={})",
-                    self.now, t_next, self.next_control, t_arrival, t_done, t_unblock
+            if self.recorder.is_enabled() {
+                self.recorder.emit(
+                    self.obs.event,
+                    &[
+                        ("now", self.now.as_secs()),
+                        ("next", t_next.as_secs()),
+                        ("ctrl", self.next_control.as_secs()),
+                        ("arr", t_arrival.as_secs()),
+                        ("done", t_done.as_secs()),
+                        ("unblk", t_unblock.as_secs()),
+                    ],
                 );
             }
 
@@ -526,9 +669,14 @@ impl Simulator {
     /// reconciled plan instead), and **actuate** (enact the returned
     /// placement and record the mechanical series).
     fn run_control(&mut self, controller: &mut dyn Controller) -> Result<()> {
+        let _cycle = self.recorder.span(self.obs.cycle);
         // --- route ---
-        self.route_cycle();
+        {
+            let _route = self.recorder.span(self.obs.route);
+            self.route_cycle();
+        }
         // --- sense ---
+        let sense_span = self.recorder.span(self.obs.sense);
         let observations = self.sense();
         // Effective capacities are computed once here and lent to every
         // stage of the cycle (solve, enact's validation, the metric
@@ -542,13 +690,21 @@ impl Simulator {
             apps: &observations,
         };
         let delta = self.delta_tracker.observe(&inputs);
+        self.recorder
+            .observe(self.obs.delta_dirty, delta.len() as u64);
+        drop(sense_span);
         // --- solve ---
-        let next = controller.control_delta(&inputs, Some(&delta), &mut self.metrics);
+        let next = {
+            let _solve = self.recorder.span(self.obs.solve);
+            controller.control_delta(&inputs, Some(&delta), &mut self.metrics)
+        };
         // --- actuate ---
+        let actuate_span = self.recorder.span(self.obs.actuate);
         let n_changes = self.enact(next, &live_nodes)?;
         self.cycles += 1;
         self.total_changes += n_changes;
         self.record_cycle_series(n_changes, &live_nodes);
+        drop(actuate_span);
         Ok(())
     }
 
@@ -577,19 +733,32 @@ impl Simulator {
             }
             let out = tier.route_app(app.id, batch.count, &instances);
             app.set_route_discount(out.discount);
-            let keys = tier.series_keys(app.id);
-            self.metrics.record(&keys.warm, t, out.warm_hit);
-            self.metrics.record(&keys.discount, t, out.discount);
+            let (warm_key, disc_key) = match self.route_keys.get(&app.id) {
+                Some(&ks) => ks,
+                None => {
+                    let keys = tier.series_keys(app.id);
+                    let ks = (
+                        self.metrics.intern(&keys.warm),
+                        self.metrics.intern(&keys.discount),
+                    );
+                    self.route_keys.insert(app.id, ks);
+                    ks
+                }
+            };
+            self.metrics.record_key(warm_key, t, out.warm_hit);
+            self.metrics.record_key(disc_key, t, out.discount);
             total_requests += batch.count;
             hit_weighted += out.warm_hit * batch.count as f64;
             disc_weighted += out.discount * batch.count as f64;
         }
         self.metrics
-            .record("route_requests", t, total_requests as f64);
+            .record_key(self.keys.route_requests, t, total_requests as f64);
         if total_requests > 0 {
             let n = total_requests as f64;
-            self.metrics.record("route_quality", t, hit_weighted / n);
-            self.metrics.record("route_discount", t, disc_weighted / n);
+            self.metrics
+                .record_key(self.keys.route_quality, t, hit_weighted / n);
+            self.metrics
+                .record_key(self.keys.route_discount, t, disc_weighted / n);
         }
     }
 
@@ -599,12 +768,13 @@ impl Simulator {
     /// routing tier installed, each observation also carries the tier's
     /// per-node warmth scores as a placement hint.
     fn sense(&mut self) -> Vec<AppObservation> {
-        for app in &mut self.apps {
+        for (i, app) in self.apps.iter_mut().enumerate() {
             if let Some((rt, u)) = app.flush_cycle() {
+                let keys = self.app_keys[i];
+                self.metrics.record_key(keys.rt, self.now, rt.as_secs());
+                self.metrics.record_key(keys.utility, self.now, u);
                 self.metrics
-                    .record(app.rt_metric_key(), self.now, rt.as_secs());
-                self.metrics.record(app.utility_metric_key(), self.now, u);
-                self.metrics.record("trans_utility", self.now, u);
+                    .record_key(self.keys.trans_utility, self.now, u);
             }
         }
         let mut observations: Vec<AppObservation> =
@@ -656,27 +826,37 @@ impl Simulator {
                 n += 1;
             }
             if n > 0 {
-                self.metrics.record("jobs_outlook", t, sum / n as f64);
-                self.metrics.record("jobs_outlook_min", t, min);
+                self.metrics
+                    .record_key(self.keys.jobs_outlook, t, sum / n as f64);
+                self.metrics.record_key(self.keys.jobs_outlook_min, t, min);
             }
         }
+        self.metrics.record_key(
+            self.keys.trans_alloc,
+            t,
+            self.placement.total_app_alloc().as_f64(),
+        );
+        self.metrics.record_key(
+            self.keys.jobs_alloc,
+            t,
+            self.placement.total_job_alloc().as_f64(),
+        );
         self.metrics
-            .record("trans_alloc", t, self.placement.total_app_alloc().as_f64());
-        self.metrics
-            .record("jobs_alloc", t, self.placement.total_job_alloc().as_f64());
-        self.metrics.record("changes", t, n_changes as f64);
+            .record_key(self.keys.changes, t, n_changes as f64);
         let stats = self.job_mgr.stats();
-        self.metrics.record(
-            "jobs_active",
+        self.metrics.record_key(
+            self.keys.jobs_active,
             t,
             (stats.pending + stats.running + stats.suspended) as f64,
         );
-        self.metrics.record("jobs_running", t, stats.running as f64);
-        self.metrics.record("jobs_pending", t, stats.pending as f64);
         self.metrics
-            .record("jobs_suspended", t, stats.suspended as f64);
+            .record_key(self.keys.jobs_running, t, stats.running as f64);
         self.metrics
-            .record("jobs_completed", t, stats.completed as f64);
+            .record_key(self.keys.jobs_pending, t, stats.pending as f64);
+        self.metrics
+            .record_key(self.keys.jobs_suspended, t, stats.suspended as f64);
+        self.metrics
+            .record_key(self.keys.jobs_completed, t, stats.completed as f64);
     }
 }
 

@@ -14,19 +14,59 @@
 //! # run every pinned spec in a directory (default: ./scenarios)
 //! cargo run --release --example run_scenario -- --dir
 //! cargo run --release --example run_scenario -- --dir my-fleets/
+//!
+//! # instrument the run: print the span/counter report, write a
+//! # Chrome trace (load it at ui.perfetto.dev or chrome://tracing)
+//! cargo run --release --example run_scenario -- --preset paper-small --report
+//! cargo run --release --example run_scenario -- --preset paper-small --trace-out trace.json
 //! ```
 
-use slaq::core::ScenarioSpec;
+use slaq::core::{ObserveSpec, ScenarioSpec};
 use std::path::Path;
 
 fn usage() -> ! {
     eprintln!(
         "usage: run_scenario [<spec.json> | --preset <name> | --dump <name> | --list | --dir [path]]\n\
+         \x20      [--report] [--trace-out <file>]\n\
          presets: {}\n\
-         --dir runs every *.json spec in the directory (default: scenarios/)",
+         --dir runs every *.json spec in the directory (default: scenarios/)\n\
+         --report prints the observability run report (spans, counters, histograms)\n\
+         --trace-out writes a Chrome trace-event JSON of the run's spans",
         ScenarioSpec::preset_names().join(", ")
     );
     std::process::exit(2);
+}
+
+/// Observability flags, extracted from the argument list before the
+/// positional dispatch (either flag turns the recorder on for the run).
+#[derive(Default)]
+struct ObsFlags {
+    report: bool,
+    trace_out: Option<String>,
+}
+
+impl ObsFlags {
+    fn on(&self) -> bool {
+        self.report || self.trace_out.is_some()
+    }
+}
+
+/// Split `args` into observability flags and the remaining positionals.
+fn split_obs_flags(args: Vec<String>) -> (ObsFlags, Vec<String>) {
+    let mut flags = ObsFlags::default();
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--report" => flags.report = true,
+            "--trace-out" => match it.next() {
+                Some(path) => flags.trace_out = Some(path),
+                None => usage(),
+            },
+            _ => rest.push(a),
+        }
+    }
+    (flags, rest)
 }
 
 /// All `*.json` specs in a directory, sorted by file name for
@@ -58,8 +98,7 @@ fn specs_in_dir(dir: &Path) -> Vec<(String, ScenarioSpec)> {
         .collect()
 }
 
-fn load_specs() -> Vec<(String, ScenarioSpec)> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+fn load_specs(args: Vec<String>) -> Vec<(String, ScenarioSpec)> {
     match args.first().map(String::as_str) {
         Some("--list") => {
             for name in ScenarioSpec::preset_names() {
@@ -109,11 +148,19 @@ fn load_specs() -> Vec<(String, ScenarioSpec)> {
     }
 }
 
-fn run_one(label: &str, spec: &ScenarioSpec) {
+fn run_one(label: &str, spec: &ScenarioSpec, obs: &ObsFlags) {
     if let Err(e) = spec.validate() {
         eprintln!("{label}: invalid spec: {e}");
         std::process::exit(1);
     }
+    // Either observability flag instruments the run regardless of the
+    // spec's own `controller.observe` knob (the recorder observes only,
+    // so results are bit-identical either way).
+    let mut spec = spec.clone();
+    if obs.on() {
+        spec.controller.observe = ObserveSpec::On;
+    }
+    let spec = &spec;
     eprintln!(
         "running '{}': {} nodes, {} apps, {} job streams, horizon {} s…",
         spec.name,
@@ -122,7 +169,18 @@ fn run_one(label: &str, spec: &ScenarioSpec) {
         spec.job_streams.len(),
         spec.timing.horizon_secs
     );
-    let report = spec.run().unwrap_or_else(|e| {
+    // Keep the simulator alive past the run so its recorder can be
+    // exported (`ScenarioSpec::run` would drop it with the recorder).
+    let scenario = spec.materialize().unwrap_or_else(|e| {
+        eprintln!("{label}: invalid spec: {e}");
+        std::process::exit(1);
+    });
+    let mut controller = scenario.controller();
+    let mut sim = scenario.build().unwrap_or_else(|e| {
+        eprintln!("{label}: build failed: {e}");
+        std::process::exit(1);
+    });
+    let report = sim.run(controller.as_mut()).unwrap_or_else(|e| {
         eprintln!("{label}: run failed: {e}");
         std::process::exit(1);
     });
@@ -153,14 +211,28 @@ fn run_one(label: &str, spec: &ScenarioSpec) {
         }
     }
     println!("series recorded   : {}", report.metrics.names().len());
+
+    if obs.report {
+        println!();
+        print!("{}", slaq::obs::run_report(sim.recorder()));
+    }
+    if let Some(path) = &obs.trace_out {
+        let json = slaq::obs::chrome_trace_json(sim.recorder());
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("{label}: cannot write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote Chrome trace ({} bytes) to {path}", json.len());
+    }
 }
 
 fn main() {
-    let specs = load_specs();
+    let (obs, rest) = split_obs_flags(std::env::args().skip(1).collect());
+    let specs = load_specs(rest);
     for (i, (label, spec)) in specs.iter().enumerate() {
         if i > 0 {
             println!();
         }
-        run_one(label, spec);
+        run_one(label, spec, &obs);
     }
 }

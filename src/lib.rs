@@ -20,6 +20,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`types`] | `slaq-types` | units, time, ids, cluster spec |
+//! | [`obs`] | `slaq-obs` | spans, counters, histograms, trace export |
 //! | [`utility`] | `slaq-utility` | utility curves, SLA goals, equalizers |
 //! | [`perfmodel`] | `slaq-perfmodel` | M/G/1-PS model, demand estimation |
 //! | [`flow`] | `slaq-flow` | max-flow / min-cost-flow kernel |
@@ -35,6 +36,7 @@
 pub use slaq_core as core;
 pub use slaq_flow as flow;
 pub use slaq_jobs as jobs;
+pub use slaq_obs as obs;
 pub use slaq_perfmodel as perfmodel;
 pub use slaq_placement as placement;
 pub use slaq_routing as routing;

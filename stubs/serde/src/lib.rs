@@ -99,6 +99,21 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+// `Value` round-trips through itself, so callers can parse arbitrary
+// JSON (e.g. a generated trace file) into the value tree and inspect it
+// structurally without declaring a matching type.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)

@@ -1,0 +1,195 @@
+//! The observability gate: turning the instrumentation plane on must be
+//! invisible to the simulation — every metric series and job statistic
+//! stays bit-identical across all corpus presets — while the exports
+//! (run report, Chrome trace, Prometheus text) actually cover the
+//! control cycle's phases. The recorder observes, never steers; this
+//! gate is what keeps that contract honest.
+
+use slaq::core::spec::{ObserveSpec, ScenarioSpec};
+use slaq::obs::{chrome_trace_json, prometheus_text, run_report};
+use slaq::sim::{SimReport, Simulator};
+
+/// Run `cycles` control cycles of a preset with the given observability
+/// setting, returning the report and the simulator (whose recorder
+/// holds everything the run recorded).
+fn run(name: &str, observe: ObserveSpec, cycles: u32) -> (SimReport, Simulator) {
+    let mut spec = ScenarioSpec::preset(name).expect("named preset");
+    spec.timing.horizon_secs = spec.timing.control_period_secs * cycles as f64;
+    spec.controller.observe = observe;
+    let scenario = spec.materialize().unwrap_or_else(|e| panic!("{name}: {e}"));
+    let mut controller = scenario.controller();
+    let mut sim = scenario.build().unwrap_or_else(|e| panic!("{name}: {e}"));
+    let report = sim
+        .run(controller.as_mut())
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    (report, sim)
+}
+
+/// The tentpole pin: observation changes nothing. Metric series, job
+/// statistics, cycle and change counts are bit-identical with the
+/// recorder on and off, for every corpus preset.
+#[test]
+fn observation_is_bit_identical_on_every_preset() {
+    for name in ScenarioSpec::preset_names() {
+        let (off, off_sim) = run(name, ObserveSpec::Off, 3);
+        let (on, on_sim) = run(name, ObserveSpec::On, 3);
+        assert!(!off_sim.recorder().is_enabled());
+        assert!(on_sim.recorder().is_enabled());
+        assert_eq!(
+            off.metrics, on.metrics,
+            "{name}: metric series diverged under observation"
+        );
+        assert_eq!(off.job_stats, on.job_stats, "{name}: job stats diverged");
+        assert_eq!(off.cycles, on.cycles, "{name}: cycle count diverged");
+        assert_eq!(
+            off.total_changes, on.total_changes,
+            "{name}: change count diverged"
+        );
+        // And the observed run actually recorded something.
+        assert!(
+            !on_sim.recorder().names().is_empty(),
+            "{name}: recorder enabled but empty"
+        );
+    }
+}
+
+#[test]
+fn chrome_trace_is_valid_json_covering_the_control_phases() {
+    let (_, sim) = run("paper-small", ObserveSpec::On, 4);
+    let json = chrome_trace_json(sim.recorder());
+    let v: serde::Value = serde_json::from_str(&json).expect("trace must parse as JSON");
+    let events = serde::obj_get(&v, "traceEvents").expect("traceEvents key");
+    let serde::Value::Arr(events) = events else {
+        panic!("traceEvents must be an array, got {events:?}");
+    };
+    assert!(!events.is_empty(), "trace has no events");
+
+    let str_of = |e: &serde::Value, key: &str| -> Option<String> {
+        match serde::obj_get(e, key) {
+            Ok(serde::Value::Str(s)) => Some(s.clone()),
+            _ => None,
+        }
+    };
+    let mut complete_spans = 0usize;
+    for e in events {
+        let name = str_of(e, "name").expect("every event is named");
+        assert!(!name.is_empty());
+        // Mandatory trace-event fields.
+        for key in ["ts", "pid", "tid"] {
+            assert!(
+                matches!(
+                    serde::obj_get(e, key),
+                    Ok(serde::Value::Int(_) | serde::Value::Float(_))
+                ),
+                "event {name}: missing numeric {key}"
+            );
+        }
+        match str_of(e, "ph").expect("every event has a phase").as_str() {
+            "X" => {
+                assert!(
+                    matches!(
+                        serde::obj_get(e, "dur"),
+                        Ok(serde::Value::Int(_) | serde::Value::Float(_))
+                    ),
+                    "complete event {name} lacks a duration"
+                );
+                complete_spans += 1;
+            }
+            "i" => {}
+            other => panic!("unexpected phase {other:?} on {name}"),
+        }
+    }
+    assert!(complete_spans > 0, "no complete (ph=X) spans in the trace");
+    for span in ["cycle", "cycle.sense", "cycle.solve", "cycle.actuate"] {
+        assert!(
+            events
+                .iter()
+                .any(|e| str_of(e, "name").as_deref() == Some(span)),
+            "trace is missing the {span} phase"
+        );
+    }
+}
+
+#[test]
+fn run_report_covers_cycle_phases_and_solver_steps() {
+    let (_, sim) = run("paper-small", ObserveSpec::On, 4);
+    let report = run_report(sim.recorder());
+    for needle in [
+        "p50(us)",
+        "p95(us)",
+        "cycle.sense",
+        "cycle.solve",
+        "cycle.actuate",
+        "control.equalize",
+        "solve.step0",
+        "solve.step1",
+        "solve.step2",
+        "solve.step3",
+        "solve.step4",
+        "solve.step5",
+        "solve.step6",
+        "solve.step7",
+        "alloc.flow",
+        "delta.dirty",
+    ] {
+        assert!(
+            report.contains(needle),
+            "run report missing {needle}:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn prometheus_dump_exposes_spans_as_histograms() {
+    let (_, sim) = run("paper-small", ObserveSpec::On, 4);
+    let text = prometheus_text(sim.recorder());
+    // Span durations surface as `_us` histograms with cumulative buckets.
+    assert!(text.contains("# TYPE cycle_solve_us histogram"), "{text}");
+    assert!(text.contains("cycle_solve_us_bucket{le=\"+Inf\"}"));
+    assert!(text.contains("cycle_solve_us_count"));
+    // Value histograms keep their own name.
+    assert!(text.contains("# TYPE delta_dirty histogram"));
+}
+
+/// The pipelined control plane records its own spans and forwards the
+/// recorder through the worker into the wrapped controller's solver
+/// stack.
+#[test]
+fn pipelined_runs_record_pipeline_and_solver_spans() {
+    let mut spec = ScenarioSpec::preset("paper-small").expect("named preset");
+    spec.timing.horizon_secs = spec.timing.control_period_secs * 4.0;
+    spec.controller.pipeline = slaq::core::PipelineSpec::overlap(1);
+    spec.controller.observe = ObserveSpec::On;
+    let scenario = spec.materialize().unwrap();
+    let mut controller = scenario.controller();
+    let mut sim = scenario.build().unwrap();
+    sim.run(controller.as_mut()).unwrap();
+    let names = sim.recorder().names();
+    for span in [
+        "pipeline.solve",
+        "pipeline.reconcile",
+        "solve.step7.allocate",
+    ] {
+        assert!(
+            names.iter().any(|n| n == span),
+            "pipelined run missing {span}; recorded: {names:?}"
+        );
+    }
+}
+
+/// The `controller.observe` knob round-trips through spec JSON and old
+/// spec files (no `observe` key) keep parsing with the default.
+#[test]
+fn observe_knob_round_trips_and_defaults_off() {
+    let mut spec = ScenarioSpec::preset("paper-small").expect("named preset");
+    spec.controller.observe = ObserveSpec::On;
+    let json = spec.to_json().expect("serialize");
+    let back = ScenarioSpec::from_json(&json).expect("reparse");
+    assert_eq!(back.controller.observe, ObserveSpec::On);
+    // A pre-knob spec file reads the key as absent (`obj_get` maps
+    // missing keys to null): nulling it out must fall back to Off.
+    let stripped = json.replace("\"observe\": \"On\"", "\"observe\": null");
+    assert_ne!(stripped, json, "expected the knob in the serialized spec");
+    let old = ScenarioSpec::from_json(&stripped).expect("pre-knob spec parses");
+    assert_eq!(old.controller.observe, ObserveSpec::Off);
+}
