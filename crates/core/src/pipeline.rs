@@ -673,6 +673,9 @@ impl Controller for PipelinedController {
         }
 
         let mut plan = done.plan;
+        // Audit what reconciliation does to the stale plan: snapshot it
+        // first (only when recording), diff after, tag every repair.
+        let audit_before = self.recorder.is_enabled().then(|| plan.clone());
         let span = self.recorder.span(self.k_reconcile);
         let outcome = reconcile(
             &mut plan,
@@ -681,6 +684,13 @@ impl Controller for PipelinedController {
             self.max_changes,
         );
         drop(span);
+        if let Some(before) = audit_before {
+            for change in plan.diff(&before) {
+                let (subject, from, to) = change.audit_parts();
+                self.recorder
+                    .audit(subject, from, to, "pipeline.reconcile", "stale-plan-repair");
+            }
+        }
         metrics.record("pipeline_reconciled", inputs.now, outcome.total() as f64);
         if self.recorder.is_enabled() {
             self.recorder.count(

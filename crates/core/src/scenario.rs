@@ -40,6 +40,9 @@ pub struct ScenarioApp {
     pub trace: IntensityTrace,
     /// EWMA smoothing for the demand estimator.
     pub estimator_alpha: f64,
+    /// Optional service-level objective; apps without one are tracked
+    /// against [`slaq_obs::SloSpec::default`] when observability is on.
+    pub slo: Option<slaq_obs::SloSpec>,
 }
 
 /// A complete simulation scenario: cluster + timing + workloads +
@@ -110,7 +113,17 @@ impl Scenario {
         }
         if self.observe.is_on() {
             sim.set_recorder(slaq_obs::Recorder::enabled());
+            // Register every app on the SLO board (explicit spec or the
+            // default objective) so compliance is tracked corpus-wide.
+            for (i, app) in self.apps.iter().enumerate() {
+                sim.register_slo(
+                    AppId::new(i as u32),
+                    &app.spec.name,
+                    app.slo.unwrap_or_default(),
+                );
+            }
         }
+        sim.set_change_budget(self.controller.placement.max_changes);
         Ok(sim)
     }
 
@@ -332,6 +345,7 @@ impl PaperParams {
                 min_instances: 1,
                 max_instances: self.nodes,
                 estimator_alpha: 0.4,
+                slo: None,
             }],
             job_streams: vec![JobStreamSpec {
                 name: "batch".into(),

@@ -24,6 +24,7 @@
 use crate::controller::ControllerConfig;
 use crate::scenario::{Scenario, ScenarioApp};
 use serde::{Deserialize, Serialize};
+use slaq_obs::SloSpec;
 use slaq_perfmodel::TransactionalSpec;
 use slaq_placement::problem::PlacementConfig;
 use slaq_placement::{ShardPlan, SolveMode};
@@ -259,6 +260,10 @@ pub struct AppSpec {
     pub max_instances: u32,
     /// EWMA smoothing of the online demand estimator (in (0, 1]).
     pub estimator_alpha: f64,
+    /// Optional service-level objective. Absent (pre-SLO spec files) or
+    /// partial blocks fill defaults; apps without a block are still
+    /// tracked against [`SloSpec::default`] when observability is on.
+    pub slo: Option<SloSpec>,
 }
 
 impl AppSpec {
@@ -290,6 +295,10 @@ impl AppSpec {
                 section,
                 "estimator_alpha must lie in (0, 1]",
             ));
+        }
+        if let Some(slo) = &self.slo {
+            slo.validate()
+                .map_err(|detail| SlaqError::spec(section, detail))?;
         }
         Ok(())
     }
@@ -937,6 +946,7 @@ impl ScenarioSpec {
     ///         min_instances: 1,
     ///         max_instances: 4,
     ///         estimator_alpha: 0.4,
+    ///         slo: None,
     ///     }],
     ///     job_streams: vec![],
     ///     outages: vec![],
@@ -962,6 +972,7 @@ impl ScenarioSpec {
                 spec: app.transactional_spec()?,
                 trace: app.trace.clone(),
                 estimator_alpha: app.estimator_alpha,
+                slo: app.slo,
             });
         }
 
@@ -1124,6 +1135,7 @@ fn small_app(name: &str, trace: IntensityTrace, max_instances: u32) -> AppSpec {
         min_instances: 1,
         max_instances,
         estimator_alpha: 0.4,
+        slo: None,
     }
 }
 

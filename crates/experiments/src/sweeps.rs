@@ -152,6 +152,12 @@ pub struct CorpusOutcome {
     /// Mean request-weighted warmth of routed traffic (`route_quality`
     /// series); `0.0` for scenarios without a routing tier.
     pub route_quality: f64,
+    /// Worst per-app SLO compliance across the run (fraction of cycles
+    /// meeting the app's `slo` target, minimized over apps); `1.0` for
+    /// scenarios without transactional applications. The sweep runs
+    /// with the recorder on to read the SLO board — bit-identical
+    /// results either way, per the observability gate.
+    pub slo_compliance: f64,
 }
 
 /// Run every corpus preset under its own controller, horizon-capped to
@@ -189,9 +195,20 @@ fn sweep_specs(specs: Vec<ScenarioSpec>, max_cycles: Option<usize>) -> Result<Ve
                 spec.timing.cap_to_cycles(cycles);
             }
             let horizon = SimTime::from_secs(spec.timing.horizon_secs);
+            // Observe each run so the SLO board is populated (the
+            // recorder observes, never steers — every other column is
+            // bit-identical to an unobserved run).
+            spec.controller.observe = slaq_core::ObserveSpec::On;
             let scenario = spec.materialize()?;
             let mut controller = scenario.controller();
-            let report = scenario.run(controller.as_mut())?;
+            let mut sim = scenario.build()?;
+            let report = sim.run(controller.as_mut())?;
+            let slo_compliance = sim
+                .recorder()
+                .slo_board()
+                .iter()
+                .map(|(_, tracker)| tracker.compliance())
+                .fold(1.0f64, f64::min);
             Ok(CorpusOutcome {
                 scenario: spec.name.clone(),
                 controller: spec.controller.kind.name().to_string(),
@@ -212,6 +229,7 @@ fn sweep_specs(specs: Vec<ScenarioSpec>, max_cycles: Option<usize>) -> Result<Ve
                     .metrics
                     .mean_over("route_quality", SimTime::ZERO, horizon)
                     .unwrap_or(0.0),
+                slo_compliance,
             })
         })
         .collect();
@@ -403,11 +421,11 @@ pub fn format_staleness(cells: &[StalenessCell]) -> String {
 /// Text table for the corpus sweep.
 pub fn format_corpus(rows: &[CorpusOutcome]) -> String {
     let mut out = String::from(
-        "scenario              ctrl     nodes  apps  submitted  cycles  done   mean u_T   outlook  route-q\n",
+        "scenario              ctrl     nodes  apps  submitted  cycles  done   mean u_T   outlook  route-q  slo%\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{:<21} {:<8} {:<6} {:<5} {:<10} {:<7} {:<6} {:<10.3} {:<8.3} {:.3}\n",
+            "{:<21} {:<8} {:<6} {:<5} {:<10} {:<7} {:<6} {:<10.3} {:<8.3} {:<8.3} {:.1}\n",
             r.scenario,
             r.controller,
             r.nodes,
@@ -418,6 +436,7 @@ pub fn format_corpus(rows: &[CorpusOutcome]) -> String {
             r.mean_trans_utility,
             r.mean_jobs_outlook,
             r.route_quality,
+            r.slo_compliance * 100.0,
         ));
     }
     out

@@ -1,0 +1,217 @@
+//! The placement decision audit log: every disruptive change the
+//! control plane commits — solver steps, sharded lanes, the
+//! cross-shard rebalance pass, pipeline reconciliation — tagged with
+//! `(cycle, subject, from → to, step, reason)` into a bounded ring on
+//! the [`Recorder`], exported as deterministic JSONL.
+//!
+//! Entries carry no wall-clock timestamps and no allocation beyond the
+//! ring slot, so two runs of the same scenario produce bit-identical
+//! logs (the workspace's execution is single-threaded and the solver is
+//! deterministic); `tests/slo_audit.rs` pins that on every corpus
+//! preset.
+
+use crate::recorder::Recorder;
+
+/// Cap on buffered audit entries; beyond it the recorder counts drops
+/// instead of growing without bound (mirrors the trace-event cap).
+pub const AUDIT_CAP: usize = 262_144;
+
+/// What a placement decision acted on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AuditSubject {
+    /// A transactional application (instance start/stop), by raw id.
+    App(u32),
+    /// A batch job (start/suspend/migrate), by raw id.
+    Job(u32),
+}
+
+/// One audited placement decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AuditEntry {
+    /// Control cycle the decision belongs to (stamped via
+    /// [`Recorder::audit_begin_cycle`]).
+    pub cycle: u64,
+    /// The app or job acted on.
+    pub subject: AuditSubject,
+    /// Raw node id the subject moved from (`None` for fresh starts).
+    pub from: Option<u32>,
+    /// Raw node id the subject moved to (`None` for stops/suspends).
+    pub to: Option<u32>,
+    /// Pipeline stage that made the decision (e.g. `solve.step4`,
+    /// `shard.rebalance`, `pipeline.reconcile`).
+    pub step: &'static str,
+    /// Why (e.g. `demand-growth`, `evicted`, `stale-plan-repair`).
+    pub reason: &'static str,
+}
+
+/// Render a recorder's audit ring as JSON Lines: one object per
+/// decision, in commit order. Deterministic — no timestamps, stable
+/// field order — so repeat runs of the same scenario diff clean.
+/// Returns an empty string when the recorder is off.
+pub fn audit_jsonl(rec: &Recorder) -> String {
+    let entries = rec.audit_entries();
+    let mut s = String::new();
+    for e in &entries {
+        let (kind, id) = match e.subject {
+            AuditSubject::App(id) => ("app", id),
+            AuditSubject::Job(id) => ("job", id),
+        };
+        s.push_str(&format!(
+            "{{\"cycle\":{},\"subject\":\"{kind}\",\"id\":{id},\"from\":{},\"to\":{},\"step\":\"{}\",\"reason\":\"{}\"}}\n",
+            e.cycle,
+            opt(e.from),
+            opt(e.to),
+            e.step,
+            e.reason
+        ));
+    }
+    s
+}
+
+fn opt(v: Option<u32>) -> String {
+    match v {
+        Some(n) => n.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+/// Aggregate the audit ring into `(step, reason, count)` rows, sorted
+/// by step then reason — the shape the run report prints.
+pub fn audit_summary(entries: &[AuditEntry]) -> Vec<(&'static str, &'static str, u64)> {
+    let mut rows: Vec<(&'static str, &'static str, u64)> = Vec::new();
+    for e in entries {
+        match rows
+            .iter_mut()
+            .find(|(s, r, _)| *s == e.step && *r == e.reason)
+        {
+            Some(row) => row.2 += 1,
+            None => rows.push((e.step, e.reason, 1)),
+        }
+    }
+    rows.sort_by(|a, b| a.0.cmp(b.0).then(a.1.cmp(b.1)));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_recorder_audits_nothing() {
+        let r = Recorder::off();
+        r.audit_begin_cycle(3);
+        r.audit(
+            AuditSubject::Job(1),
+            None,
+            Some(2),
+            "solve.step3",
+            "priority-place",
+        );
+        assert!(r.audit_entries().is_empty());
+        assert_eq!(audit_jsonl(&r), "");
+    }
+
+    #[test]
+    fn entries_stamp_the_current_cycle_in_order() {
+        let r = Recorder::enabled();
+        r.audit_begin_cycle(0);
+        r.audit(
+            AuditSubject::Job(7),
+            None,
+            Some(2),
+            "solve.step3",
+            "priority-place",
+        );
+        r.audit_begin_cycle(1);
+        r.audit(
+            AuditSubject::Job(7),
+            Some(2),
+            Some(5),
+            "solve.step4",
+            "rebalance-deficit",
+        );
+        r.audit(
+            AuditSubject::App(1),
+            Some(4),
+            None,
+            "solve.step2",
+            "idle-shrink",
+        );
+        let entries = r.audit_entries();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].cycle, 0);
+        assert_eq!(entries[1].cycle, 1);
+        assert_eq!(entries[1].from, Some(2));
+        assert_eq!(entries[2].subject, AuditSubject::App(1));
+        assert_eq!(r.audit_dropped(), 0);
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_line() {
+        let r = Recorder::enabled();
+        r.audit_begin_cycle(2);
+        r.audit(
+            AuditSubject::Job(3),
+            Some(1),
+            Some(4),
+            "shard.rebalance",
+            "cross-shard-move",
+        );
+        r.audit(
+            AuditSubject::App(0),
+            None,
+            Some(9),
+            "solve.step2",
+            "demand-growth",
+        );
+        let out = audit_jsonl(&r);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"cycle\":2,\"subject\":\"job\",\"id\":3,\"from\":1,\"to\":4,\"step\":\"shard.rebalance\",\"reason\":\"cross-shard-move\"}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"cycle\":2,\"subject\":\"app\",\"id\":0,\"from\":null,\"to\":9,\"step\":\"solve.step2\",\"reason\":\"demand-growth\"}"
+        );
+    }
+
+    #[test]
+    fn summary_groups_and_sorts_by_step_then_reason() {
+        let r = Recorder::enabled();
+        r.audit_begin_cycle(0);
+        for _ in 0..3 {
+            r.audit(
+                AuditSubject::Job(1),
+                None,
+                Some(0),
+                "solve.step3",
+                "priority-place",
+            );
+        }
+        r.audit(
+            AuditSubject::Job(2),
+            Some(0),
+            None,
+            "solve.step5",
+            "evicted",
+        );
+        r.audit(
+            AuditSubject::App(0),
+            None,
+            Some(1),
+            "solve.step2",
+            "demand-growth",
+        );
+        let rows = audit_summary(&r.audit_entries());
+        assert_eq!(
+            rows,
+            vec![
+                ("solve.step2", "demand-growth", 1),
+                ("solve.step3", "priority-place", 3),
+                ("solve.step5", "evicted", 1),
+            ]
+        );
+    }
+}

@@ -162,6 +162,29 @@ impl Histogram {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+
+    /// The samples recorded since `earlier` (which must be a previous
+    /// snapshot of this histogram): bucket counts, `count` and `sum`
+    /// subtract exactly (saturating against misuse); `min`/`max` are
+    /// re-derived from the surviving buckets, so they are exact only to
+    /// bucket resolution (lower edge of the first non-empty bucket,
+    /// upper edge of the last). Backs the recorder's snapshot-delta
+    /// API.
+    pub fn saturating_diff(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (i, (&a, &b)) in self.buckets.iter().zip(earlier.buckets.iter()).enumerate() {
+            out.buckets[i] = a.saturating_sub(b);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        if out.count > 0 {
+            let first = out.buckets.iter().position(|&c| c > 0).unwrap_or(0);
+            let last = out.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+            out.min = Self::bucket_lower(first);
+            out.max = Self::bucket_upper(last).saturating_sub(1).max(out.min);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +262,70 @@ mod tests {
         assert_eq!(a.sum(), 1 + 2 + 4 + 8 + 16 + (1 << 40));
         assert_eq!(a.buckets()[0], 1);
         assert_eq!(a.buckets()[41], 1);
+    }
+
+    /// The interpolation contract at exact bucket boundaries: a
+    /// quantile rank landing on the last sample of a bucket reports
+    /// that bucket, and rank+1 jumps to the next bucket's lower edge —
+    /// no off-by-one smearing across the pow-2 boundary.
+    #[test]
+    fn quantile_ranks_at_exact_bucket_boundaries() {
+        let mut h = Histogram::new();
+        // 10 samples of 8 (bucket [8,16)) then 10 of 16 (bucket [16,32)).
+        for _ in 0..10 {
+            h.record(8);
+        }
+        for _ in 0..10 {
+            h.record(16);
+        }
+        // Rank 10 (q = 0.5) is the last 8; rank 11 (q = 0.55) the first 16.
+        assert_eq!(h.quantile(0.50), 8);
+        assert_eq!(h.quantile(0.55), 16);
+        // q just above 0.5 still rounds up to rank 11.
+        assert_eq!(h.quantile(0.5001), 16);
+        // The extreme quantiles pin to the exact extrema.
+        assert_eq!(h.quantile(1.0), 16);
+        assert_eq!(h.quantile(1e-9), 8); // rank clamps to 1
+    }
+
+    /// Boundary values `2^k` sit in bucket k+1 whose lower edge is the
+    /// value itself, while `2^k - 1` sits one bucket below — quantiles
+    /// over such inputs must respect the split exactly.
+    #[test]
+    fn quantiles_respect_the_pow2_split() {
+        let mut h = Histogram::new();
+        for _ in 0..50 {
+            h.record(1023); // bucket [512, 1024)
+        }
+        for _ in 0..50 {
+            h.record(1024); // bucket [1024, 2048)
+        }
+        assert_eq!(h.p50(), 1023); // rank 50: lower edge 512 raised to min
+        assert_eq!(h.quantile(0.51), 1024); // rank 51: exactly the boundary
+        assert_eq!(h.p95(), 1024);
+    }
+
+    #[test]
+    fn saturating_diff_recovers_the_new_samples() {
+        let mut h = Histogram::new();
+        h.record(4);
+        h.record(16);
+        let snap = h.clone();
+        h.record(16);
+        h.record(64);
+        let d = h.saturating_diff(&snap);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.sum(), 16 + 64);
+        assert_eq!(d.buckets()[Histogram::bucket_index(16)], 1);
+        assert_eq!(d.buckets()[Histogram::bucket_index(64)], 1);
+        // Extrema come back at bucket resolution: [16,32) and [64,128).
+        assert_eq!(d.min(), 16);
+        assert_eq!(d.max(), 127);
+        // Diffing identical snapshots is empty.
+        let z = h.saturating_diff(&h.clone());
+        assert_eq!(z.count(), 0);
+        assert_eq!(z.min(), 0);
+        assert_eq!(z.max(), 0);
     }
 
     #[test]

@@ -28,6 +28,18 @@
 //!   `ph:"i"` instants), loadable in `chrome://tracing` / Perfetto.
 //! - [`prometheus_text`] — Prometheus text exposition of counters and
 //!   histograms.
+//! - [`audit_jsonl`] — the placement decision audit log as
+//!   deterministic JSON Lines.
+//!
+//! ## SLA observability
+//!
+//! On top of the raw plane sits the SLA layer: per-app [`SloSpec`]s
+//! tracked cycle by cycle into compliance/burn/worst-window stats
+//! ([`slo`]), a violation [`Attribution`] whose named causes sum
+//! exactly to each cycle's deficit, and the bounded placement decision
+//! audit ring ([`audit`]) every solver step, shard lane, and
+//! reconciliation pass tags its changes into. All of it obeys the same
+//! contract: observes, never steers.
 //!
 //! ```
 //! use slaq_obs::{Recorder, run_report};
@@ -43,10 +55,14 @@
 
 #![deny(missing_docs)]
 
+pub mod audit;
 pub mod hist;
 pub mod recorder;
 pub mod report;
+pub mod slo;
 
+pub use audit::{audit_jsonl, AuditEntry, AuditSubject};
 pub use hist::Histogram;
-pub use recorder::{Key, Recorder, SpanGuard, SpanStats};
+pub use recorder::{Key, ObsSnapshot, Recorder, SloId, SpanGuard, SpanStats};
 pub use report::{chrome_trace_json, prometheus_text, run_report};
+pub use slo::{Attribution, SloSample, SloSpec, SloTracker};

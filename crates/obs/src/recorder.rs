@@ -20,7 +20,9 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::ThreadId;
 use std::time::Instant;
 
+use crate::audit::{AuditEntry, AuditSubject, AUDIT_CAP};
 use crate::hist::Histogram;
+use crate::slo::{Attribution, SloSample, SloSpec, SloTracker};
 
 /// Upper bound on buffered trace events (spans + instants). Beyond
 /// this the registry counts drops instead of allocating.
@@ -34,6 +36,12 @@ const EVENT_CAP: usize = 1_000_000;
 /// pass into any recording call (a no-op on a disabled recorder).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Key(u32);
+
+/// Handle to one registered per-app SLO tracker, returned by
+/// [`Recorder::slo_register`]. Like [`Key`], the dummy a disabled
+/// recorder hands out is valid to pass back in (a no-op).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SloId(u32);
 
 /// Aggregate statistics for one span name.
 #[derive(Clone, Debug)]
@@ -92,6 +100,13 @@ pub(crate) struct Registry {
     dropped_events: u64,
     stacks: HashMap<ThreadId, Vec<OpenSpan>>,
     tids: HashMap<ThreadId, u32>,
+    /// Placement decision audit ring (bounded at [`AUDIT_CAP`]).
+    pub(crate) audit: Vec<AuditEntry>,
+    pub(crate) audit_dropped: u64,
+    /// Control cycle stamped onto incoming audit entries.
+    audit_cycle: u64,
+    /// Per-app SLO trackers, in registration order.
+    pub(crate) slos: Vec<(String, SloTracker)>,
 }
 
 impl Registry {
@@ -106,6 +121,10 @@ impl Registry {
             dropped_events: 0,
             stacks: HashMap::new(),
             tids: HashMap::new(),
+            audit: Vec::new(),
+            audit_dropped: 0,
+            audit_cycle: 0,
+            slos: Vec::new(),
         }
     }
 
@@ -374,6 +393,123 @@ impl Recorder {
         }
     }
 
+    /// Stamp the control cycle onto subsequent [`Recorder::audit`]
+    /// entries. The simulator calls this at the top of every control
+    /// cycle, before routing/sensing, so decisions made anywhere in the
+    /// cycle tag correctly.
+    #[inline]
+    pub fn audit_begin_cycle(&self, cycle: u64) {
+        if let Some(s) = &self.shared {
+            s.lock().audit_cycle = cycle;
+        }
+    }
+
+    /// Append one placement decision to the audit ring, stamped with
+    /// the current cycle. Beyond [`AUDIT_CAP`] entries the call counts
+    /// a drop instead of growing the ring.
+    #[inline]
+    pub fn audit(
+        &self,
+        subject: AuditSubject,
+        from: Option<u32>,
+        to: Option<u32>,
+        step: &'static str,
+        reason: &'static str,
+    ) {
+        if let Some(s) = &self.shared {
+            let mut reg = s.lock();
+            if reg.audit.len() < AUDIT_CAP {
+                let cycle = reg.audit_cycle;
+                reg.audit.push(AuditEntry {
+                    cycle,
+                    subject,
+                    from,
+                    to,
+                    step,
+                    reason,
+                });
+            } else {
+                reg.audit_dropped += 1;
+            }
+        }
+    }
+
+    /// Snapshot of the audit ring, in commit order.
+    pub fn audit_entries(&self) -> Vec<AuditEntry> {
+        match &self.shared {
+            None => Vec::new(),
+            Some(s) => s.lock().audit.clone(),
+        }
+    }
+
+    /// Audit entries dropped after the ring cap was hit.
+    pub fn audit_dropped(&self) -> u64 {
+        match &self.shared {
+            None => 0,
+            Some(s) => s.lock().audit_dropped,
+        }
+    }
+
+    /// Register a per-app SLO tracker under `name` (the app's display
+    /// name); returns the handle to feed samples through. Re-registering
+    /// a name returns the existing tracker's handle.
+    pub fn slo_register(&self, name: &str, spec: SloSpec) -> SloId {
+        match &self.shared {
+            None => SloId(0),
+            Some(s) => {
+                let mut reg = s.lock();
+                if let Some(ix) = reg.slos.iter().position(|(n, _)| n == name) {
+                    return SloId(ix as u32);
+                }
+                let ix = reg.slos.len() as u32;
+                reg.slos.push((name.to_string(), SloTracker::new(spec)));
+                SloId(ix)
+            }
+        }
+    }
+
+    /// Fold one cycle's SLO sample and deficit attribution into the
+    /// tracker behind `id`.
+    #[inline]
+    pub fn slo_observe(&self, id: SloId, sample: &SloSample, attr: &Attribution) {
+        if let Some(s) = &self.shared {
+            if let Some((_, tracker)) = s.lock().slos.get_mut(id.0 as usize) {
+                tracker.observe(sample, attr);
+            }
+        }
+    }
+
+    /// Snapshot of the per-app SLO board, in registration order.
+    pub fn slo_board(&self) -> Vec<(String, SloTracker)> {
+        match &self.shared {
+            None => Vec::new(),
+            Some(s) => s.lock().slos.clone(),
+        }
+    }
+
+    /// Capture the current counters, value histograms, and span-duration
+    /// histograms by name. Two snapshots taken around a stretch of work
+    /// diff into that stretch's activity via
+    /// [`ObsSnapshot::delta_since`] — the read-and-diff surface for
+    /// per-cycle rates without registry access.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        let mut snap = ObsSnapshot::default();
+        if let Some(s) = &self.shared {
+            let reg = s.lock();
+            for (name, &ix) in &reg.by_name {
+                let ix = ix as usize;
+                snap.counters.insert(name.clone(), reg.counters[ix]);
+                if reg.hists[ix].count() > 0 {
+                    snap.hists.insert(name.clone(), reg.hists[ix].clone());
+                }
+                if reg.spans[ix].count > 0 {
+                    snap.spans.insert(name.clone(), reg.spans[ix].hist.clone());
+                }
+            }
+        }
+        snap
+    }
+
     /// Visit per-span aggregates, counters, and histograms. Used by the
     /// export formatters in [`crate::report`].
     pub(crate) fn with_registry<R>(&self, f: impl FnOnce(&Registry) -> R) -> Option<R> {
@@ -419,6 +555,71 @@ impl Drop for SpanGuard {
             dur_us: Some(dur_us),
             args: None,
         });
+    }
+}
+
+/// A point-in-time capture of a recorder's counters and histograms,
+/// taken with [`Recorder::snapshot`]. Subtract an earlier snapshot to
+/// get the activity in between — the building block for per-cycle
+/// rates and watchdogs that must not reach into the registry.
+#[derive(Clone, Debug, Default)]
+pub struct ObsSnapshot {
+    counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Histogram>,
+    spans: BTreeMap<String, Histogram>,
+}
+
+impl ObsSnapshot {
+    /// Counter value at capture time (0 when the name is absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Value histogram at capture time, if it had samples.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Span-duration histogram (µs) at capture time, if the span ever
+    /// completed.
+    pub fn span_hist(&self, name: &str) -> Option<&Histogram> {
+        self.spans.get(name)
+    }
+
+    /// All counter names captured, sorted.
+    pub fn counter_names(&self) -> impl Iterator<Item = &str> {
+        self.counters.keys().map(String::as_str)
+    }
+
+    /// The activity between `earlier` and this snapshot: counters
+    /// subtract saturating; histograms subtract bucket-wise (extrema of
+    /// a diffed histogram are bucket-edge approximations — exact counts
+    /// and sums, min/max only to bucket resolution). Names absent from
+    /// `earlier` carry over whole; empty diffs are dropped.
+    pub fn delta_since(&self, earlier: &ObsSnapshot) -> ObsSnapshot {
+        let mut out = ObsSnapshot::default();
+        for (name, &v) in &self.counters {
+            let d = v.saturating_sub(earlier.counter(name));
+            if d > 0 {
+                out.counters.insert(name.clone(), d);
+            }
+        }
+        let diff_map = |now: &BTreeMap<String, Histogram>,
+                        then: &BTreeMap<String, Histogram>,
+                        into: &mut BTreeMap<String, Histogram>| {
+            for (name, h) in now {
+                let d = match then.get(name) {
+                    Some(prev) => h.saturating_diff(prev),
+                    None => h.clone(),
+                };
+                if d.count() > 0 {
+                    into.insert(name.clone(), d);
+                }
+            }
+        };
+        diff_map(&self.hists, &earlier.hists, &mut out.hists);
+        diff_map(&self.spans, &earlier.spans, &mut out.spans);
+        out
     }
 }
 
@@ -502,6 +703,88 @@ mod tests {
         // stay robust on loaded machines.
         assert!(si.total_us >= 7_000, "inner {}us", si.total_us);
         assert!(so.self_us < si.total_us, "outer self should exclude inner");
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_new_activity() {
+        let r = Recorder::enabled();
+        let k = r.key("hits");
+        let h = r.key("sizes");
+        r.count(k, 3);
+        r.observe(h, 8);
+        let before = r.snapshot();
+        assert_eq!(before.counter("hits"), 3);
+        r.count(k, 4);
+        r.observe(h, 32);
+        let delta = r.snapshot().delta_since(&before);
+        assert_eq!(delta.counter("hits"), 4, "delta counts only new activity");
+        let dh = delta.histogram("sizes").expect("new samples survive");
+        assert_eq!(dh.count(), 1);
+        // Extrema re-derived at bucket resolution: 32 lands in [32, 64).
+        assert!((32..64).contains(&dh.max()), "max {}", dh.max());
+        // A quiet window yields an empty delta: zero counters and empty
+        // histograms are dropped rather than reported as no-ops.
+        let quiet = r.snapshot().delta_since(&r.snapshot());
+        assert_eq!(quiet.counter_names().count(), 0);
+        assert!(quiet.histogram("sizes").is_none());
+    }
+
+    #[test]
+    fn snapshot_on_an_off_recorder_is_empty() {
+        let r = Recorder::off();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_names().count(), 0);
+        assert_eq!(snap.counter("anything"), 0);
+    }
+
+    #[test]
+    fn audit_ring_stamps_cycles_and_bounds_growth() {
+        let r = Recorder::enabled();
+        r.audit_begin_cycle(7);
+        r.audit(
+            AuditSubject::Job(3),
+            None,
+            Some(2),
+            "solve.step3",
+            "priority-place",
+        );
+        r.audit_begin_cycle(8);
+        r.audit(
+            AuditSubject::Job(3),
+            Some(2),
+            Some(5),
+            "solve.step4",
+            "rebalance-deficit",
+        );
+        let entries = r.audit_entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].cycle, 7);
+        assert_eq!(entries[1].cycle, 8);
+        assert_eq!(entries[1].from, Some(2));
+        assert_eq!(r.audit_dropped(), 0);
+    }
+
+    #[test]
+    fn slo_board_tracks_registered_specs() {
+        let r = Recorder::enabled();
+        let id = r.slo_register("web", SloSpec::default());
+        // Re-registering the same name returns the same slot.
+        assert_eq!(r.slo_register("web", SloSpec::default()), id);
+        let sample = SloSample {
+            satisfied: 0.5,
+            deficit_mhz: 100.0,
+            ..SloSample::default()
+        };
+        let attr = Attribution {
+            capacity_mhz: 100.0,
+            ..Attribution::default()
+        };
+        r.slo_observe(id, &sample, &attr);
+        let board = r.slo_board();
+        assert_eq!(board.len(), 1);
+        assert_eq!(board[0].0, "web");
+        assert_eq!(board[0].1.cycles(), 1);
+        assert_eq!(board[0].1.violations(), 1);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! run-report table, Chrome trace-event JSON, and a Prometheus-style
 //! text dump.
 
+use crate::audit::audit_summary;
 use crate::hist::Histogram;
 use crate::recorder::{fmt_f64, Recorder};
 
@@ -31,7 +32,12 @@ pub fn run_report(rec: &Recorder) -> String {
 
         let mut s = String::new();
         s.push_str("== run report ==\n");
-        if rows.is_empty() && counters.is_empty() && hists.is_empty() {
+        if rows.is_empty()
+            && counters.is_empty()
+            && hists.is_empty()
+            && reg.slos.is_empty()
+            && reg.audit.is_empty()
+        {
             s.push_str("(no samples recorded)\n");
             return s;
         }
@@ -75,6 +81,52 @@ pub fn run_report(rec: &Recorder) -> String {
                     h.p95(),
                     h.max()
                 ));
+            }
+        }
+        if !reg.slos.is_empty() {
+            s.push_str("\nper-app SLO compliance:\n");
+            s.push_str(&format!(
+                "  {:<16} {:>7} {:>7} {:>11} {:>6} {:>7} {:>12}  {}\n",
+                "app",
+                "cycles",
+                "viol",
+                "compliance",
+                "burn",
+                "worstW",
+                "deficit(MHz)",
+                "attribution (outage/route/stale/budget/capacity MHz)"
+            ));
+            for (name, t) in &reg.slos {
+                let a = t.attribution();
+                s.push_str(&format!(
+                    "  {:<16} {:>7} {:>7} {:>10.1}% {:>6.2} {:>7} {:>12.1}  {:.1}/{:.1}/{:.1}/{:.1}/{:.1}\n",
+                    name,
+                    t.cycles(),
+                    t.violations(),
+                    t.compliance() * 100.0,
+                    t.burn_rate(),
+                    t.worst_window(),
+                    t.total_deficit_mhz(),
+                    a.outage_mhz,
+                    a.routing_mhz,
+                    a.staleness_mhz,
+                    a.budget_mhz,
+                    a.capacity_mhz,
+                ));
+            }
+        }
+        if !reg.audit.is_empty() || reg.audit_dropped > 0 {
+            s.push_str(&format!(
+                "\naudit log: {} decisions ({} dropped)\n",
+                reg.audit.len(),
+                reg.audit_dropped
+            ));
+            s.push_str(&format!(
+                "  {:<22} {:<22} {:>8}\n",
+                "step", "reason", "count"
+            ));
+            for (step, reason, count) in audit_summary(&reg.audit) {
+                s.push_str(&format!("  {step:<22} {reason:<22} {count:>8}\n"));
             }
         }
         s

@@ -64,6 +64,35 @@ pub enum PlacementChange {
     },
 }
 
+impl PlacementChange {
+    /// Lower this change to the audit log's
+    /// `(subject, from, to)` triple — raw ids, `None` for the missing
+    /// side of starts/stops. Used by every layer that tags committed
+    /// changes into the [`slaq_obs::Recorder`] audit ring.
+    pub fn audit_parts(&self) -> (slaq_obs::AuditSubject, Option<u32>, Option<u32>) {
+        use slaq_obs::AuditSubject;
+        match *self {
+            PlacementChange::StartInstance { app, node } => {
+                (AuditSubject::App(app.raw()), None, Some(node.raw()))
+            }
+            PlacementChange::StopInstance { app, node } => {
+                (AuditSubject::App(app.raw()), Some(node.raw()), None)
+            }
+            PlacementChange::StartJob { job, node } => {
+                (AuditSubject::Job(job.raw()), None, Some(node.raw()))
+            }
+            PlacementChange::SuspendJob { job, node } => {
+                (AuditSubject::Job(job.raw()), Some(node.raw()), None)
+            }
+            PlacementChange::MigrateJob { job, from, to } => (
+                AuditSubject::Job(job.raw()),
+                Some(from.raw()),
+                Some(to.raw()),
+            ),
+        }
+    }
+}
+
 impl Placement {
     /// Empty placement (cold cluster).
     pub fn empty() -> Self {

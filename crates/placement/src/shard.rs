@@ -771,6 +771,13 @@ impl ShardedSolver {
                 .insert(job.id, (problem.nodes[t].id, CpuMhz::new(grant)));
             budget -= 1;
             moved += 1;
+            self.recorder.audit(
+                slaq_obs::AuditSubject::Job(job.id.raw()),
+                current.map(|(old, _)| old.raw()),
+                Some(problem.nodes[t].id.raw()),
+                "shard.rebalance",
+                "cross-shard-move",
+            );
         }
         moved
     }

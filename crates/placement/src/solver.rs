@@ -672,6 +672,17 @@ impl Solver {
                 s.app_hosts[ai].remove(pos);
                 s.app_take[ai].remove(pos);
                 budget -= 1;
+                rec.audit(
+                    slaq_obs::AuditSubject::App(app.id.raw()),
+                    Some(s.nodes[hi].id.raw()),
+                    None,
+                    "solve.step2",
+                    if app.demand.is_zero() {
+                        "idle-shrink"
+                    } else {
+                        "max-instances"
+                    },
+                );
                 if engine == CandidateEngine::Heap {
                     // No longer a host: back into candidacy immediately.
                     heap.restore(hi, s.nodes[hi].cpu_free, s.nodes[hi].mem_free);
@@ -732,6 +743,13 @@ impl Solver {
                 s.app_hosts[ai].push(i);
                 s.app_take[ai].push(0.0);
                 budget -= 1;
+                rec.audit(
+                    slaq_obs::AuditSubject::App(app.id.raw()),
+                    None,
+                    Some(s.nodes[i].id.raw()),
+                    "solve.step2",
+                    "demand-growth",
+                );
                 if engine == CandidateEngine::Heap {
                     heap.remove(i); // now a host of this app
                 }
@@ -811,6 +829,13 @@ impl Solver {
                 s.app_hosts[ai].push(i);
                 s.app_take[ai].push(0.0);
                 budget -= 1;
+                rec.audit(
+                    slaq_obs::AuditSubject::App(app.id.raw()),
+                    None,
+                    Some(s.nodes[i].id.raw()),
+                    "solve.step2",
+                    "min-instances",
+                );
                 if engine == CandidateEngine::Heap {
                     heap.remove(i);
                 }
@@ -871,6 +896,13 @@ impl Solver {
                 acted = true;
                 s.job_node[ji] = Some(i);
                 s.committed[ji] = job.demand.as_f64();
+                rec.audit(
+                    slaq_obs::AuditSubject::Job(job.id.raw()),
+                    None,
+                    Some(s.nodes[i].id.raw()),
+                    "solve.step3",
+                    "priority-place",
+                );
             } else {
                 if !job.demand.is_zero() && budget > 0 {
                     place_failed_mem = Some(match place_failed_mem {
@@ -927,6 +959,13 @@ impl Solver {
                 s.committed[ji] = newgot;
                 s.job_node[ji] = Some(t);
                 budget -= 1;
+                rec.audit(
+                    slaq_obs::AuditSubject::Job(job.id.raw()),
+                    Some(s.nodes[cur].id.raw()),
+                    Some(s.nodes[t].id.raw()),
+                    "solve.step4",
+                    "rebalance-deficit",
+                );
                 if engine == CandidateEngine::Heap {
                     heap.update(cur, s.nodes[cur].cpu_free, s.nodes[cur].mem_free);
                     heap.update(t, s.nodes[t].cpu_free, s.nodes[t].mem_free);
@@ -989,12 +1028,26 @@ impl Solver {
                 s.nodes[i].mem_free += problem.jobs[vi].mem;
                 s.nodes[i].cpu_free += std::mem::replace(&mut s.committed[vi], 0.0);
                 budget -= 1; // the suspension
+                rec.audit(
+                    slaq_obs::AuditSubject::Job(problem.jobs[vi].id.raw()),
+                    Some(s.nodes[i].id.raw()),
+                    None,
+                    "solve.step5",
+                    "evicted",
+                );
                 s.nodes[i].mem_free -= job.mem;
                 let got = job.demand.as_f64().min(s.nodes[i].cpu_free);
                 s.nodes[i].cpu_free -= got;
                 s.committed[ji] = got;
                 s.job_node[ji] = Some(i);
                 budget -= 1; // the start
+                rec.audit(
+                    slaq_obs::AuditSubject::Job(job.id.raw()),
+                    None,
+                    Some(s.nodes[i].id.raw()),
+                    "solve.step5",
+                    "evict-place",
+                );
                 evict_failed_mem = None; // node states changed: memo off
             } else {
                 evict_failed_mem = Some(match evict_failed_mem {
@@ -1057,12 +1110,26 @@ impl Solver {
                         s.app_hosts[ai].remove(pos);
                         s.app_take[ai].remove(pos);
                         budget -= 1; // the instance stop
+                        rec.audit(
+                            slaq_obs::AuditSubject::App(app.id.raw()),
+                            Some(s.nodes[i].id.raw()),
+                            None,
+                            "solve.step6",
+                            "memory-reclaim",
+                        );
                         s.nodes[i].mem_free -= job.mem;
                         let got = job.demand.as_f64().min(s.nodes[i].cpu_free);
                         s.nodes[i].cpu_free -= got;
                         s.committed[ji] = got;
                         s.job_node[ji] = Some(i);
                         budget -= 1; // the job start
+                        rec.audit(
+                            slaq_obs::AuditSubject::Job(job.id.raw()),
+                            None,
+                            Some(s.nodes[i].id.raw()),
+                            "solve.step6",
+                            "reclaim-place",
+                        );
                         reclaim_failed_mem = None; // headroom changed: memo off
                         break 'apps;
                     }

@@ -177,6 +177,16 @@ pub struct Simulator {
     /// Interned routing warm/discount series keys per app, filled
     /// lazily on first route.
     route_keys: BTreeMap<slaq_types::AppId, (MetricKey, MetricKey)>,
+    /// SLO board handles per app (registered via
+    /// [`Simulator::register_slo`]; empty unless observability is on).
+    slo_ids: BTreeMap<slaq_types::AppId, slaq_obs::SloId>,
+    /// This cycle's flushed (rt secs, utility) per app, parallel to
+    /// `apps`. Private sensing state — feeds only the SLO board, so it
+    /// never steers the simulation.
+    last_app_flush: Vec<Option<(f64, f64)>>,
+    /// The controller's configured per-cycle change budget, for
+    /// budget-exhaustion attribution (`None` = unlimited).
+    change_budget: Option<usize>,
     now: SimTime,
     next_control: SimTime,
     cycles: usize,
@@ -281,6 +291,9 @@ impl Simulator {
             keys,
             app_keys: Vec::new(),
             route_keys: BTreeMap::new(),
+            slo_ids: BTreeMap::new(),
+            last_app_flush: Vec::new(),
+            change_budget: None,
             now: SimTime::ZERO,
             next_control: SimTime::ZERO,
             cycles: 0,
@@ -304,6 +317,25 @@ impl Simulator {
     /// The installed recorder (clone it to read reports after a run).
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// Register app `id` on the recorder's SLO board under `name`. Each
+    /// control cycle the simulator measures the app's satisfied-CPU
+    /// fraction, deficit and response time against `spec` and feeds the
+    /// tracker, with the deficit decomposed into named causes. A no-op
+    /// while the recorder is off.
+    pub fn register_slo(&mut self, id: slaq_types::AppId, name: &str, spec: slaq_obs::SloSpec) {
+        if self.recorder.is_enabled() {
+            let slo_id = self.recorder.slo_register(name, spec);
+            self.slo_ids.insert(id, slo_id);
+        }
+    }
+
+    /// Declare the controller's per-cycle change budget so violation
+    /// attribution can recognize budget-exhausted cycles. Purely
+    /// observational — the simulator never enforces it.
+    pub fn set_change_budget(&mut self, max_changes: Option<usize>) {
+        self.change_budget = max_changes;
     }
 
     /// Schedule a node outage (failure injection). May be called multiple
@@ -386,6 +418,7 @@ impl Simulator {
             rt: self.metrics.intern(app.rt_metric_key()),
             utility: self.metrics.intern(app.utility_metric_key()),
         });
+        self.last_app_flush.push(None);
         self.apps.push(app);
     }
 
@@ -670,6 +703,9 @@ impl Simulator {
     /// placement and record the mechanical series).
     fn run_control(&mut self, controller: &mut dyn Controller) -> Result<()> {
         let _cycle = self.recorder.span(self.obs.cycle);
+        // Stamp the audit ring before any stage runs, so decisions made
+        // anywhere in this cycle (router, solver, reconcile) tag it.
+        self.recorder.audit_begin_cycle(self.cycles as u64);
         // --- route ---
         {
             let _route = self.recorder.span(self.obs.route);
@@ -704,8 +740,113 @@ impl Simulator {
         self.cycles += 1;
         self.total_changes += n_changes;
         self.record_cycle_series(n_changes, &live_nodes);
+        if self.recorder.is_enabled() && !self.slo_ids.is_empty() {
+            self.observe_slos(&live_nodes, n_changes);
+        }
         drop(actuate_span);
         Ok(())
+    }
+
+    /// The SLO pass, run after actuation on observed runs only: measure
+    /// each registered app's satisfied-CPU fraction against the work it
+    /// offered this cycle, decompose any deficit into named causes, and
+    /// feed the recorder's SLO board. Reads simulation state and writes
+    /// only into the recorder — observes, never steers.
+    ///
+    /// Attribution is a sequential min-chain per app, in documented
+    /// order — outage loss, routing-discount mismatch, pipeline
+    /// staleness, change-budget exhaustion — with the cluster-capacity
+    /// cause taking the exact remainder, so the parts always sum to the
+    /// deficit (`tests/slo_audit.rs` pins this on every preset).
+    fn observe_slos(&self, live_nodes: &[NodeCapacity], n_changes: usize) {
+        let t = self.now;
+        // Cluster-level context shared by every app's chain.
+        let offline_cpu: f64 = self
+            .nodes
+            .iter()
+            .zip(live_nodes)
+            .map(|(full, live)| (full.cpu.as_f64() - live.cpu.as_f64()).max(0.0))
+            .sum();
+        let online_cpu: f64 = live_nodes.iter().map(|n| n.cpu.as_f64()).sum();
+        let total_alloc =
+            self.placement.total_app_alloc().as_f64() + self.placement.total_job_alloc().as_f64();
+        let spare = (online_cpu - total_alloc).max(0.0);
+        // A pipelined controller stamps the enacted plan's staleness at
+        // the enactment instant; any other cycle reads 0.
+        let staleness = match self.metrics.series("pipeline_staleness_cycles").last() {
+            Some(&(ts, v)) if ts == t.as_secs() => v,
+            _ => 0.0,
+        };
+        let budget_hit = self.change_budget.is_some_and(|b| b > 0 && n_changes >= b);
+
+        // First pass: offered work and deficit per app, plus the total
+        // deficit that proportions the shared causes.
+        let mut rows: Vec<(usize, f64, f64, f64)> = Vec::new(); // (app ix, raw, offered, deficit)
+        let mut total_deficit = 0.0;
+        for (i, app) in self.apps.iter().enumerate() {
+            if !self.slo_ids.contains_key(&app.id) {
+                continue;
+            }
+            let raw = app.true_lambda(t) * app.spec.service_per_request.as_f64();
+            let offered = raw * app.route_discount();
+            let alloc = self.placement.app_alloc(app.id).as_f64();
+            let deficit = (offered - alloc).max(0.0);
+            total_deficit += deficit;
+            rows.push((i, raw, offered, deficit));
+        }
+
+        for (i, raw, offered, deficit) in rows {
+            let app = &self.apps[i];
+            let Some(&slo_id) = self.slo_ids.get(&app.id) else {
+                continue;
+            };
+            let alloc = self.placement.app_alloc(app.id).as_f64();
+            let satisfied = if offered <= 0.0 {
+                1.0
+            } else {
+                (alloc / offered).clamp(0.0, 1.0)
+            };
+            let (rt_secs, utility) = match self.last_app_flush[i] {
+                Some((rt, u)) => (Some(rt), Some(u)),
+                None => (None, None),
+            };
+            let sample = slaq_obs::SloSample {
+                satisfied,
+                deficit_mhz: deficit,
+                rt_secs,
+                utility,
+            };
+            let share = if total_deficit > 0.0 {
+                deficit / total_deficit
+            } else {
+                0.0
+            };
+            let mut rem = deficit;
+            let outage_mhz = rem.min(offline_cpu * share);
+            rem -= outage_mhz;
+            let routing_mhz = rem.min((raw - offered).max(0.0));
+            rem -= routing_mhz;
+            let staleness_mhz = if staleness >= 1.0 {
+                rem * (staleness / (staleness + 1.0))
+            } else {
+                0.0
+            };
+            rem -= staleness_mhz;
+            let budget_mhz = if budget_hit {
+                rem.min(spare * share)
+            } else {
+                0.0
+            };
+            rem -= budget_mhz;
+            let attr = slaq_obs::Attribution {
+                outage_mhz,
+                routing_mhz,
+                staleness_mhz,
+                budget_mhz,
+                capacity_mhz: rem,
+            };
+            self.recorder.slo_observe(slo_id, &sample, &attr);
+        }
     }
 
     /// The routing stage, run before sensing: batch each app's cycle
@@ -769,7 +910,9 @@ impl Simulator {
     /// per-node warmth scores as a placement hint.
     fn sense(&mut self) -> Vec<AppObservation> {
         for (i, app) in self.apps.iter_mut().enumerate() {
-            if let Some((rt, u)) = app.flush_cycle() {
+            let flushed = app.flush_cycle();
+            self.last_app_flush[i] = flushed.map(|(rt, u)| (rt.as_secs(), u));
+            if let Some((rt, u)) = flushed {
                 let keys = self.app_keys[i];
                 self.metrics.record_key(keys.rt, self.now, rt.as_secs());
                 self.metrics.record_key(keys.utility, self.now, u);

@@ -27,11 +27,13 @@ use std::path::Path;
 fn usage() -> ! {
     eprintln!(
         "usage: run_scenario [<spec.json> | --preset <name> | --dump <name> | --list | --dir [path]]\n\
-         \x20      [--report] [--trace-out <file>]\n\
+         \x20      [--report] [--trace-out <file>] [--audit-out <file>] [--prom-out <file>]\n\
          presets: {}\n\
          --dir runs every *.json spec in the directory (default: scenarios/)\n\
          --report prints the observability run report (spans, counters, histograms)\n\
-         --trace-out writes a Chrome trace-event JSON of the run's spans",
+         --trace-out writes a Chrome trace-event JSON of the run's spans\n\
+         --audit-out writes the placement decision audit log as JSONL\n\
+         --prom-out writes the final counters/histograms in Prometheus text format",
         ScenarioSpec::preset_names().join(", ")
     );
     std::process::exit(2);
@@ -43,11 +45,16 @@ fn usage() -> ! {
 struct ObsFlags {
     report: bool,
     trace_out: Option<String>,
+    audit_out: Option<String>,
+    prom_out: Option<String>,
 }
 
 impl ObsFlags {
     fn on(&self) -> bool {
-        self.report || self.trace_out.is_some()
+        self.report
+            || self.trace_out.is_some()
+            || self.audit_out.is_some()
+            || self.prom_out.is_some()
     }
 }
 
@@ -61,6 +68,14 @@ fn split_obs_flags(args: Vec<String>) -> (ObsFlags, Vec<String>) {
             "--report" => flags.report = true,
             "--trace-out" => match it.next() {
                 Some(path) => flags.trace_out = Some(path),
+                None => usage(),
+            },
+            "--audit-out" => match it.next() {
+                Some(path) => flags.audit_out = Some(path),
+                None => usage(),
+            },
+            "--prom-out" => match it.next() {
+                Some(path) => flags.prom_out = Some(path),
                 None => usage(),
             },
             _ => rest.push(a),
@@ -223,6 +238,22 @@ fn run_one(label: &str, spec: &ScenarioSpec, obs: &ObsFlags) {
             std::process::exit(1);
         }
         eprintln!("wrote Chrome trace ({} bytes) to {path}", json.len());
+    }
+    if let Some(path) = &obs.audit_out {
+        let jsonl = slaq::obs::audit_jsonl(sim.recorder());
+        if let Err(e) = std::fs::write(path, &jsonl) {
+            eprintln!("{label}: cannot write audit log to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote audit log ({} bytes) to {path}", jsonl.len());
+    }
+    if let Some(path) = &obs.prom_out {
+        let text = slaq::obs::prometheus_text(sim.recorder());
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("{label}: cannot write Prometheus text to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote Prometheus text ({} bytes) to {path}", text.len());
     }
 }
 
