@@ -50,6 +50,9 @@ pub struct ScenarioApp {
 pub struct Scenario {
     /// Label used in reports.
     pub name: String,
+    /// The spec's master seed, carried through for the seeded runtime
+    /// models (overbooking bites, elasticity resize draws).
+    pub seed: u64,
     /// The cluster.
     pub cluster: ClusterSpec,
     /// Simulator timing and overheads.
@@ -60,6 +63,12 @@ pub struct Scenario {
     pub jobs: Vec<(SimTime, JobSpec)>,
     /// Planned node outages.
     pub outages: Vec<NodeOutage>,
+    /// Partial-capacity windows from the lowered chaos plan.
+    pub dips: Vec<slaq_sim::CapacityDip>,
+    /// Overbooking model to install on the simulator.
+    pub overcommit: Option<slaq_sim::OvercommitSpec>,
+    /// Vertical-elasticity model to install on the simulator.
+    pub elasticity: Option<slaq_sim::ElasticitySpec>,
     /// Controller configuration (placement knobs, sharding plan, and
     /// importance tiers from the job mix).
     pub controller: ControllerConfig,
@@ -107,6 +116,15 @@ impl Scenario {
         sim.add_arrivals(self.jobs.clone());
         for o in &self.outages {
             sim.add_outage(*o);
+        }
+        for d in &self.dips {
+            sim.add_capacity_dip(*d);
+        }
+        if let Some(oc) = self.overcommit {
+            sim.set_overcommit(self.seed, oc);
+        }
+        if let Some(el) = self.elasticity {
+            sim.set_elasticity(self.seed, el);
         }
         if let Some(cfg) = self.routing {
             sim.set_routing(slaq_routing::RoutingTier::new(cfg));
@@ -364,6 +382,9 @@ impl PaperParams {
                 seed_offset: 0,
             }],
             outages: vec![],
+            chaos: None,
+            overcommit: None,
+            elasticity: None,
         }
     }
 

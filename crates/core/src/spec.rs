@@ -28,7 +28,9 @@ use slaq_obs::SloSpec;
 use slaq_perfmodel::TransactionalSpec;
 use slaq_placement::problem::PlacementConfig;
 use slaq_placement::{ShardPlan, SolveMode};
-use slaq_sim::{NodeOutage, OverheadConfig, SimConfig, SimReport};
+use slaq_sim::{
+    ChaosSpec, ElasticitySpec, NodeOutage, OvercommitSpec, OverheadConfig, SimConfig, SimReport,
+};
 use slaq_types::{
     ClusterSpec, CpuMhz, EntityId, JobId, MemMb, NodeId, Result, SimDuration, SimTime, SlaqError,
     Work, ZoneId,
@@ -849,6 +851,16 @@ pub struct ScenarioSpec {
     pub job_streams: Vec<JobStreamSpec>,
     /// Planned node outages (failure injection).
     pub outages: Vec<OutageSpec>,
+    /// Adversarial chaos plan (zone storms, flapping nodes, capacity
+    /// degradation, flash crowds, batch floods), lowered onto the
+    /// outage/trace/stream machinery at materialization. Absent in
+    /// pre-chaos spec files, which keep parsing.
+    pub chaos: Option<ChaosSpec>,
+    /// Overbooking knobs: advertised-capacity ratios plus the seeded
+    /// true-usage bite model.
+    pub overcommit: Option<OvercommitSpec>,
+    /// Vertical elasticity: seeded mid-run job resize events.
+    pub elasticity: Option<ElasticitySpec>,
 }
 
 /// Rewrite a nested spec error's section to the outer path.
@@ -915,6 +927,45 @@ impl ScenarioSpec {
                 return Err(SlaqError::spec(section, "outage window must be non-empty"));
             }
         }
+        // Reject overlapping hand-written windows on the same node: two
+        // overlapping outages almost always mean a typo'd plan, and the
+        // simulator would silently merge them.
+        let mut windows: Vec<(u32, f64, f64, usize)> = self
+            .outages
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (o.node, o.from_secs, o.to_secs, i))
+            .collect();
+        windows.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        for w in windows.windows(2) {
+            let (node, _, prev_to, prev_ix) = w[0];
+            let (next_node, next_from, _, next_ix) = w[1];
+            if node == next_node && next_from < prev_to {
+                return Err(SlaqError::spec(
+                    format!("outages[{next_ix}]"),
+                    format!("window overlaps outages[{prev_ix}] on node {node}"),
+                ));
+            }
+        }
+        if let Some(chaos) = &self.chaos {
+            chaos
+                .validate(nodes as usize)
+                .map_err(|msg| SlaqError::spec("chaos", msg))?;
+        }
+        if let Some(oc) = &self.overcommit {
+            oc.validate()
+                .map_err(|msg| SlaqError::spec("overcommit", msg))?;
+            if !self.timing.cap_transactional {
+                return Err(SlaqError::spec(
+                    "overcommit",
+                    "the overbooking model requires timing.cap_transactional",
+                ));
+            }
+        }
+        if let Some(el) = &self.elasticity {
+            el.validate()
+                .map_err(|msg| SlaqError::spec("elasticity", msg))?;
+        }
         Ok(())
     }
 
@@ -950,6 +1001,9 @@ impl ScenarioSpec {
     ///     }],
     ///     job_streams: vec![],
     ///     outages: vec![],
+    ///     chaos: None,
+    ///     overcommit: None,
+    ///     elasticity: None,
     /// };
     /// spec.timing.cap_to_cycles(2); // keep the doctest run short
     ///
@@ -966,11 +1020,25 @@ impl ScenarioSpec {
         let sim = self.timing.materialize();
         let horizon = sim.horizon;
 
+        // Lower the chaos plan (if any) onto the concrete machinery:
+        // outage windows, capacity dips, a demand spike summed onto
+        // every app trace, and an antagonist job stream.
+        let plan = self
+            .chaos
+            .as_ref()
+            .map(|c| c.lower(self.seed, horizon.as_secs(), &self.cluster.zone_table()));
+
         let mut apps = Vec::with_capacity(self.apps.len());
         for app in &self.apps {
+            let trace = match plan.as_ref().and_then(|p| p.spike.clone()) {
+                Some(spike) => IntensityTrace::Sum {
+                    parts: vec![app.trace.clone(), spike],
+                },
+                None => app.trace.clone(),
+            };
             apps.push(ScenarioApp {
                 spec: app.transactional_spec()?,
-                trace: app.trace.clone(),
+                trace,
                 estimator_alpha: app.estimator_alpha,
                 slo: app.slo,
             });
@@ -988,6 +1056,18 @@ impl ScenarioSpec {
                 .arrivals
                 .stream(stream.max_jobs, horizon, arrival_seed);
             generated.extend(stream.mix.generate(&arrivals, mix_seed, generated.len()));
+        }
+        if let Some(flood) = plan.as_ref().and_then(|p| p.flood) {
+            let flood_seed = self.seed.wrapping_add(0x466c_6f6f_6421); // "Flood!"
+            let arrivals = ArrivalProcess::BatchDrops {
+                first_secs: flood.first_secs,
+                period_secs: flood.period_secs,
+                batch_size: flood.batch_size,
+            }
+            .stream(flood.max_jobs as usize, horizon, flood_seed);
+            let mix = JobMix::uniform(batch_template("flood", flood.work_secs, flood.mem_mb));
+            let mix_seed = flood_seed ^ 0x6a09_e667_f3bc_c909;
+            generated.extend(mix.generate(&arrivals, mix_seed, generated.len()));
         }
         generated.sort_by(|a, b| {
             b.submit
@@ -1032,7 +1112,7 @@ impl ScenarioSpec {
             ..ControllerConfig::default()
         };
 
-        let outages = self
+        let mut outages: Vec<NodeOutage> = self
             .outages
             .iter()
             .map(|o| NodeOutage {
@@ -1041,14 +1121,23 @@ impl ScenarioSpec {
                 to: SimTime::from_secs(o.to_secs),
             })
             .collect();
+        let mut dips = Vec::new();
+        if let Some(plan) = plan {
+            outages.extend(plan.outages);
+            dips = plan.dips;
+        }
 
         Ok(Scenario {
             name: self.name.clone(),
+            seed: self.seed,
             cluster,
             sim,
             apps,
             jobs,
             outages,
+            dips,
+            overcommit: self.overcommit,
+            elasticity: self.elasticity,
             controller,
             kind: self.controller.kind,
             pipeline: self.controller.pipeline,
@@ -1075,7 +1164,10 @@ impl ScenarioSpec {
         serde_json::from_str(text).map_err(|e| SlaqError::spec("json", e.to_string()))
     }
 
-    /// Names of the built-in corpus, in canonical order.
+    /// Names of the built-in corpus, in canonical order. The last four
+    /// are the adversarial presets (chaos plans, overbooking,
+    /// elasticity) asserted under the invariant checker by
+    /// `tests/adversarial.rs`.
     pub fn preset_names() -> &'static [&'static str] {
         &[
             "paper",
@@ -1086,6 +1178,10 @@ impl ScenarioSpec {
             "differentiation-mix",
             "consolidation",
             "request-routing",
+            "flash-crowd",
+            "zone-storm",
+            "node-flap",
+            "antagonist-flood",
         ]
     }
 
@@ -1100,6 +1196,10 @@ impl ScenarioSpec {
             "differentiation-mix" => Some(differentiation_mix()),
             "consolidation" => Some(consolidation()),
             "request-routing" => Some(request_routing()),
+            "flash-crowd" => Some(flash_crowd()),
+            "zone-storm" => Some(zone_storm()),
+            "node-flap" => Some(node_flap()),
+            "antagonist-flood" => Some(antagonist_flood()),
             _ => None,
         }
     }
@@ -1189,6 +1289,9 @@ fn hetero_pool() -> ScenarioSpec {
             from_secs: 9000.0,
             to_secs: 13_000.0,
         }],
+        chaos: None,
+        overcommit: None,
+        elasticity: None,
     }
 }
 
@@ -1233,6 +1336,9 @@ fn diurnal() -> ScenarioSpec {
             seed_offset: 0,
         }],
         outages: vec![],
+        chaos: None,
+        overcommit: None,
+        elasticity: None,
     }
 }
 
@@ -1275,6 +1381,9 @@ fn bursty_batch() -> ScenarioSpec {
             },
         ],
         outages: vec![],
+        chaos: None,
+        overcommit: None,
+        elasticity: None,
     }
 }
 
@@ -1318,6 +1427,9 @@ fn differentiation_mix() -> ScenarioSpec {
             seed_offset: 0,
         }],
         outages: vec![],
+        chaos: None,
+        overcommit: None,
+        elasticity: None,
     }
 }
 
@@ -1392,6 +1504,9 @@ fn consolidation() -> ScenarioSpec {
             seed_offset: 0,
         }],
         outages: vec![],
+        chaos: None,
+        overcommit: None,
+        elasticity: None,
     }
 }
 
@@ -1450,6 +1565,208 @@ fn request_routing() -> ScenarioSpec {
             seed_offset: 0,
         }],
         outages: vec![],
+        chaos: None,
+        overcommit: None,
+        elasticity: None,
+    }
+}
+
+/// Adversarial: overbooked cluster under recurring flash crowds. The
+/// controller sees 30% more CPU than physically exists while a
+/// rectangular demand surge lands every 6000 s; roughly every third
+/// cycle a node's true usage bites, clipping placed work and feeding
+/// the `overcommit` attribution cause.
+fn flash_crowd() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "flash-crowd".into(),
+        seed: 8,
+        cluster: ClusterTopology::homogeneous(6, 4, 3000.0, 4096),
+        timing: TimingSpec {
+            horizon_secs: 22_000.0,
+            ..TimingSpec::default()
+        },
+        controller: ControllerSpec::default(),
+        apps: vec![small_app("storefront", IntensityTrace::constant(14.0), 8)],
+        job_streams: vec![JobStreamSpec {
+            name: "batch".into(),
+            arrivals: ArrivalProcess::poisson_constant(240.0).expect("positive mean"),
+            max_jobs: 70,
+            mix: JobMix::uniform(batch_template("batch", 4000.0, 1280)),
+            seed_offset: 0,
+        }],
+        outages: vec![],
+        chaos: Some(ChaosSpec {
+            flash_crowds: Some(slaq_sim::FlashCrowdSpec {
+                surge: 30.0,
+                first_secs: 2000.0,
+                period_secs: 6000.0,
+                spike_secs: 900.0,
+            }),
+            ..ChaosSpec::default()
+        }),
+        overcommit: Some(OvercommitSpec {
+            cpu_ratio: 1.3,
+            mem_ratio: 1.0,
+            bite_prob: 0.35,
+            bite_depth: 0.3,
+        }),
+        elasticity: None,
+    }
+}
+
+/// Adversarial: correlated zone-outage storms over the consolidation
+/// topology (three zones, so the sharded engine is live). Every storm
+/// takes half of one randomly chosen zone down for 1500 s — the
+/// controller must repeatedly evacuate and re-pack whole racks.
+fn zone_storm() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "zone-storm".into(),
+        seed: 8,
+        cluster: ClusterTopology {
+            pools: vec![
+                NodePoolSpec {
+                    count: 6,
+                    cpus_per_node: 4,
+                    core_mhz: 3000.0,
+                    node_mem_mb: 4096,
+                    zone: Some("core".into()),
+                },
+                NodePoolSpec {
+                    count: 3,
+                    cpus_per_node: 8,
+                    core_mhz: 2400.0,
+                    node_mem_mb: 16_384,
+                    zone: Some("yard".into()),
+                },
+                NodePoolSpec {
+                    count: 3,
+                    cpus_per_node: 2,
+                    core_mhz: 3600.0,
+                    node_mem_mb: 2048,
+                    zone: Some("edge".into()),
+                },
+            ],
+        },
+        timing: TimingSpec {
+            horizon_secs: 24_000.0,
+            ..TimingSpec::default()
+        },
+        controller: ControllerSpec::default(),
+        apps: vec![
+            small_app("storefront", IntensityTrace::constant(16.0), 8),
+            small_app("search", IntensityTrace::constant(10.0), 6),
+        ],
+        job_streams: vec![JobStreamSpec {
+            name: "batch".into(),
+            arrivals: ArrivalProcess::poisson_constant(240.0).expect("positive mean"),
+            max_jobs: 80,
+            mix: JobMix::uniform(batch_template("batch", 3500.0, 1280)),
+            seed_offset: 0,
+        }],
+        outages: vec![],
+        chaos: Some(ChaosSpec {
+            zone_storms: Some(slaq_sim::ZoneStormSpec {
+                first_secs: 3000.0,
+                period_secs: 6000.0,
+                duration_secs: 1500.0,
+                zones_per_storm: 1,
+                node_fraction: 0.5,
+            }),
+            degradation: Some(slaq_sim::DegradationSpec {
+                nodes: 2,
+                from_secs: 8000.0,
+                to_secs: 16000.0,
+                cpu_factor: 0.6,
+            }),
+            ..ChaosSpec::default()
+        }),
+        overcommit: None,
+        elasticity: None,
+    }
+}
+
+/// Adversarial: two seeded flappers cycling down and up every 4800 s
+/// under a tight 6-change budget — the regime where a churn-happy
+/// controller would thrash and blow its budget re-placing the same
+/// victims every cycle.
+fn node_flap() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "node-flap".into(),
+        seed: 8,
+        cluster: ClusterTopology::homogeneous(6, 4, 3000.0, 4096),
+        timing: TimingSpec {
+            horizon_secs: 22_000.0,
+            ..TimingSpec::default()
+        },
+        controller: ControllerSpec {
+            max_changes: Some(6),
+            ..ControllerSpec::default()
+        },
+        apps: vec![small_app("storefront", IntensityTrace::constant(14.0), 8)],
+        job_streams: vec![JobStreamSpec {
+            name: "batch".into(),
+            arrivals: ArrivalProcess::poisson_constant(240.0).expect("positive mean"),
+            max_jobs: 90,
+            mix: JobMix::uniform(batch_template("batch", 4000.0, 1280)),
+            seed_offset: 0,
+        }],
+        outages: vec![],
+        chaos: Some(ChaosSpec {
+            flaps: Some(slaq_sim::FlapSpec {
+                nodes: 2,
+                first_secs: 2400.0,
+                period_secs: 4800.0,
+                down_secs: 900.0,
+            }),
+            ..ChaosSpec::default()
+        }),
+        overcommit: None,
+        elasticity: None,
+    }
+}
+
+/// Adversarial: an antagonist batch flood (periodic drops of ten short
+/// jobs) on top of a modest resident stream, with vertical elasticity
+/// resizing running jobs mid-flight — contention plus churn, the delta
+/// solver's worst case.
+fn antagonist_flood() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "antagonist-flood".into(),
+        seed: 8,
+        cluster: ClusterTopology::homogeneous(6, 4, 3000.0, 4096),
+        timing: TimingSpec {
+            horizon_secs: 22_000.0,
+            ..TimingSpec::default()
+        },
+        controller: ControllerSpec::default(),
+        apps: vec![small_app("storefront", IntensityTrace::constant(14.0), 8)],
+        job_streams: vec![JobStreamSpec {
+            name: "batch".into(),
+            arrivals: ArrivalProcess::poisson_constant(300.0).expect("positive mean"),
+            max_jobs: 40,
+            mix: JobMix::uniform(batch_template("batch", 4000.0, 1280)),
+            seed_offset: 0,
+        }],
+        outages: vec![],
+        chaos: Some(ChaosSpec {
+            batch_floods: Some(slaq_sim::FloodSpec {
+                first_secs: 3000.0,
+                period_secs: 5000.0,
+                batch_size: 10,
+                max_jobs: 40,
+                work_secs: 3000.0,
+                mem_mb: 1280,
+            }),
+            ..ChaosSpec::default()
+        }),
+        overcommit: None,
+        elasticity: Some(ElasticitySpec {
+            first_secs: 1800.0,
+            period_secs: 2400.0,
+            grow_factor: 1.6,
+            shrink_factor: 0.55,
+            max_events: 6,
+        }),
     }
 }
 
@@ -1514,6 +1831,63 @@ mod tests {
         s.apps.clear();
         s.job_streams.clear();
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_overlapping_outage_windows_on_one_node() {
+        let mut s = ScenarioSpec::preset("hetero-pool").unwrap();
+        let first = s.outages[0];
+        // A second window on the same node starting inside the first.
+        s.outages.push(OutageSpec {
+            node: first.node,
+            from_secs: (first.from_secs + first.to_secs) / 2.0,
+            to_secs: first.to_secs + 500.0,
+        });
+        let e = s.validate().unwrap_err();
+        assert!(e.to_string().contains("overlaps"), "{e}");
+        assert!(e.to_string().contains("outages[1]"), "{e}");
+        // The same window on a different node is fine.
+        s.outages[1].node = first.node + 1;
+        s.validate().expect("disjoint nodes may share windows");
+        // Touching windows (to == from) on one node are fine too.
+        s.outages[1] = OutageSpec {
+            node: first.node,
+            from_secs: first.to_secs,
+            to_secs: first.to_secs + 500.0,
+        };
+        s.validate().expect("back-to-back windows are not overlaps");
+    }
+
+    #[test]
+    fn validation_names_the_adversarial_knob_sections() {
+        let mut s = ScenarioSpec::preset("flash-crowd").unwrap();
+        s.chaos
+            .as_mut()
+            .unwrap()
+            .flash_crowds
+            .as_mut()
+            .unwrap()
+            .surge = -1.0;
+        let e = s.validate().unwrap_err();
+        assert!(e.to_string().contains("chaos"), "{e}");
+        assert!(e.to_string().contains("flash_crowds.surge"), "{e}");
+
+        let mut s = ScenarioSpec::preset("flash-crowd").unwrap();
+        s.overcommit.as_mut().unwrap().cpu_ratio = 0.5;
+        let e = s.validate().unwrap_err();
+        assert!(e.to_string().contains("overcommit"), "{e}");
+
+        // Overbooking without the transactional cap is rejected: the
+        // true-usage clip is only defined for capped app allocations.
+        let mut s = ScenarioSpec::preset("flash-crowd").unwrap();
+        s.timing.cap_transactional = false;
+        let e = s.validate().unwrap_err();
+        assert!(e.to_string().contains("cap_transactional"), "{e}");
+
+        let mut s = ScenarioSpec::preset("antagonist-flood").unwrap();
+        s.elasticity.as_mut().unwrap().grow_factor = 0.9;
+        let e = s.validate().unwrap_err();
+        assert!(e.to_string().contains("elasticity"), "{e}");
     }
 
     #[test]

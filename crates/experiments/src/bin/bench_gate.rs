@@ -350,6 +350,32 @@ fn cycle_latency_entries() -> Vec<BenchEntry> {
             micros: times[times.len() / 2],
         });
     }
+    // The adversarial twin: the same end-to-end cycle measurement on the
+    // `zone-storm` preset — correlated zone outages plus mid-run capacity
+    // dips driving the fault paths (dead-node filtering, suspension,
+    // dip-scaled capacities) every few cycles. Baseline-gated like the
+    // rest, and pinned against the friendly sync cycle by the same-run
+    // ≤ 3x invariant below so chaos handling can never quietly become a
+    // multiple of the control cycle.
+    {
+        let mut spec = ScenarioSpec::preset("zone-storm").expect("preset exists");
+        spec.timing.cap_to_cycles(10);
+        let scenario = spec.materialize().expect("preset is valid");
+        let mut times: Vec<f64> = (0..7)
+            .map(|_| {
+                let mut controller = scenario.controller();
+                let mut sim = scenario.build().expect("preset builds");
+                let start = Instant::now();
+                let report = sim.run(controller.as_mut()).expect("preset runs");
+                start.elapsed().as_secs_f64() * 1e6 / report.cycles.max(1) as f64
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        entries.push(BenchEntry {
+            name: "cycle_chaos_zone_storm".into(),
+            micros: times[times.len() / 2],
+        });
+    }
     entries
 }
 
@@ -461,6 +487,25 @@ fn relative_invariants_hold(entries: &[BenchEntry]) -> bool {
             eprintln!(
                 "FAIL audit overhead: SLO/audit-on sync cycle {on:.1} µs exceeds \
                  1.5x the obs-off {off:.1} µs"
+            );
+            ok = false;
+        }
+    }
+    // Chaos handling: the zone-storm cycle (12-node three-zone fleet,
+    // storm outages and capacity dips toggling nodes in and out of the
+    // live set) must stay within 3x of the friendly paper-small sync
+    // cycle in the same run. The fault paths are O(outages + dips)
+    // scans per event boundary plus the normal solve on a slightly
+    // larger fleet, so 3x bounds "chaos is ordinary control work" while
+    // leaving room for the bigger problem size.
+    if let (Some(friendly), Some(chaos)) = (
+        find("cycle_sync_paper_small"),
+        find("cycle_chaos_zone_storm"),
+    ) {
+        if chaos > friendly * 3.0 {
+            eprintln!(
+                "FAIL chaos overhead: zone-storm cycle {chaos:.1} µs exceeds \
+                 3x the friendly sync cycle {friendly:.1} µs"
             );
             ok = false;
         }

@@ -94,12 +94,12 @@ pub fn run_report(rec: &Recorder) -> String {
                 "burn",
                 "worstW",
                 "deficit(MHz)",
-                "attribution (outage/route/stale/budget/capacity MHz)"
+                "attribution (outage/route/stale/budget/overcommit/capacity MHz)"
             ));
             for (name, t) in &reg.slos {
                 let a = t.attribution();
                 s.push_str(&format!(
-                    "  {:<16} {:>7} {:>7} {:>10.1}% {:>6.2} {:>7} {:>12.1}  {:.1}/{:.1}/{:.1}/{:.1}/{:.1}\n",
+                    "  {:<16} {:>7} {:>7} {:>10.1}% {:>6.2} {:>7} {:>12.1}  {:.1}/{:.1}/{:.1}/{:.1}/{:.1}/{:.1}\n",
                     name,
                     t.cycles(),
                     t.violations(),
@@ -111,6 +111,7 @@ pub fn run_report(rec: &Recorder) -> String {
                     a.routing_mhz,
                     a.staleness_mhz,
                     a.budget_mhz,
+                    a.overcommit_mhz,
                     a.capacity_mhz,
                 ));
             }

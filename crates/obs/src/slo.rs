@@ -15,9 +15,10 @@
 //! Each cycle's CPU-satisfaction deficit (MHz of discounted offered
 //! work the placement did not cover) is decomposed into named causes by
 //! a *sequential min-chain* — outage loss, routing-discount mismatch,
-//! pipeline staleness, change-budget exhaustion, and a cluster-capacity
-//! remainder — so the parts always sum back to the total deficit. The
-//! invariant is checked by `tests/slo_audit.rs` on every corpus preset.
+//! pipeline staleness, change-budget exhaustion, overbooking clip, and
+//! a cluster-capacity remainder — so the parts always sum back to the
+//! total deficit. The invariant is checked by `tests/slo_audit.rs` on
+//! every corpus preset.
 
 use serde::{DeError, Deserialize, Serialize, Value};
 
@@ -161,6 +162,10 @@ pub struct Attribution {
     /// Deficit left because the cycle's change budget was exhausted
     /// while online capacity still had headroom.
     pub budget_mhz: f64,
+    /// Placed CPU the overbooking model's true-usage bite clipped away
+    /// this cycle (allocated minus delivered, when overcommitted nodes
+    /// could not honor their advertised capacity).
+    pub overcommit_mhz: f64,
     /// The remainder: genuine cluster capacity shortfall (and solver
     /// imperfection). Takes whatever the other causes did not, keeping
     /// the sum exact.
@@ -174,6 +179,7 @@ impl Attribution {
             + self.routing_mhz
             + self.staleness_mhz
             + self.budget_mhz
+            + self.overcommit_mhz
             + self.capacity_mhz
     }
 
@@ -183,6 +189,7 @@ impl Attribution {
         self.routing_mhz += other.routing_mhz;
         self.staleness_mhz += other.staleness_mhz;
         self.budget_mhz += other.budget_mhz;
+        self.overcommit_mhz += other.overcommit_mhz;
         self.capacity_mhz += other.capacity_mhz;
     }
 }
@@ -400,7 +407,8 @@ mod tests {
             outage_mhz: 100.0,
             routing_mhz: 50.0,
             staleness_mhz: 0.0,
-            budget_mhz: 25.0,
+            budget_mhz: 15.0,
+            overcommit_mhz: 10.0,
             capacity_mhz: 25.0,
         };
         t.observe(&sample(0.5, 200.0), &a);

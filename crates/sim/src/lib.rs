@@ -33,12 +33,17 @@
 #![warn(clippy::all)]
 
 pub mod apps;
+pub mod chaos;
 pub mod cluster;
 pub mod metrics;
 pub mod simulator;
 pub mod snapshot;
 
 pub use apps::{AppObservation, TransactionalRuntime};
+pub use chaos::{
+    CapacityDip, ChaosSpec, DegradationSpec, ElasticitySpec, FaultPlan, FlapSpec, FlashCrowdSpec,
+    FloodSpec, InvariantChecker, OvercommitSpec, ZoneStormSpec,
+};
 pub use cluster::effective_speeds;
 pub use metrics::{MetricKey, MetricsSink};
 pub use simulator::{

@@ -10,6 +10,7 @@
 use crate::apps::{AppObservation, TransactionalRuntime};
 use crate::cluster::effective_speeds;
 use crate::metrics::{MetricKey, MetricsSink};
+use rand::{RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 use slaq_jobs::{JobManager, JobSpec, JobState, JobStats};
 use slaq_obs::Recorder;
@@ -156,6 +157,19 @@ pub struct Simulator {
     metrics: MetricsSink,
     config: SimConfig,
     outages: Vec<NodeOutage>,
+    /// Partial-capacity windows (chaos degradation): CPU scaled, node
+    /// alive. Empty unless installed via [`Simulator::add_capacity_dip`].
+    dips: Vec<crate::chaos::CapacityDip>,
+    /// Overbooking model `(seed, spec)`: advertised capacities are the
+    /// physical ones scaled by the overcommit ratios, and a seeded
+    /// true-usage draw per `(cycle, node)` occasionally claws real CPU
+    /// back. `None` leaves every code path and every float untouched.
+    overcommit: Option<(u64, crate::chaos::OvercommitSpec)>,
+    /// Vertical elasticity `(seed, spec)` plus the precomputed resize
+    /// instants (ascending) and a cursor into them.
+    elasticity: Option<(u64, crate::chaos::ElasticitySpec)>,
+    resize_events: Vec<SimTime>,
+    resize_at: usize,
     /// Diffs consecutive cycles' sensed inputs into the advisory
     /// [`SolveDelta`](slaq_placement::SolveDelta) hint for
     /// [`Controller::control_delta`].
@@ -284,6 +298,11 @@ impl Simulator {
             metrics,
             config,
             outages: Vec::new(),
+            dips: Vec::new(),
+            overcommit: None,
+            elasticity: None,
+            resize_events: Vec::new(),
+            resize_at: 0,
             delta_tracker: crate::snapshot::DeltaTracker::default(),
             routing: None,
             recorder,
@@ -344,9 +363,44 @@ impl Simulator {
         self.outages.push(outage);
     }
 
-    /// Nodes with *effective* capacities at instant `t`: a node inside an
-    /// outage window contributes zero CPU and zero memory.
-    fn effective_nodes(&self, t: SimTime) -> Vec<NodeCapacity> {
+    /// Schedule a partial-capacity window (chaos degradation): the
+    /// node's CPU is scaled by the dip's factor during `[from, to)`
+    /// while the node stays alive and keeps its memory.
+    pub fn add_capacity_dip(&mut self, dip: crate::chaos::CapacityDip) {
+        self.dips.push(dip);
+    }
+
+    /// Install the overbooking model. The controller is shown node
+    /// capacities inflated by the overcommit ratios; each control
+    /// cycle a seeded per-node draw ([`crate::chaos::bite_factor`])
+    /// decides whether physical capacity bites, proportionally
+    /// clipping everything granted on the affected node. Assumes
+    /// transactional allocations are capped at their solver slices
+    /// ([`SimConfig::cap_transactional`]).
+    pub fn set_overcommit(&mut self, seed: u64, spec: crate::chaos::OvercommitSpec) {
+        self.overcommit = Some((seed, spec));
+    }
+
+    /// Install the vertical-elasticity model: at seeded instants a
+    /// random active job's remaining work grows or shrinks, surfacing
+    /// to delta-aware controllers as resize churn through the
+    /// [`DeltaTracker`](crate::snapshot::DeltaTracker).
+    pub fn set_elasticity(&mut self, seed: u64, spec: crate::chaos::ElasticitySpec) {
+        let mut events = Vec::new();
+        let mut t = spec.first_secs;
+        while (events.len() as u32) < spec.max_events && t < self.config.horizon.as_secs() {
+            events.push(SimTime::from_secs(t));
+            t += spec.period_secs;
+        }
+        self.resize_events = events;
+        self.resize_at = 0;
+        self.elasticity = Some((seed, spec));
+    }
+
+    /// Nodes with *physical* capacities at instant `t`: a node inside
+    /// an outage window contributes zero CPU and zero memory; one
+    /// inside a dip window contributes scaled CPU.
+    fn physical_nodes(&self, t: SimTime) -> Vec<NodeCapacity> {
         self.nodes
             .iter()
             .map(|n| {
@@ -355,10 +409,23 @@ impl Simulator {
                     .iter()
                     .any(|o| o.node == n.id && o.from <= t && t < o.to);
                 if down {
-                    NodeCapacity {
+                    return NodeCapacity {
                         id: n.id,
                         cpu: CpuMhz::ZERO,
                         mem: slaq_types::MemMb::ZERO,
+                    };
+                }
+                let dip = self
+                    .dips
+                    .iter()
+                    .filter(|d| d.node == n.id && d.from <= t && t < d.to)
+                    .map(|d| d.cpu_factor)
+                    .fold(1.0, f64::min);
+                if dip < 1.0 {
+                    NodeCapacity {
+                        id: n.id,
+                        cpu: n.cpu * dip,
+                        mem: n.mem,
                     }
                 } else {
                     *n
@@ -367,18 +434,85 @@ impl Simulator {
             .collect()
     }
 
-    /// Earliest outage boundary (start or end) after `t`.
+    /// Nodes with *advertised* capacities at instant `t`: the physical
+    /// capacities, inflated by the overcommit ratios when overbooking
+    /// is on. This is what the controller senses and what enacted
+    /// placements are validated against.
+    fn effective_nodes(&self, t: SimTime) -> Vec<NodeCapacity> {
+        let mut nodes = self.physical_nodes(t);
+        if let Some((_, oc)) = &self.overcommit {
+            for n in &mut nodes {
+                n.cpu = n.cpu * oc.cpu_ratio;
+                n.mem = slaq_types::MemMb::new((n.mem.as_u64() as f64 * oc.mem_ratio) as u64);
+            }
+        }
+        nodes
+    }
+
+    /// Earliest outage or capacity-dip boundary (start or end) after `t`.
     fn next_outage_event(&self, t: SimTime) -> SimTime {
         let mut earliest = SimTime::NEVER;
-        for o in &self.outages {
-            if o.from > t {
-                earliest = earliest.min(o.from);
+        for (from, to) in self
+            .outages
+            .iter()
+            .map(|o| (o.from, o.to))
+            .chain(self.dips.iter().map(|d| (d.from, d.to)))
+        {
+            if from > t {
+                earliest = earliest.min(from);
             }
-            if o.to > t {
-                earliest = earliest.min(o.to);
+            if to > t {
+                earliest = earliest.min(to);
             }
         }
         earliest
+    }
+
+    /// Next pending elasticity resize instant (`NEVER` if none).
+    fn next_resize_event(&self) -> SimTime {
+        self.resize_events
+            .get(self.resize_at)
+            .copied()
+            .unwrap_or(SimTime::NEVER)
+    }
+
+    /// Apply every elasticity resize due at or before `now`: a seeded
+    /// draw picks one active job and grows or shrinks its remaining
+    /// work. Deterministic per event index, independent of controller
+    /// choices only insofar as the active-job set is — which is exactly
+    /// the churn signal the delta path must absorb.
+    fn apply_resizes(&mut self) {
+        let Some((seed, el)) = self.elasticity else {
+            return;
+        };
+        while self.resize_at < self.resize_events.len()
+            && self.resize_events[self.resize_at] <= self.now
+        {
+            let k = self.resize_at as u64;
+            self.resize_at += 1;
+            let active: Vec<JobId> = self
+                .job_mgr
+                .jobs()
+                .iter()
+                .filter(|j| j.is_active() && j.remaining.as_f64() > 0.0)
+                .map(|j| j.id)
+                .collect();
+            if active.is_empty() {
+                continue;
+            }
+            let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(
+                seed ^ 0x5265_7369_7a65_4a6f ^ k.wrapping_mul(0x9e37_79b9_7f4a_7c15), // "ResizeJo"
+            );
+            let target = active[(rng.next_u64() % active.len() as u64) as usize];
+            let factor = if rng.next_u64() & 1 == 0 {
+                el.grow_factor
+            } else {
+                el.shrink_factor
+            };
+            if let Ok(job) = self.job_mgr.job_mut(target) {
+                job.remaining = job.remaining * factor;
+            }
+        }
     }
 
     /// Strip the placement of anything on nodes that are down at `now`:
@@ -566,6 +700,71 @@ impl Simulator {
         Ok(changes.len())
     }
 
+    /// Per-node clip factors (all `< 1`) for nodes whose granted CPU
+    /// exceeds this cycle's *true* capacity under the overbooking
+    /// model. Empty when overbooking is off or nothing bites — the
+    /// common case, so callers can skip all clipping work.
+    fn overcommit_node_clip(
+        &self,
+        job_speeds: &BTreeMap<JobId, CpuMhz>,
+    ) -> BTreeMap<slaq_types::NodeId, f64> {
+        let mut clip = BTreeMap::new();
+        let Some((seed, oc)) = &self.overcommit else {
+            return clip;
+        };
+        let mut granted: BTreeMap<slaq_types::NodeId, f64> = BTreeMap::new();
+        for (j, &(n, _)) in &self.placement.jobs {
+            *granted.entry(n).or_insert(0.0) += job_speeds.get(j).map_or(0.0, |s| s.as_f64());
+        }
+        for slices in self.placement.apps.values() {
+            for (&n, g) in slices {
+                *granted.entry(n).or_insert(0.0) += g.as_f64();
+            }
+        }
+        for node in self.physical_nodes(self.now) {
+            let g = granted.get(&node.id).copied().unwrap_or(0.0);
+            if g <= 0.0 {
+                continue;
+            }
+            let truth = node.cpu.as_f64()
+                * crate::chaos::bite_factor(*seed, self.cycles as u64, node.id, oc);
+            if g > truth {
+                clip.insert(node.id, (truth / g).max(0.0));
+            }
+        }
+        clip
+    }
+
+    /// Clip granted speeds to true per-node capacity when overbooking
+    /// bites: every job grant and app slice on a bitten node is scaled
+    /// by that node's clip factor. A no-op when nothing bites.
+    fn apply_overcommit(
+        &self,
+        job_speeds: &mut BTreeMap<JobId, CpuMhz>,
+        app_speeds: &mut BTreeMap<slaq_types::AppId, CpuMhz>,
+    ) {
+        let clip = self.overcommit_node_clip(job_speeds);
+        if clip.is_empty() {
+            return;
+        }
+        for (j, &(n, _)) in &self.placement.jobs {
+            if let Some(&f) = clip.get(&n) {
+                if let Some(s) = job_speeds.get_mut(j) {
+                    *s = *s * f;
+                }
+            }
+        }
+        for (a, slices) in &self.placement.apps {
+            if slices.keys().any(|n| clip.contains_key(n)) {
+                let delivered: f64 = slices
+                    .iter()
+                    .map(|(n, g)| g.as_f64() * clip.get(n).copied().unwrap_or(1.0))
+                    .sum();
+                app_speeds.insert(*a, CpuMhz::new(delivered));
+            }
+        }
+    }
+
     /// Next completion instant under current speeds (`NEVER` if none).
     fn next_completion(&self, speeds: &BTreeMap<JobId, CpuMhz>) -> SimTime {
         let mut earliest = SimTime::NEVER;
@@ -598,13 +797,16 @@ impl Simulator {
             let blocked = self.blocked_set();
             let caps = self.job_caps();
             let live_nodes = self.effective_nodes(self.now);
-            let (job_speeds, app_speeds) = effective_speeds(
+            let (mut job_speeds, mut app_speeds) = effective_speeds(
                 &live_nodes,
                 &self.placement,
                 &caps,
                 &blocked,
                 self.config.cap_transactional,
             );
+            if self.overcommit.is_some() {
+                self.apply_overcommit(&mut job_speeds, &mut app_speeds);
+            }
 
             // Next event.
             let t_arrival = self
@@ -624,6 +826,7 @@ impl Simulator {
                 .min(t_done)
                 .min(t_unblock)
                 .min(self.next_outage_event(self.now))
+                .min(self.next_resize_event())
                 .min(self.config.horizon);
             if self.recorder.is_enabled() {
                 self.recorder.emit(
@@ -660,6 +863,7 @@ impl Simulator {
             let prev_now = self.now;
             self.now = t_next;
             self.apply_outages()?;
+            self.apply_resizes();
 
             if self.now >= self.config.horizon && prev_now >= self.config.horizon {
                 break;
@@ -755,9 +959,10 @@ impl Simulator {
     ///
     /// Attribution is a sequential min-chain per app, in documented
     /// order — outage loss, routing-discount mismatch, pipeline
-    /// staleness, change-budget exhaustion — with the cluster-capacity
-    /// cause taking the exact remainder, so the parts always sum to the
-    /// deficit (`tests/slo_audit.rs` pins this on every preset).
+    /// staleness, change-budget exhaustion, overbooking clip — with the
+    /// cluster-capacity cause taking the exact remainder, so the parts
+    /// always sum to the deficit (`tests/slo_audit.rs` pins this on
+    /// every preset).
     fn observe_slos(&self, live_nodes: &[NodeCapacity], n_changes: usize) {
         let t = self.now;
         // Cluster-level context shared by every app's chain.
@@ -779,9 +984,28 @@ impl Simulator {
         };
         let budget_hit = self.change_budget.is_some_and(|b| b > 0 && n_changes >= b);
 
+        // When overbooking bites this cycle, apps deliver less than
+        // their placed slices; the shortfall becomes the `overcommit`
+        // cause. The clip map mirrors the run loop's upcoming interval
+        // (same placement, same cycle key), and stays empty — changing
+        // no float — whenever overbooking is off or nothing bites.
+        let clip = if self.overcommit.is_some() {
+            let (job_speeds, _) = effective_speeds(
+                live_nodes,
+                &self.placement,
+                &self.job_caps(),
+                &self.blocked_set(),
+                self.config.cap_transactional,
+            );
+            self.overcommit_node_clip(&job_speeds)
+        } else {
+            BTreeMap::new()
+        };
+
         // First pass: offered work and deficit per app, plus the total
         // deficit that proportions the shared causes.
-        let mut rows: Vec<(usize, f64, f64, f64)> = Vec::new(); // (app ix, raw, offered, deficit)
+        // Rows are (app ix, raw, offered, deficit, delivered).
+        let mut rows: Vec<(usize, f64, f64, f64, f64)> = Vec::new();
         let mut total_deficit = 0.0;
         for (i, app) in self.apps.iter().enumerate() {
             if !self.slo_ids.contains_key(&app.id) {
@@ -790,12 +1014,22 @@ impl Simulator {
             let raw = app.true_lambda(t) * app.spec.service_per_request.as_f64();
             let offered = raw * app.route_discount();
             let alloc = self.placement.app_alloc(app.id).as_f64();
-            let deficit = (offered - alloc).max(0.0);
+            let delivered = if clip.is_empty() {
+                alloc
+            } else {
+                self.placement.apps.get(&app.id).map_or(0.0, |slices| {
+                    slices
+                        .iter()
+                        .map(|(n, g)| g.as_f64() * clip.get(n).copied().unwrap_or(1.0))
+                        .sum()
+                })
+            };
+            let deficit = (offered - delivered).max(0.0);
             total_deficit += deficit;
-            rows.push((i, raw, offered, deficit));
+            rows.push((i, raw, offered, deficit, delivered));
         }
 
-        for (i, raw, offered, deficit) in rows {
+        for (i, raw, offered, deficit, delivered) in rows {
             let app = &self.apps[i];
             let Some(&slo_id) = self.slo_ids.get(&app.id) else {
                 continue;
@@ -804,7 +1038,7 @@ impl Simulator {
             let satisfied = if offered <= 0.0 {
                 1.0
             } else {
-                (alloc / offered).clamp(0.0, 1.0)
+                (delivered / offered).clamp(0.0, 1.0)
             };
             let (rt_secs, utility) = match self.last_app_flush[i] {
                 Some((rt, u)) => (Some(rt), Some(u)),
@@ -838,11 +1072,18 @@ impl Simulator {
                 0.0
             };
             rem -= budget_mhz;
+            let overcommit_mhz = if clip.is_empty() {
+                0.0
+            } else {
+                rem.min((alloc - delivered).max(0.0))
+            };
+            rem -= overcommit_mhz;
             let attr = slaq_obs::Attribution {
                 outage_mhz,
                 routing_mhz,
                 staleness_mhz,
                 budget_mhz,
+                overcommit_mhz,
                 capacity_mhz: rem,
             };
             self.recorder.slo_observe(slo_id, &sample, &attr);

@@ -122,7 +122,15 @@ fn delta_solve_composes_with_sharding_and_overlap() {
             PipelineSpec::overlap(1),
         ),
     ];
-    for preset in ["paper-small", "hetero-pool", "consolidation"] {
+    for preset in [
+        "paper-small",
+        "hetero-pool",
+        "consolidation",
+        "flash-crowd",
+        "zone-storm",
+        "node-flap",
+        "antagonist-flood",
+    ] {
         let spec = ScenarioSpec::preset(preset).expect("named preset");
         for &(label, shards, pipeline) in variants {
             let batch = run_with(&spec, SolveMode::Batch, shards, pipeline, 4);

@@ -24,6 +24,10 @@ const GOLDEN: &[(&str, usize, f64, &str)] = &[
     ),
     ("consolidation", 90, 206.61843449193728, "batch-0"),
     ("request-routing", 70, 206.61843449193728, "batch-0"),
+    ("flash-crowd", 70, 206.61843449193728, "batch-0"),
+    ("zone-storm", 80, 206.61843449193728, "batch-0"),
+    ("node-flap", 90, 206.61843449193728, "batch-0"),
+    ("antagonist-flood", 80, 258.27304311492156, "batch-0"),
 ];
 
 #[test]
